@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` scales workload sizes (default 4); raising it makes
+numbers steadier at the cost of wall time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.similarity import profile_applications
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "4"))
+
+
+@pytest.fixture(scope="session")
+def app_configs():
+    """Profiled kernel views for all twelve Table I applications."""
+    return profile_applications(scale=bench_scale())

@@ -1,0 +1,50 @@
+"""Figure 7: Apache I/O throughput ratio under httperf load.
+
+Reproduces Section IV-B2: request rates swept from 5 to 60 requests per
+second; the series is FACE-CHANGE-on/FACE-CHANGE-off throughput.  The
+paper's claims regenerated:
+
+* the ratio stays ~1.0 below the CPU-saturation knee;
+* the knee sits around 55 req/s, beyond which FACE-CHANGE's per-switch
+  cost (view switches track the traffic bursts) bites.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.httperf import run_httperf_sweep
+
+
+def test_figure7_httperf(benchmark, app_configs):
+    connections = int(os.environ.get("REPRO_FIG7_CONNECTIONS", "60"))
+
+    def sweep():
+        return run_httperf_sweep(app_configs["apache"], connections=connections)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("=" * 72)
+    print("Figure 7: I/O Performance Results for Apache Web Server")
+    print("(throughput ratio: FACE-CHANGE enabled / disabled)")
+    print("=" * 72)
+    print(f"{'rate (req/s)':>14}{'baseline':>12}{'FACE-CHANGE':>13}{'ratio':>9}")
+    for p in points:
+        print(
+            f"{p.rate:>14}{p.baseline_throughput:>12.2f}"
+            f"{p.facechange_throughput:>13.2f}{p.ratio:>9.3f}"
+        )
+    print("paper: unaffected below ~55 req/s, degrading afterwards")
+
+    by_rate = {p.rate: p for p in points}
+
+    # below the knee: throughput unaffected (the paper's flat region)
+    for rate in (5, 10, 15, 20, 25, 30, 35, 40, 45, 50):
+        assert by_rate[rate].ratio > 0.97, (rate, by_rate[rate].ratio)
+
+    # beyond the knee: visible degradation
+    assert by_rate[60].ratio < 0.99
+    # and the degradation is monotone-ish: 60 is worse than the flat region
+    flat = sum(by_rate[r].ratio for r in (5, 10, 15, 20, 25)) / 5
+    assert by_rate[60].ratio < flat

@@ -1,0 +1,77 @@
+"""Table I: the 12x12 kernel-view similarity matrix.
+
+Regenerates the paper's Section IV-A1 result: per-application kernel
+view sizes on the diagonal, pairwise overlap above it, similarity
+indices (Equation 1) below it.  The assertions pin the paper's
+qualitative claims:
+
+* similarity indices span a wide range (the paper saw 33.6%..86.5%);
+* the most dissimilar pair involves ``top`` and ``firefox``;
+* the most similar pairs are (eog, totem) and (apache, vsftpd)-class
+  pairs of same-category applications.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.similarity import SimilarityMatrix, profile_applications
+from benchmarks.conftest import bench_scale
+
+
+def _build(configs):
+    return SimilarityMatrix.build(configs)
+
+
+def test_table1_similarity_matrix(benchmark, app_configs):
+    matrix = benchmark.pedantic(
+        _build, args=(app_configs,), rounds=1, iterations=1
+    )
+
+    print()
+    print("=" * 100)
+    print("Table I: Similarity Matrix for Applications' Kernel Views")
+    print("(diagonal: view size; above: overlap; below: similarity index)")
+    print("=" * 100)
+    print(matrix.format_table())
+    (lo_pair, lo), (hi_pair, hi) = matrix.min_similarity(), matrix.max_similarity()
+    print(f"\nrange: {lo * 100:.1f}% ({lo_pair}) .. {hi * 100:.1f}% ({hi_pair})")
+    print("paper: 33.6% (top, firefox)   .. 86.5% (eog, totem)")
+
+    # every pair overlaps somewhat (scheduler/interrupt code is shared)
+    # but no off-diagonal pair is near-identical to a *different-category*
+    # application
+    indices = matrix.off_diagonal_indices()
+    assert 0.25 < min(indices) < 0.55, "dissimilar apps should share little"
+    assert max(indices) > 0.80, "same-category apps should share a lot"
+
+    # the paper's extreme pairs
+    assert set(lo_pair) == {"top", "firefox"}
+    assert set(hi_pair) == {"eog", "totem"}
+
+    # same-category server pairs are highly similar
+    assert matrix.similarity("apache", "vsftpd") > 0.75
+    assert matrix.similarity("apache", "mysqld") > 0.70
+
+    # view sizes: top smallest, firefox largest (as in the paper)
+    sizes = matrix.sizes
+    assert min(sizes, key=sizes.get) == "top"
+    assert max(sizes, key=sizes.get) == "firefox"
+    # sizes land in the paper's order of magnitude (167KB..443KB)
+    assert all(100 * 1024 < s < 600 * 1024 for s in sizes.values())
+
+
+def test_section2_motivating_claim(app_configs):
+    """Section II-A: 'two distinct applications may share as little as
+    ~1/3 of their executed kernel code'."""
+    matrix = _build(app_configs)
+    _pair, lo = matrix.min_similarity()
+    assert lo < 0.50
+
+
+def test_profiling_is_reproducible(benchmark):
+    """Independent profiling sessions produce identical configurations."""
+    def profile_top():
+        return profile_applications(apps=["top"], scale=bench_scale())["top"]
+
+    first = profile_top()
+    second = benchmark.pedantic(profile_top, rounds=1, iterations=1)
+    assert first.profile.to_dict() == second.profile.to_dict()

@@ -1,0 +1,75 @@
+"""Table II: the security evaluation against 16 user/kernel malware.
+
+Every sample is run against its host application's per-app kernel view
+and against the union ("system-wide minimization") view.  The paper's
+claims regenerated here:
+
+* FACE-CHANGE detects all 16 attacks through kernel code recovery;
+* the union view misses every user-level attack whose payload reuses
+  kernel code some other application legitimizes (case studies I-III
+  explicitly), catching only the rootkits' new module code;
+* KBeast's provenance contains UNKNOWN (hidden-module) frames, Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.detection import evaluate_attack
+from repro.malware import ALL_ATTACKS, ROOTKIT_ATTACKS, USER_LEVEL_ATTACKS
+
+
+def _evaluate_all(app_configs):
+    return [evaluate_attack(a, app_configs, scale=3) for a in ALL_ATTACKS]
+
+
+def test_table2_security_evaluation(benchmark, app_configs):
+    results = benchmark.pedantic(
+        _evaluate_all, args=(app_configs,), rounds=1, iterations=1
+    )
+
+    print()
+    print("=" * 110)
+    print("Table II: Results of Security Evaluation Against a Spectrum of "
+          "User/Kernel Malware")
+    print("=" * 110)
+    header = (
+        f"{'Name':<14}{'Infection Method':<46}{'Host':<9}"
+        f"{'FACE-CHANGE':<13}{'Union view':<12}{'Evidence'}"
+    )
+    print(header)
+    print("-" * 110)
+    for r in results:
+        fc = "DETECTED" if r.detected_per_app else "missed"
+        un = "detected" if r.detected_union else "missed"
+        extra = " +UNKNOWN frames" if r.unknown_frames else ""
+        sample = ", ".join(r.evidence[:3])
+        print(
+            f"{r.name:<14}{r.infection_method:<46}{r.host_app:<9}"
+            f"{fc:<13}{un:<12}{len(r.evidence)} fns ({sample}...){extra}"
+        )
+    per_app = sum(r.detected_per_app for r in results)
+    union = sum(r.detected_union for r in results)
+    print("-" * 110)
+    print(f"FACE-CHANGE detections: {per_app}/{len(results)}   "
+          f"union-view detections: {union}/{len(results)}")
+    print("paper: FACE-CHANGE detects all 16; union misses user-level "
+          "attacks that reuse other apps' kernel code")
+
+    by_name = {r.name: r for r in results}
+
+    # the headline: FACE-CHANGE detects every sample
+    assert all(r.detected_per_app for r in results)
+
+    # the union view misses every user-level attack...
+    for attack in USER_LEVEL_ATTACKS:
+        assert not by_name[attack.name].detected_union, attack.name
+    # ...while the rootkits' new module code is caught even by the union
+    for attack in ROOTKIT_ATTACKS:
+        assert by_name[attack.name].detected_union, attack.name
+
+    # case study I evidence: Figure 4's UDP chains
+    injectso = by_name["Injectso"]
+    assert "inet_create" in injectso.evidence
+    assert "udp_recvmsg" in injectso.evidence
+
+    # case study IV: hidden-module UNKNOWN frames (Figure 5)
+    assert by_name["KBeast"].unknown_frames

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The Section II quantitative study: per-application kernel footprints.
+
+Profiles all twelve Table I applications in independent sessions and
+prints the similarity matrix -- view sizes on the diagonal, overlap
+bytes above, similarity indices (Equation 1) below.
+
+Run:  python examples/similarity_study.py
+"""
+
+from repro.analysis.similarity import SimilarityMatrix, profile_applications
+
+
+def main():
+    print("profiling 12 applications in independent sessions...")
+    configs = profile_applications(scale=5)
+    matrix = SimilarityMatrix.build(configs)
+
+    print()
+    print(matrix.format_table())
+    print()
+
+    (lo_pair, lo) = matrix.min_similarity()
+    (hi_pair, hi) = matrix.max_similarity()
+    print(f"most dissimilar: {lo_pair[0]} vs {lo_pair[1]}  "
+          f"S = {lo * 100:.1f}%   (paper: top vs firefox, 33.6%)")
+    print(f"most similar:    {hi_pair[0]} vs {hi_pair[1]}  "
+          f"S = {hi * 100:.1f}%   (paper: eog vs totem, 86.5%)")
+
+    union = 0
+    merged = None
+    for config in configs.values():
+        if merged is None:
+            merged = config.profile.copy()
+        else:
+            merged.update(config.profile)
+    union = merged.size
+    biggest = max(configs.values(), key=lambda c: c.size)
+    print(f"\nunion (system-wide minimized) kernel: {union / 1024:.0f} KB; "
+          f"largest single view ({biggest.app}): {biggest.size / 1024:.0f} KB")
+    print("=> per-application views expose "
+          f"{(1 - biggest.size / union) * 100:.0f}%+ less kernel code than "
+          "whole-system minimization, per process")
+
+
+if __name__ == "__main__":
+    main()

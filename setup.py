@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on offline hosts
+without the `wheel` package (falls back to setup.py develop)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""FACE-CHANGE (DSN 2014) reproduction.
+
+A simulated-virtualization reproduction of "FACE-CHANGE:
+Application-Driven Dynamic Kernel View Switching in a Virtual Machine"
+(Gu, Saltaformaggio, Zhang, Xu).  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.guest import Machine, boot_machine
+
+__version__ = "1.0.0"
+
+__all__ = ["Machine", "boot_machine", "__version__"]

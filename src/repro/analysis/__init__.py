@@ -1,0 +1,11 @@
+"""Evaluation analysis: similarity matrices and attack detection verdicts."""
+
+from repro.analysis.similarity import SimilarityMatrix, profile_applications
+from repro.analysis.detection import DetectionResult, evaluate_attack
+
+__all__ = [
+    "DetectionResult",
+    "SimilarityMatrix",
+    "evaluate_attack",
+    "profile_applications",
+]

@@ -1,0 +1,14 @@
+"""The twelve applications of the paper's Table I, as workload drivers.
+
+Each application is a generator-based *driver*: it issues the same mix of
+system calls (and pure user-mode computation) through the simulated
+kernel that its real counterpart issues through Linux, so its profiled
+kernel footprint has the right shape -- ``top`` lives on procfs + tty,
+Apache on the TCP accept path + sendfile, gzip on narrow ext4 I/O, and
+so on.
+"""
+
+from repro.apps.base import Env, WorkloadHandle, launch
+from repro.apps.catalog import APP_CATALOG, app_driver
+
+__all__ = ["APP_CATALOG", "Env", "WorkloadHandle", "app_driver", "launch"]

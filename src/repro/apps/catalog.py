@@ -1,0 +1,495 @@
+"""The twelve profiled applications (paper Table I).
+
+Each workload function returns a driver factory; the driver issues the
+application's characteristic syscall mix.  Categories follow the paper:
+
+* servers: ``apache``, ``vsftpd``, ``mysqld``, ``sshd``
+* interactive/GUI: ``firefox``, ``gvim``, ``totem``, ``eog``
+* terminal tools: ``top``, ``bash``, ``tcpdump``, ``gzip``
+
+Workloads self-generate their external stimulus (client connections,
+keystrokes) through :class:`~repro.apps.base.Env`, mirroring how the
+paper drives profiling with per-application test suites (RUBiS for
+mysql, httperf for Apache, simulated user input for interactive apps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.apps.base import DriverFactory, Env
+from repro.kernel.objects import Compute, Syscall
+
+Sys = Syscall
+
+
+def _startup(config_path: str) -> Generator[Any, Any, List[int]]:
+    """Common process startup: heap growth, config read, identity."""
+    yield Sys("brk", count=4096)
+    yield Sys("uname")
+    yield Sys("getpid")
+    fd = yield Sys("open", path=config_path)
+    yield Sys("fstat", fd=fd)
+    yield Sys("read", fd=fd, count=1024)
+    yield Sys("close", fd=fd)
+    return []
+
+
+# ---------------------------------------------------------------------------
+# terminal tools
+# ---------------------------------------------------------------------------
+
+
+def top(env: Env, scale: int) -> DriverFactory:
+    """Task manager: procfs statistics + tty output + periodic sleep."""
+
+    def driver():
+        yield from _startup("/etc/toprc")
+        tty = yield Sys("open", path="/dev/tty1")
+        yield Sys("ioctl", fd=tty)
+        for _ in range(scale):
+            pd = yield Sys("open", path="/proc")
+            yield Sys("getdents", fd=pd)
+            yield Sys("close", fd=pd)
+            for name in ("stat", "meminfo", "loadavg"):
+                fd = yield Sys("open", path=f"/proc/{name}")
+                yield Sys("read", fd=fd, count=2048)
+                yield Sys("close", fd=fd)
+            yield Sys("write", fd=tty, count=1800)
+            yield Compute(30_000)
+            yield Sys("nanosleep", cycles=150_000)
+
+    return driver
+
+
+def bash(env: Env, scale: int) -> DriverFactory:
+    """Shell: keystrokes in, fork/exec pipelines, job control."""
+
+    def child_work(wfd):
+        def child():
+            yield Sys("dup2", oldfd=wfd, newfd=1)  # stdout -> pipe
+            yield from _startup("/etc/profile")
+            fd = yield Sys("open", path="/var/tmp/out")
+            yield Sys("write", fd=fd, count=512)
+            yield Sys("close", fd=fd)
+            yield Sys("write", fd=1, count=128)
+            yield Compute(20_000)
+        return child
+
+    def sigchld_handler():
+        yield Sys("getpid")
+
+    def driver():
+        yield from _startup("/etc/bash.bashrc")
+        tty = yield Sys("open", path="/dev/tty1")
+        yield Sys("ioctl", fd=tty)
+        yield Sys("dup2", oldfd=tty, newfd=2)  # stderr -> tty
+        yield Sys("rt_sigaction", signum=17, handler=sigchld_handler)
+        yield Sys("getcwd")
+        for i in range(scale):
+            env.inject_keystrokes(8, delay=40_000)
+            yield Sys("read", fd=tty, count=64)
+            yield Sys("stat", path="/usr/bin/cmd")
+            rfd, wfd = yield Sys("pipe")
+            pid = yield Sys("fork", child=child_work(wfd), comm="cmd")
+            yield Sys("close", fd=wfd)
+            yield Sys("read", fd=rfd, count=128)
+            yield Sys("close", fd=rfd)
+            yield Sys("waitpid", pid=pid)
+            yield Sys("chdir", path="/home/user")
+            yield Sys("write", fd=tty, count=256)
+
+    return driver
+
+
+def tcpdump(env: Env, scale: int) -> DriverFactory:
+    """Packet capture: AF_PACKET tap + tty/file output."""
+
+    def driver():
+        yield from _startup("/etc/tcpdump.conf")
+        tty = yield Sys("open", path="/dev/tty1")
+        sock = yield Sys("socket", family="packet", stype="dgram")
+        yield Sys("bind", fd=sock, port=0)
+        yield Sys("ioctl", fd=sock)
+        cap = yield Sys("open", path="/var/tmp/capture.pcap")
+        for i in range(scale * 3):
+            env.inject_packet(9999, 400, delay=60_000)
+            n = yield Sys("recvfrom", fd=sock, count=4096)
+            yield Sys("gettimeofday")
+            yield Sys("write", fd=tty, count=200)
+            if i % 3 == 0:
+                yield Sys("write", fd=cap, count=600)
+        yield Sys("close", fd=cap)
+        yield Sys("close", fd=sock)
+
+    return driver
+
+
+def gzip(env: Env, scale: int) -> DriverFactory:
+    """Compressor: narrow, file-in/file-out plus CPU burn."""
+
+    def driver():
+        yield from _startup("/etc/gzip.conf")
+        src = yield Sys("open", path="/data/input.log")
+        yield Sys("fstat", fd=src)
+        dst = yield Sys("open", path="/data/input.log.gz")
+        for _ in range(scale * 4):
+            n = yield Sys("read", fd=src, count=8192)
+            yield Compute(60_000)
+            yield Sys("write", fd=dst, count=4096)
+        yield Sys("fsync", fd=dst)
+        yield Sys("close", fd=src)
+        yield Sys("close", fd=dst)
+        yield Sys("unlink", path="/data/input.log")
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# servers
+# ---------------------------------------------------------------------------
+
+
+def apache(env: Env, scale: int) -> DriverFactory:
+    """Web server: accept/recv, static file serving via sendfile."""
+
+    PORT = 80
+
+    def worker():
+        def child():
+            yield Sys("brk", count=4096)
+            yield Compute(15_000)
+        return child
+
+    def driver():
+        yield from _startup("/etc/apache2/apache2.conf")
+        yield Sys("rt_sigaction", signum=17, handler=None)
+        sock = yield Sys("socket", family="inet", stype="stream")
+        yield Sys("setsockopt", fd=sock)
+        yield Sys("bind", fd=sock, port=PORT)
+        yield Sys("listen", fd=sock)
+        pid = yield Sys("fork", child=worker(), comm="apache")
+        for i in range(scale * 2):
+            env.inject_packet(PORT, 0, delay=50_000, kind="syn", conn_id=1000 + i)
+            # every few connections the client is slow enough to outlast
+            # the poll timeout, so the worker's recv itself blocks
+            # (keeps the sk_wait_data path in the profile)
+            data_delay = 700_000 if i % 3 == 0 else 90_000
+            env.inject_packet(
+                PORT, 500, delay=data_delay, kind="data", conn_id=1000 + i
+            )
+            conn = yield Sys("accept", fd=sock)
+            yield Sys("poll", fds=[conn], timeout_cycles=400_000)
+            yield Sys("recv", fd=conn, count=4096)
+            yield Sys("stat", path="/var/www/index.html")
+            fd = yield Sys("open", path="/var/www/index.html")
+            yield Sys("fstat", fd=fd)
+            yield Sys("sendfile", fd=conn, count=8192)
+            yield Sys("writev", fd=conn, count=512)
+            yield Sys("gettimeofday")
+            yield Sys("close", fd=fd)
+            yield Sys("close", fd=conn)
+        yield Sys("waitpid", pid=pid)
+        yield Sys("close", fd=sock)
+
+    return driver
+
+
+def vsftpd(env: Env, scale: int) -> DriverFactory:
+    """FTP server: accept/recv plus file reads *and* writes (uploads)."""
+
+    PORT = 21
+
+    def driver():
+        yield from _startup("/etc/vsftpd.conf")
+        yield Sys("rt_sigaction", signum=17, handler=None)
+        sock = yield Sys("socket", family="inet", stype="stream")
+        yield Sys("setsockopt", fd=sock)
+        yield Sys("bind", fd=sock, port=PORT)
+        yield Sys("listen", fd=sock)
+        yield Sys("alarm", delay=50_000_000)  # session idle timeout
+        for i in range(scale * 2):
+            env.inject_packet(PORT, 0, delay=60_000, kind="syn", conn_id=2000 + i)
+            env.inject_packet(PORT, 200, delay=100_000, kind="data", conn_id=2000 + i)
+            conn = yield Sys("accept", fd=sock)
+            yield Sys("recv", fd=conn, count=1024)
+            if i % 2 == 0:
+                # RETR: read a file and send it
+                fd = yield Sys("open", path="/srv/ftp/pub/file.bin")
+                yield Sys("fstat", fd=fd)
+                yield Sys("lseek", fd=fd, offset=0)
+                yield Sys("read", fd=fd, count=8192)
+                yield Sys("send", fd=conn, count=8192)
+                yield Sys("close", fd=fd)
+            else:
+                # STOR: receive a file and write it
+                fd = yield Sys("open", path="/srv/ftp/incoming/upload.tmp")
+                yield Sys("write", fd=fd, count=8192)
+                yield Sys("fsync", fd=fd)
+                yield Sys("close", fd=fd)
+                yield Sys("rename", path="/srv/ftp/incoming/upload.tmp")
+            yield Sys("send", fd=conn, count=128)
+            yield Sys("close", fd=conn)
+        yield Sys("close", fd=sock)
+
+    return driver
+
+
+def mysqld(env: Env, scale: int) -> DriverFactory:
+    """Database: threaded TCP request serving over journaled table files."""
+
+    PORT = 3306
+
+    def thread_body():
+        def child():
+            yield Sys("futex", op="wait", key="mysql-pool")
+            yield Compute(10_000)
+        return child
+
+    def driver():
+        yield from _startup("/etc/mysql/my.cnf")
+        yield Sys("brk", count=65536)
+        yield Sys("mmap", count=1 << 20)
+        sock = yield Sys("socket", family="inet", stype="stream")
+        yield Sys("setsockopt", fd=sock)
+        yield Sys("bind", fd=sock, port=PORT)
+        yield Sys("listen", fd=sock)
+        tid = yield Sys("clone", child=thread_body(), comm="mysqld")
+        data = yield Sys("open", path="/var/lib/mysql/ibdata1")
+        log = yield Sys("open", path="/var/lib/mysql/ib_logfile0")
+        epfd = yield Sys("epoll_create")
+        yield Sys("epoll_ctl", fd=epfd, target_fd=sock, op="add")
+        for i in range(scale * 2):
+            env.inject_packet(PORT, 0, delay=70_000, kind="syn", conn_id=3000 + i)
+            env.inject_packet(PORT, 300, delay=110_000, kind="data", conn_id=3000 + i)
+            yield Sys("epoll_wait", fd=epfd, timeout_cycles=400_000)
+            conn = yield Sys("accept", fd=sock)
+            yield Sys("recv", fd=conn, count=2048)
+            yield Sys("pread", fd=data, count=16384, offset=(i % 16) * 16384)
+            yield Compute(40_000)
+            if i % 2 == 0:
+                yield Sys("pwrite", fd=data, count=16384, offset=(i % 16) * 16384)
+                yield Sys("write", fd=log, count=512)
+                yield Sys("fsync", fd=log)
+            yield Sys("send", fd=conn, count=1024)
+            yield Sys("gettimeofday")
+            yield Sys("close", fd=conn)
+        yield Sys("futex", op="wake", key="mysql-pool")
+        yield Sys("close", fd=data)
+        yield Sys("close", fd=log)
+        yield Sys("close", fd=sock)
+
+    return driver
+
+
+def sshd(env: Env, scale: int) -> DriverFactory:
+    """SSH daemon: accept, crypto randomness, pty traffic, sessions."""
+
+    PORT = 22
+
+    def session():
+        def child():
+            yield Sys("brk", count=8192)
+            pty = yield Sys("open", path="/dev/pts/1")
+            yield Sys("write", fd=pty, count=256)
+            yield Sys("close", fd=pty)
+        return child
+
+    def driver():
+        yield from _startup("/etc/ssh/sshd_config")
+        yield Sys("rt_sigaction", signum=17, handler=None)
+        rnd = yield Sys("open", path="/dev/urandom")
+        yield Sys("read", fd=rnd, count=64)
+        sock = yield Sys("socket", family="inet", stype="stream")
+        yield Sys("setsockopt", fd=sock)
+        yield Sys("bind", fd=sock, port=PORT)
+        yield Sys("listen", fd=sock)
+        for i in range(scale):
+            env.inject_packet(PORT, 0, delay=80_000, kind="syn", conn_id=4000 + i)
+            env.inject_packet(PORT, 800, delay=130_000, kind="data", conn_id=4000 + i)
+            conn = yield Sys("accept", fd=sock)
+            yield Sys("read", fd=rnd, count=32)
+            yield Compute(50_000)  # key exchange
+            yield Sys("recv", fd=conn, count=2048)
+            yield Sys("send", fd=conn, count=1024)
+            pid = yield Sys("fork", child=session(), comm="sshd")
+            pty = yield Sys("open", path="/dev/pts/0")
+            yield Sys("select", fds=[conn, pty], timeout_cycles=300_000)
+            yield Sys("write", fd=pty, count=512)
+            yield Sys("send", fd=conn, count=512)
+            yield Sys("waitpid", pid=pid)
+            yield Sys("close", fd=pty)
+            yield Sys("close", fd=conn)
+        yield Sys("close", fd=rnd)
+        yield Sys("close", fd=sock)
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# interactive / GUI
+# ---------------------------------------------------------------------------
+
+
+def firefox(env: Env, scale: int) -> DriverFactory:
+    """Browser: HTTP fetches, disk cache, X11 socket, threads, timers."""
+
+    def worker():
+        def child():
+            yield Sys("futex", op="wait", key="ff-pool")
+            yield Compute(15_000)
+        return child
+
+    def driver():
+        yield from _startup("/home/user/.mozilla/prefs.js")
+        yield Sys("mmap", count=1 << 21)
+        yield Sys("rt_sigaction", signum=15, handler=None)
+        x11 = yield Sys("socket", family="unix", stype="stream")
+        yield Sys("connect", fd=x11, port=6000)
+        tid = yield Sys("clone", child=worker(), comm="firefox")
+        rfd, wfd = yield Sys("pipe")  # event loop self-pipe
+        epfd = yield Sys("epoll_create")
+        yield Sys("epoll_ctl", fd=epfd, target_fd=rfd, op="add")
+        yield Sys("epoll_ctl", fd=epfd, target_fd=x11, op="add")
+        for i in range(scale * 2):
+            # DNS lookup: connected-UDP query + response (glibc style)
+            dns = yield Sys("socket", family="inet", stype="dgram")
+            yield Sys("connect", fd=dns, port=53, conn_id=5900 + i)
+            yield Sys("sendto", fd=dns, count=64, port=53)
+            env.inject_packet(53, 220, delay=40_000, conn_id=5900 + i)
+            yield Sys("recvfrom", fd=dns, count=512)
+            yield Sys("close", fd=dns)
+            web = yield Sys("socket", family="inet", stype="stream")
+            yield Sys("connect", fd=web, port=443, conn_id=5000 + i)
+            yield Sys("send", fd=web, count=600)
+            env.inject_packet(443, 1400, delay=90_000, kind="data", conn_id=5000 + i)
+            yield Sys("epoll_ctl", fd=epfd, target_fd=web, op="add")
+            yield Sys("epoll_wait", fd=epfd, timeout_cycles=500_000)
+            yield Sys("poll", fds=[web, rfd, x11], timeout_cycles=100_000)
+            yield Sys("recv", fd=web, count=16384)
+            cache = yield Sys("open", path="/home/user/.cache/mozilla/entry")
+            yield Sys("write", fd=cache, count=4096)
+            yield Sys("close", fd=cache)
+            yield Compute(60_000)  # layout/JS
+            yield Sys("send", fd=x11, count=2048)  # render
+            yield Sys("gettimeofday")
+            yield Sys("writev", fd=web, count=256)
+            yield Sys("shutdown", fd=web)
+            yield Sys("epoll_ctl", fd=epfd, target_fd=web, op="del")
+            yield Sys("close", fd=web)
+            if i % 3 == 0:
+                yield Sys("mmap", count=1 << 18)
+                yield Sys("munmap", count=1 << 18)
+            img = yield Sys("open", path="/usr/share/icons/icon.png")
+            yield Sys("read", fd=img, count=8192)
+            yield Sys("close", fd=img)
+        yield Sys("futex", op="wake", key="ff-pool")
+        yield Sys("close", fd=x11)
+
+    return driver
+
+
+def gvim(env: Env, scale: int) -> DriverFactory:
+    """GUI editor: X11 socket input, file editing, swap-file writes."""
+
+    def driver():
+        yield from _startup("/home/user/.vimrc")
+        x11 = yield Sys("socket", family="unix", stype="stream")
+        yield Sys("connect", fd=x11, port=6000)
+        yield Sys("rt_sigaction", signum=15, handler=None)
+        src = yield Sys("open", path="/home/user/code.c")
+        yield Sys("fstat", fd=src)
+        yield Sys("read", fd=src, count=16384)
+        swap = yield Sys("open", path="/home/user/.code.c.swp")
+        for i in range(scale * 2):
+            yield Sys("send", fd=x11, count=128)  # request events
+            yield Sys("select", fds=[x11], timeout_cycles=200_000)
+            yield Compute(25_000)  # edit / redraw
+            yield Sys("send", fd=x11, count=1024)  # draw
+            yield Sys("write", fd=swap, count=4096)
+            if i % 4 == 0:
+                yield Sys("fsync", fd=swap)
+                yield Sys("stat", path="/home/user/code.c")
+        yield Sys("write", fd=src, count=16384)
+        yield Sys("rename", path="/home/user/.code.c.swp")
+        yield Sys("close", fd=swap)
+        yield Sys("close", fd=src)
+        yield Sys("close", fd=x11)
+
+    return driver
+
+
+def totem(env: Env, scale: int) -> DriverFactory:
+    """Media player: big file reads, mmap, sound device, frame pacing."""
+
+    def driver():
+        yield from _startup("/home/user/.config/totem/state")
+        x11 = yield Sys("socket", family="unix", stype="stream")
+        yield Sys("connect", fd=x11, port=6000)
+        media = yield Sys("open", path="/home/user/video.ogv")
+        yield Sys("fstat", fd=media)
+        yield Sys("mmap", count=1 << 22)
+        dsp = yield Sys("open", path="/dev/snd/pcmC0D0p")
+        yield Sys("ioctl", fd=dsp)
+        yield Sys("setitimer", interval=2_000_000)  # frame-pacing timer
+        for i in range(scale * 3):
+            yield Sys("read", fd=media, count=65536)
+            yield Compute(45_000)  # decode
+            yield Sys("write", fd=dsp, count=4096)
+            yield Sys("send", fd=x11, count=2048)  # frame
+            yield Sys("poll", fds=[x11, dsp], timeout_cycles=100_000)
+            yield Sys("gettimeofday")
+            yield Sys("nanosleep", cycles=60_000)
+        yield Sys("setitimer", interval=0)
+        yield Sys("munmap", count=1 << 22)
+        yield Sys("close", fd=dsp)
+        yield Sys("close", fd=media)
+        yield Sys("close", fd=x11)
+
+    return driver
+
+
+def eog(env: Env, scale: int) -> DriverFactory:
+    """Image viewer: like totem minus sound (paper: 86.5% similar)."""
+
+    def driver():
+        yield from _startup("/home/user/.config/eog/state")
+        x11 = yield Sys("socket", family="unix", stype="stream")
+        yield Sys("connect", fd=x11, port=6000)
+        for i in range(scale * 2):
+            img = yield Sys("open", path=f"/home/user/pics/img{i % 5}.jpg")
+            yield Sys("fstat", fd=img)
+            yield Sys("mmap", count=1 << 21)
+            yield Sys("read", fd=img, count=32768)
+            yield Compute(35_000)  # decode
+            yield Sys("send", fd=x11, count=4096)  # blit
+            yield Sys("poll", fds=[x11], timeout_cycles=150_000)
+            yield Sys("gettimeofday")
+            yield Sys("munmap", count=1 << 21)
+            yield Sys("close", fd=img)
+            yield Sys("nanosleep", cycles=80_000)
+        yield Sys("close", fd=x11)
+
+    return driver
+
+
+#: name -> workload function, the paper's Table I roster.
+APP_CATALOG = {
+    "firefox": firefox,
+    "totem": totem,
+    "gvim": gvim,
+    "apache": apache,
+    "vsftpd": vsftpd,
+    "top": top,
+    "tcpdump": tcpdump,
+    "mysqld": mysqld,
+    "bash": bash,
+    "sshd": sshd,
+    "gzip": gzip,
+    "eog": eog,
+}
+
+
+def app_driver(name: str, env: Env, scale: int = 10) -> DriverFactory:
+    """Look up an application workload and build its driver factory."""
+    return APP_CATALOG[name](env, scale)

@@ -1,0 +1,19 @@
+"""Performance benchmark suites (paper Section IV-B).
+
+* :mod:`repro.bench.unixbench` -- a UnixBench-alike whose subtests match
+  the paper's Figure 6 categories; scores are operations per virtual
+  second, normalized against a FACE-CHANGE-off baseline.
+* :mod:`repro.bench.httperf` -- an httperf-alike request-rate sweep
+  against the Apache workload, producing Figure 7's throughput ratio.
+"""
+
+from repro.bench.unixbench import UNIXBENCH_SUBTESTS, UnixBenchResult, run_unixbench
+from repro.bench.httperf import HttperfPoint, run_httperf_sweep
+
+__all__ = [
+    "HttperfPoint",
+    "UNIXBENCH_SUBTESTS",
+    "UnixBenchResult",
+    "run_httperf_sweep",
+    "run_unixbench",
+]

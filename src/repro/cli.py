@@ -1,0 +1,183 @@
+"""Command-line interface for the FACE-CHANGE reproduction.
+
+Usage::
+
+    python -m repro.cli similarity            # Table I
+    python -m repro.cli security              # Table II
+    python -m repro.cli unixbench --views 3   # one Figure 6 point
+    python -m repro.cli httperf               # Figure 7 sweep
+    python -m repro.cli profile top -o top.view.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_similarity(args: argparse.Namespace) -> int:
+    from repro.analysis.similarity import SimilarityMatrix, profile_applications
+
+    print(f"profiling {len(args.apps) if args.apps else 12} applications "
+          f"(scale {args.scale})...")
+    configs = profile_applications(apps=args.apps or None, scale=args.scale)
+    matrix = SimilarityMatrix.build(configs)
+    print()
+    print(matrix.format_table())
+    lo_pair, lo = matrix.min_similarity()
+    hi_pair, hi = matrix.max_similarity()
+    print(f"\nmin {lo*100:.1f}% {lo_pair}   max {hi*100:.1f}% {hi_pair}")
+    return 0
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    from repro.analysis.detection import evaluate_attack
+    from repro.analysis.similarity import profile_applications
+    from repro.malware import ALL_ATTACKS
+
+    configs = profile_applications(scale=args.scale)
+    attacks = [
+        a for a in ALL_ATTACKS
+        if not args.attack or a.name.lower().startswith(args.attack.lower())
+    ]
+    print(f"{'Name':<14}{'Host':<9}{'FACE-CHANGE':<13}{'Union view':<12}Evidence")
+    per_app = union = 0
+    for attack in attacks:
+        result = evaluate_attack(attack, configs, scale=args.scale)
+        per_app += result.detected_per_app
+        union += result.detected_union
+        fc = "DETECTED" if result.detected_per_app else "missed"
+        un = "detected" if result.detected_union else "missed"
+        extra = " +UNKNOWN" if result.unknown_frames else ""
+        print(f"{result.name:<14}{result.host_app:<9}{fc:<13}{un:<12}"
+              f"{len(result.evidence)} fns{extra}")
+    print(f"\nFACE-CHANGE: {per_app}/{len(attacks)}   union: {union}/{len(attacks)}")
+    return 0
+
+
+def _cmd_unixbench(args: argparse.Namespace) -> int:
+    from repro.analysis.similarity import profile_applications
+    from repro.bench.unixbench import run_unixbench
+
+    baseline = run_unixbench(0, label="baseline")
+    if args.views > 0:
+        configs = profile_applications(scale=args.scale)
+        run = run_unixbench(args.views, configs)
+        print(f"{'subtest':<32}{'normalized':>12}")
+        for name, value in run.normalized(baseline).items():
+            print(f"{name:<32}{value:>12.3f}")
+        print(f"{'index':<32}{run.normalized_index(baseline):>12.3f}")
+    else:
+        print(f"{'subtest':<32}{'score':>12}")
+        for name, score in baseline.scores.items():
+            print(f"{name:<32}{score:>12.2f}")
+    return 0
+
+
+def _cmd_httperf(args: argparse.Namespace) -> int:
+    from repro.analysis.similarity import profile_applications
+    from repro.bench.httperf import run_httperf_sweep
+
+    config = profile_applications(apps=["apache"], scale=args.scale)["apache"]
+    points = run_httperf_sweep(config, connections=args.connections)
+    print(f"{'rate':>6}{'baseline':>12}{'face-change':>13}{'ratio':>9}")
+    for p in points:
+        print(f"{p.rate:>6}{p.baseline_throughput:>12.2f}"
+              f"{p.facechange_throughput:>13.2f}{p.ratio:>9.3f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.similarity import profile_applications
+
+    config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
+    print(f"{args.app}: kernel view {config.size / 1024:.0f} KB, "
+          f"{len(config.profile)} ranges")
+    if args.output:
+        config.save(args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.kernel_view import KernelViewConfig
+
+    config = KernelViewConfig.load(args.path)
+    print(f"app:   {config.app}")
+    if config.notes:
+        print(f"notes: {config.notes}")
+    print(f"size:  {config.size / 1024:.1f} KB in {len(config.profile)} ranges")
+    for name, ranges in sorted(config.profile.segments.items()):
+        print(f"  {name:<14} {len(ranges):>5} ranges  {ranges.size / 1024:>8.1f} KB")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale, sections=args.sections)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="FACE-CHANGE (DSN 2014) reproduction experiments",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4, help="workload scale (default 4)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("similarity", help="Table I similarity matrix")
+    p.add_argument("apps", nargs="*", help="subset of applications")
+    p.set_defaults(fn=_cmd_similarity)
+
+    p = sub.add_parser("security", help="Table II attack evaluation")
+    p.add_argument("--attack", help="only attacks whose name starts with this")
+    p.set_defaults(fn=_cmd_security)
+
+    p = sub.add_parser("unixbench", help="Figure 6 UnixBench point")
+    p.add_argument("--views", type=int, default=1, help="views loaded (0=baseline)")
+    p.set_defaults(fn=_cmd_unixbench)
+
+    p = sub.add_parser("httperf", help="Figure 7 httperf sweep")
+    p.add_argument("--connections", type=int, default=60)
+    p.set_defaults(fn=_cmd_httperf)
+
+    p = sub.add_parser("profile", help="profile one application")
+    p.add_argument("app")
+    p.add_argument("-o", "--output", help="save the view configuration JSON")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "inspect", help="summarize a kernel view configuration file"
+    )
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser(
+        "report", help="run the full evaluation, emit a markdown report"
+    )
+    p.add_argument("-o", "--output", help="write the report to this file")
+    p.add_argument(
+        "--sections",
+        nargs="*",
+        choices=["table1", "table2", "fig6", "fig7"],
+        help="subset of sections to run",
+    )
+    p.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

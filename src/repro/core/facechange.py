@@ -1,0 +1,151 @@
+"""The FACE-CHANGE facade: enable/disable, load/unload, statistics.
+
+Typical runtime-phase usage::
+
+    fc = FaceChange(machine)
+    fc.enable()
+    index = fc.load_view(config)          # per-app customized view
+    ...run workloads...
+    print(fc.log.report())                # recovery provenance
+    fc.unload_view(index)                 # hot-unplug (III-B4)
+    fc.disable()
+
+Everything is driven from the hypervisor: address traps on
+``context_switch``/``resume_userspace``, the ``#UD`` handler for code
+recovery, and per-view EPT overrides.  The guest is never modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.provenance import RecoveryLog
+from repro.core.recovery import RecoveryEngine
+from repro.core.switching import FULL_KERNEL_VIEW_INDEX, ViewSwitcher
+from repro.core.view_manager import KernelView, ViewBuilder
+from repro.guest.machine import Machine
+from repro.hypervisor.vcpu import Vcpu
+from repro.hypervisor.vmexit import VmExit
+
+
+@dataclass
+class FaceChangeStats:
+    """Aggregate counters for the performance evaluation."""
+
+    context_switch_traps: int
+    resume_traps: int
+    view_switches: int
+    skipped_switches: int
+    recoveries: int
+    instant_recoveries: int
+    loaded_views: int
+
+
+class FaceChange:
+    """Application-driven dynamic kernel view switching."""
+
+    def __init__(self, machine: Machine, widen_views: bool = True) -> None:
+        if machine.runtime is None:
+            raise ValueError("machine must be booted")
+        self.machine = machine
+        self.log = RecoveryLog()
+        self.builder = ViewBuilder(machine, widen=widen_views)
+        self.recovery = RecoveryEngine(machine, self.log)
+        self._selector_map: Dict[str, int] = {}
+        self.switcher = ViewSwitcher(machine, self._select_view)
+        self._next_index = 0
+        self.enabled = False
+        machine.runtime.module_load_listeners.append(self._on_module_loaded)
+
+    # -- selector -----------------------------------------------------------------
+
+    def _select_view(self, comm: str) -> int:
+        """KERNEL_VIEW_SELECTOR: map a process name to its view index."""
+        return self._selector_map.get(comm, FULL_KERNEL_VIEW_INDEX)
+
+    # -- enable / disable ------------------------------------------------------------
+
+    def enable(self) -> None:
+        if self.enabled:
+            return
+        hv = self.machine.hypervisor
+        hv.register_address_trap(
+            self.machine.image.address_of("context_switch"),
+            self.switcher.handle_context_switch_trap,
+        )
+        hv.set_invalid_opcode_handler(self._handle_invalid_opcode)
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Disable FACE-CHANGE, reverting to the full kernel view."""
+        if not self.enabled:
+            return
+        for cpu in range(self.machine.vcpu_count):
+            self.switcher.switch_kernel_view(FULL_KERNEL_VIEW_INDEX, cpu)
+        self.switcher._disarm_resume_trap()
+        hv = self.machine.hypervisor
+        hv.unregister_address_trap(self.machine.image.address_of("context_switch"))
+        hv.set_invalid_opcode_handler(None)
+        self.enabled = False
+
+    # -- view lifecycle ----------------------------------------------------------------
+
+    def load_view(self, config: KernelViewConfig, comm: Optional[str] = None) -> int:
+        """Build a view from ``config`` and bind it to a process name.
+
+        Returns the view index.  Loading happens without interrupting the
+        guest; the view takes effect at the bound process' next schedule.
+        """
+        index = self._next_index
+        self._next_index += 1
+        view = self.builder.build(index, config)
+        self.switcher.register_view(view)
+        self._selector_map[comm if comm is not None else config.app] = index
+        return index
+
+    def unload_view(self, index: int) -> None:
+        """Hot-unplug a view: de-allocate its pages, fall back to full view."""
+        view = self.switcher.views.get(index)
+        if view is None:
+            return
+        self.switcher.remove_view(index)
+        for comm in [c for c, i in self._selector_map.items() if i == index]:
+            del self._selector_map[comm]
+        view.free()
+
+    def view_for(self, comm: str) -> Optional[KernelView]:
+        index = self._selector_map.get(comm)
+        return self.switcher.views.get(index) if index is not None else None
+
+    @property
+    def loaded_views(self) -> List[KernelView]:
+        return list(self.switcher.views.values())
+
+    # -- handlers ---------------------------------------------------------------------
+
+    def _handle_invalid_opcode(self, vcpu: Vcpu, exit_: VmExit) -> bool:
+        view = self.switcher.current_view_for(vcpu.cpu_id)
+        return self.recovery.handle(vcpu, exit_, view)
+
+    def _on_module_loaded(self, name: str) -> None:
+        """Cover a newly loaded module in every existing view."""
+        for view in self.switcher.views.values():
+            self.builder.extend_for_module(view, name)
+            for ept in list(view.installed_epts):
+                view.install(ept)  # map the new frames too
+
+    # -- stats -----------------------------------------------------------------------
+
+    @property
+    def stats(self) -> FaceChangeStats:
+        return FaceChangeStats(
+            context_switch_traps=self.switcher.context_switch_traps,
+            resume_traps=self.switcher.resume_traps,
+            view_switches=self.switcher.switches,
+            skipped_switches=self.switcher.skipped_switches,
+            recoveries=self.recovery.recoveries,
+            instant_recoveries=self.recovery.instant_recoveries,
+            loaded_views=len(self.switcher.views),
+        )

@@ -1,0 +1,69 @@
+"""Kernel view configuration files (Section III-A1).
+
+A configuration names an application and carries its K[app] profile.
+Configurations are plain JSON on disk so they can be generated in one
+(profiling) session and loaded into another (runtime) session, which is
+how the paper supports profiling new applications off-line.
+
+``union_view`` builds the union of many configurations -- the
+"system-wide minimized kernel" strawman the security evaluation compares
+against (Section IV-A2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.core.rangelist import KernelProfile
+
+
+@dataclass
+class KernelViewConfig:
+    """One application's kernel view: name + profiled code ranges."""
+
+    app: str
+    profile: KernelProfile = field(default_factory=KernelProfile)
+    #: free-form provenance notes (profiling workload, date, ...)
+    notes: str = ""
+
+    @property
+    def size(self) -> int:
+        """SIZE of the profiled kernel code (the paper's Table I diagonal)."""
+        return self.profile.size
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "app": self.app,
+            "notes": self.notes,
+            "segments": self.profile.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "KernelViewConfig":
+        return cls(
+            app=data["app"],
+            profile=KernelProfile.from_dict(data.get("segments", {})),
+            notes=data.get("notes", ""),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "KernelViewConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def union_view(
+    configs: Iterable[KernelViewConfig], name: str = "union"
+) -> KernelViewConfig:
+    """The union of many views: a system-wide minimized kernel."""
+    union = KernelViewConfig(app=name, notes="union of per-app views")
+    for config in configs:
+        union.profile.update(config.profile)
+    return union

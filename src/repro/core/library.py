@@ -1,0 +1,89 @@
+"""View libraries: a directory of kernel view configurations.
+
+The paper's deployment story profiles applications in independent
+off-line sessions and ships the resulting configuration files to the
+production hypervisor ("This removes the burden of re-compiling and/or
+installing a new customized kernel upon the addition of a new
+application", Section I).  A :class:`ViewLibrary` is that shipping
+artifact: a directory of ``<app>.view.json`` files with load/save/update
+helpers and bulk loading into a running :class:`FaceChange`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.core.facechange import FaceChange
+from repro.core.kernel_view import KernelViewConfig, union_view
+
+_SUFFIX = ".view.json"
+
+
+class ViewLibrary:
+    """A directory of per-application kernel view configurations."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, app: str) -> Path:
+        return self.root / f"{app}{_SUFFIX}"
+
+    # -- storage ---------------------------------------------------------------
+
+    def save(self, config: KernelViewConfig) -> Path:
+        path = self._path(config.app)
+        config.save(path)
+        return path
+
+    def save_all(self, configs: Dict[str, KernelViewConfig]) -> None:
+        for config in configs.values():
+            self.save(config)
+
+    def load(self, app: str) -> KernelViewConfig:
+        path = self._path(app)
+        if not path.exists():
+            raise KeyError(f"no kernel view for {app!r} in {self.root}")
+        return KernelViewConfig.load(path)
+
+    def remove(self, app: str) -> bool:
+        path = self._path(app)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def apps(self) -> List[str]:
+        return sorted(
+            p.name[: -len(_SUFFIX)]
+            for p in self.root.glob(f"*{_SUFFIX}")
+        )
+
+    def __contains__(self, app: str) -> bool:
+        return self._path(app).exists()
+
+    def __iter__(self) -> Iterator[KernelViewConfig]:
+        for app in self.apps():
+            yield self.load(app)
+
+    def __len__(self) -> int:
+        return len(self.apps())
+
+    # -- composition -------------------------------------------------------------
+
+    def union(self, name: str = "union") -> KernelViewConfig:
+        """The system-wide-minimization strawman over the whole library."""
+        return union_view(list(self), name=name)
+
+    def load_into(
+        self,
+        fc: FaceChange,
+        apps: Optional[List[str]] = None,
+    ) -> Dict[str, int]:
+        """Load (a subset of) the library into a running FaceChange.
+
+        Returns app -> view index.
+        """
+        selected = apps if apps is not None else self.apps()
+        return {app: fc.load_view(self.load(app)) for app in selected}

@@ -1,0 +1,132 @@
+"""Recovery log and attack provenance (Sections III-B3, IV-A2).
+
+Every kernel code recovery is recorded with its faulting address, the
+recovered function, the full backtrace (symbolized where possible,
+``UNKNOWN`` for unattributable addresses such as hidden rootkit modules
+-- Figure 5), the process context obtained via VMI, and whether the
+execution was in interrupt context.  The log is the raw material both
+for the administrator workflow the paper describes (ameliorating test
+suites) and for the attack case studies (Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BacktraceFrame:
+    """One frame of a recovery backtrace."""
+
+    address: int
+    symbol: str  # "<name+0xoff>" or "<UNKNOWN>"
+
+    def __str__(self) -> str:
+        return f"{self.address:#010x} {self.symbol}"
+
+    @property
+    def is_unknown(self) -> bool:
+        return "UNKNOWN" in self.symbol
+
+
+@dataclass
+class RecoveryEvent:
+    """One kernel code recovery."""
+
+    cycles: int
+    rip: int
+    #: symbolized recovered function, e.g. "<inet_create+0x0>"
+    recovered: str
+    #: recovered function's entry address
+    function_start: int
+    function_end: int
+    pid: int
+    comm: str
+    view_app: str
+    backtrace: Tuple[BacktraceFrame, ...] = ()
+    in_interrupt: bool = False
+    #: functions recovered instantly because a return address split a UD2
+    instant_recoveries: Tuple[str, ...] = ()
+
+    @property
+    def function_name(self) -> str:
+        """Bare function name (strips the <...+0x0> decoration)."""
+        inner = self.recovered.strip("<>")
+        return inner.split("+", 1)[0]
+
+    @property
+    def has_unknown_frames(self) -> bool:
+        return any(frame.is_unknown for frame in self.backtrace)
+
+    def format(self) -> str:
+        """Render like the paper's Figures 4/5 log excerpts."""
+        lines = [f"Recover {self.rip:#010x} {self.recovered} for kernel[{self.view_app}]"]
+        for frame in self.backtrace:
+            lines.append(f"|-- {frame}")
+        if self.in_interrupt:
+            lines.append("    (interrupt context)")
+        for name in self.instant_recoveries:
+            lines.append(f"    (instant recovery: {name})")
+        return "\n".join(lines)
+
+
+class RecoveryLog:
+    """The append-only log of kernel code recoveries."""
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def append(self, event: RecoveryEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def for_app(self, view_app: str) -> List[RecoveryEvent]:
+        return [e for e in self.events if e.view_app == view_app]
+
+    def recovered_functions(self, view_app: Optional[str] = None) -> List[str]:
+        events = self.events if view_app is None else self.for_app(view_app)
+        return [e.function_name for e in events]
+
+    def anomalous(
+        self,
+        view_app: Optional[str] = None,
+        benign: Sequence[str] = (),
+    ) -> List[RecoveryEvent]:
+        """Events that are neither interrupt-context nor known-benign.
+
+        ``benign`` lists function names the administrator has whitelisted
+        (e.g. the kvm-clock chain from profiling under QEMU).
+        """
+        events = self.events if view_app is None else self.for_app(view_app)
+        benign_set = set(benign)
+        return [
+            e
+            for e in events
+            if not e.in_interrupt and e.function_name not in benign_set
+        ]
+
+    def report(self, view_app: Optional[str] = None) -> str:
+        events = self.events if view_app is None else self.for_app(view_app)
+        return "\n\n".join(event.format() for event in events)
+
+
+#: Functions whose recovery is expected when a view profiled under QEMU
+#: runs under KVM (the paper's Section III-B3 example), plus interrupt
+#: plumbing that may race the profiling window.
+DEFAULT_BENIGN_RECOVERIES: Tuple[str, ...] = (
+    "kvm_clock_get_cycles",
+    "kvm_clock_read",
+    "pvclock_clocksource_read",
+    "native_read_tsc",
+)

@@ -1,0 +1,201 @@
+"""Range lists: the paper's K[app] representation (Section II).
+
+A profiled application's kernel footprint is::
+
+    K[app] = {([B1, E1], T1), ..., ([Bi, Ei], Ti)}
+
+where each ``[B, E]`` is an in-memory code segment and ``T`` is either
+"base kernel" or a module name (module segments are stored relative to
+the module's base address because modules relocate at load time).
+
+This module implements the three operators the paper defines --
+intersection, ``LEN`` and ``SIZE`` -- plus the similarity index
+
+    S = SIZE(K1 ∩ K2) / MAX(SIZE(K1), SIZE(K2))          (Equation 1)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+#: Segment type tag for base-kernel ranges (module segments use the
+#: module's name).
+BASE_KERNEL = "base kernel"
+
+
+class RangeList:
+    """A sorted list of non-overlapping half-open address ranges."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[Tuple[int, int]] = ()) -> None:
+        self._ranges: List[Tuple[int, int]] = []
+        for begin, end in ranges:
+            self.add(begin, end)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, begin: int, end: int) -> None:
+        """Insert ``[begin, end)``, merging adjacent/overlapping ranges."""
+        if end <= begin:
+            return
+        ranges = self._ranges
+        # binary search for the insertion point
+        lo, hi = 0, len(ranges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ranges[mid][0] < begin:
+                lo = mid + 1
+            else:
+                hi = mid
+        # merge left neighbour
+        start = lo
+        if start > 0 and ranges[start - 1][1] >= begin:
+            start -= 1
+            begin = min(begin, ranges[start][0])
+            end = max(end, ranges[start][1])
+        # merge right neighbours
+        stop = start
+        while stop < len(ranges) and ranges[stop][0] <= end:
+            end = max(end, ranges[stop][1])
+            stop += 1
+        ranges[start:stop] = [(begin, end)]
+
+    def update(self, other: "RangeList") -> None:
+        for begin, end in other:
+            self.add(begin, end)
+
+    # -- the paper's operators --------------------------------------------------
+
+    def intersect(self, other: "RangeList") -> "RangeList":
+        """K1 ∩ K2: the overlapping address ranges (still a range list)."""
+        result = RangeList()
+        a, b = self._ranges, other._ranges
+        i = j = 0
+        while i < len(a) and j < len(b):
+            begin = max(a[i][0], b[j][0])
+            end = min(a[i][1], b[j][1])
+            if begin < end:
+                result.add(begin, end)
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return result
+
+    @property
+    def size(self) -> int:
+        """SIZE: total bytes covered."""
+        return sum(end - begin for begin, end in self._ranges)
+
+    def __len__(self) -> int:
+        """LEN: number of elements in the list."""
+        return len(self._ranges)
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        lo, hi = 0, len(self._ranges) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            begin, end = self._ranges[mid]
+            if addr < begin:
+                hi = mid - 1
+            elif addr >= end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangeList) and self._ranges == other._ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"[{b:#x},{e:#x})" for b, e in self._ranges[:4])
+        more = "..." if len(self._ranges) > 4 else ""
+        return f"RangeList({inner}{more})"
+
+    def copy(self) -> "RangeList":
+        fresh = RangeList()
+        fresh._ranges = list(self._ranges)
+        return fresh
+
+
+class KernelProfile:
+    """K[app]: per-segment range lists for one application.
+
+    Keys are :data:`BASE_KERNEL` (absolute addresses) or a module name
+    (module-relative addresses).
+    """
+
+    def __init__(self) -> None:
+        self.segments: Dict[str, RangeList] = {}
+
+    def segment(self, name: str) -> RangeList:
+        ranges = self.segments.get(name)
+        if ranges is None:
+            ranges = RangeList()
+            self.segments[name] = ranges
+        return ranges
+
+    def add(self, segment: str, begin: int, end: int) -> None:
+        self.segment(segment).add(begin, end)
+
+    def update(self, other: "KernelProfile") -> None:
+        for name, ranges in other.segments.items():
+            self.segment(name).update(ranges)
+
+    def intersect(self, other: "KernelProfile") -> "KernelProfile":
+        result = KernelProfile()
+        for name, ranges in self.segments.items():
+            theirs = other.segments.get(name)
+            if theirs is None:
+                continue
+            overlap = ranges.intersect(theirs)
+            if len(overlap):
+                result.segments[name] = overlap
+        return result
+
+    @property
+    def size(self) -> int:
+        return sum(ranges.size for ranges in self.segments.values())
+
+    def __len__(self) -> int:
+        return sum(len(ranges) for ranges in self.segments.values())
+
+    def contains(self, segment: str, addr: int) -> bool:
+        ranges = self.segments.get(segment)
+        return ranges.contains(addr) if ranges is not None else False
+
+    def copy(self) -> "KernelProfile":
+        fresh = KernelProfile()
+        for name, ranges in self.segments.items():
+            fresh.segments[name] = ranges.copy()
+        return fresh
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[List[int]]]:
+        return {
+            name: [[b, e] for b, e in ranges]
+            for name, ranges in self.segments.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, List[List[int]]]) -> "KernelProfile":
+        profile = cls()
+        for name, pairs in data.items():
+            for begin, end in pairs:
+                profile.add(name, begin, end)
+        return profile
+
+
+def similarity_index(a: KernelProfile, b: KernelProfile) -> float:
+    """Equation 1: S = SIZE(K1 ∩ K2) / MAX(SIZE(K1), SIZE(K2))."""
+    denominator = max(a.size, b.size)
+    if denominator == 0:
+        return 1.0
+    return a.intersect(b).size / denominator

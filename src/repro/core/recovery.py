@@ -1,0 +1,154 @@
+"""Kernel code recovery (Section III-B3, Algorithm 1, Figure 3).
+
+When the guest executes a ``UD2`` left by the view fill, the ``#UD`` VM
+exit lands here.  The handler:
+
+1. walks the ``ebp`` frame chain (``BACK_TRACE``), dumping each return
+   address, and -- the paper's *instant recovery* -- immediately recovers
+   any caller whose return address points at a split ``UD2`` (``0b 0f``),
+   which the processor would silently misdecode as an ``or`` instruction
+   rather than trapping;
+2. widens the faulting address to its containing function via the
+   prologue-signature search (``SEARCH_BACKWARDS`` / ``SEARCH_FORWARDS``);
+3. fetches the missing code from the guest's original kernel pages and
+   fills it into the view frames (``FETCH_FILL_CODE``);
+4. records a :class:`~repro.core.provenance.RecoveryEvent` with full
+   provenance for later attack/exception analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.provenance import BacktraceFrame, RecoveryEvent, RecoveryLog
+from repro.core.view_manager import KernelView
+from repro.hypervisor.vcpu import Vcpu
+from repro.hypervisor.vmexit import VmExit
+from repro.memory.layout import is_kernel_address
+from repro.memory.mmu import TranslationError
+
+#: Cycles charged per code recovery (trap + search + copy).
+RECOVERY_COST_CYCLES = 15_000
+#: Maximum frames walked by BACK_TRACE.
+MAX_BACKTRACE_DEPTH = 64
+#: The byte pair a split UD2 presents at an odd return address.
+SPLIT_UD2 = b"\x0b\x0f"
+
+
+class RecoveryEngine:
+    """Implements HANDLE_INVALID_OPCODE / BACK_TRACE from Algorithm 1."""
+
+    def __init__(self, machine, log: RecoveryLog) -> None:
+        self.machine = machine
+        self.log = log
+        self.recoveries = 0
+        self.instant_recoveries = 0
+        #: ablation switch: disabling instant recovery reproduces the
+        #: cross-view corruption bug the paper describes (Figure 3)
+        self.instant_recovery_enabled = True
+        # no-progress guard: a rip that keeps faulting after recovery is
+        # corrupted execution (e.g. a split-UD2 fragment), not a hole
+        self._last_fault = (None, 0)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _read_guest(self, vcpu: Vcpu, addr: int, length: int) -> Optional[bytes]:
+        try:
+            return vcpu.mmu.read(addr, length)
+        except TranslationError:
+            return None
+
+    def _symbolize(self, addr: int) -> str:
+        text = self.machine.image.format_address(addr)
+        # format_address returns "0x... <sym+off>"; keep the symbol part
+        return text.split(" ", 1)[1]
+
+    def _recover_function(
+        self, view: KernelView, addr: int
+    ) -> Optional[Tuple[int, int]]:
+        """SEARCH_BACKWARDS/FORWARDS + FETCH_FILL_CODE around ``addr``."""
+        region = view.region_of(addr)
+        if region is None:
+            return None
+        start, end = view.finder.containing_function(addr, region[0], region[1])
+        view.copy_original(start, end)
+        view.recovered_ranges.append((start, end))
+        return start, end
+
+    # -- BACK_TRACE ----------------------------------------------------------------
+
+    def back_trace(
+        self, vcpu: Vcpu, view: KernelView
+    ) -> Tuple[List[BacktraceFrame], List[str]]:
+        frames: List[BacktraceFrame] = []
+        instant: List[str] = []
+        iter_rbp = vcpu.ebp
+        for _ in range(MAX_BACKTRACE_DEPTH):
+            if iter_rbp == 0 or not is_kernel_address(iter_rbp):
+                break
+            words = self._read_guest(vcpu, iter_rbp, 8)
+            if words is None:
+                break
+            prev_rbp = int.from_bytes(words[0:4], "little")
+            prev_rip = int.from_bytes(words[4:8], "little")
+            if prev_rip == 0 or not is_kernel_address(prev_rip):
+                break
+            frames.append(BacktraceFrame(prev_rip, self._symbolize(prev_rip)))
+            # instant recovery: a return target reading "0b 0f" would be
+            # misdecoded by the CPU instead of trapping -- recover it now
+            opcode = self._read_guest(vcpu, prev_rip, 2)
+            if (
+                self.instant_recovery_enabled
+                and opcode == SPLIT_UD2
+                and view.covers(prev_rip)
+            ):
+                recovered = self._recover_function(view, prev_rip)
+                if recovered is not None:
+                    instant.append(self._symbolize(recovered[0]))
+                    self.instant_recoveries += 1
+            iter_rbp = prev_rbp
+        return frames, instant
+
+    # -- HANDLE_INVALID_OPCODE --------------------------------------------------------
+
+    def handle(self, vcpu: Vcpu, exit_: VmExit, view: Optional[KernelView]) -> bool:
+        """Recover the missing code at ``exit_.rip``; False if unhandled."""
+        if view is None or not view.covers(exit_.rip):
+            return False
+        # confirm the fault really is in a UD2-filled hole of this view
+        hole = self._read_guest(vcpu, exit_.rip & ~1, 2)
+        if hole is None:
+            return False
+        last_rip, count = self._last_fault
+        if last_rip == exit_.rip:
+            if count >= 2:
+                return False  # recovery is not making progress: crash
+            self._last_fault = (exit_.rip, count + 1)
+        else:
+            self._last_fault = (exit_.rip, 1)
+        frames, instant = self.back_trace(vcpu, view)
+        recovered = self._recover_function(view, exit_.rip)
+        if recovered is None:
+            return False
+        start, end = recovered
+        runtime = self.machine.runtime
+        procinfo = self.machine.introspector.read_current_process(vcpu.cpu_id)
+        event = RecoveryEvent(
+            cycles=vcpu.cycles,
+            rip=exit_.rip,
+            recovered=self._symbolize(start),
+            function_start=start,
+            function_end=end,
+            pid=procinfo.pid,
+            comm=procinfo.comm,
+            view_app=view.config.app,
+            backtrace=tuple(frames),
+            in_interrupt=runtime.in_interrupt,
+            instant_recoveries=tuple(instant),
+        )
+        self.log.append(event)
+        self.recoveries += 1
+        self.machine.hypervisor.charge(vcpu, RECOVERY_COST_CYCLES)
+        # the fill wrote through physmem, bumping the frame version, so
+        # the VCPU's decoded-block cache re-translates on resume
+        return True

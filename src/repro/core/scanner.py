@@ -1,0 +1,115 @@
+"""Hidden-code scanner: attribute kernel-heap code to loaded modules.
+
+The paper's Section V sketches integrating kernel-integrity techniques
+(NICKLE-style code authorization) to complement view switching.  This
+module implements the piece FACE-CHANGE's own evidence motivates: when
+recovery backtraces contain UNKNOWN frames (Figure 5), an administrator
+wants to know *what* owns those addresses.
+
+The scanner sweeps the guest's module space for function prologues
+(``55 89 e5`` at 16-byte alignment -- the same signature the view
+builder trusts) and diffs the discovered code regions against the
+VMI-visible module list.  Code that exists in memory but belongs to no
+listed module is exactly a hidden (DKOM-unlinked) module like KBeast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.view_manager import FunctionBoundaryFinder, gva_to_gpa
+from repro.hypervisor.vmi import GuestModuleInfo
+from repro.isa.opcodes import PROLOGUE_SIGNATURE
+from repro.memory.layout import MODULE_SPACE_BASE, PAGE_SIZE
+
+#: How far into the kernel heap the sweep looks.
+_DEFAULT_SPAN = 0x400000
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class HiddenRegion:
+    """A kernel-heap code region owned by no VMI-visible module."""
+
+    start: int
+    end: int
+    functions: int  # prologues found inside
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return (
+            f"hidden code {self.start:#010x}-{self.end:#010x} "
+            f"({self.size} bytes, {self.functions} functions)"
+        )
+
+
+class HiddenCodeScanner:
+    """Sweeps module space and diffs against the guest module list."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    def _prologues(self, start: int, end: int) -> List[int]:
+        """Aligned prologue addresses in [start, end), from raw memory."""
+        physmem = self.machine.physmem
+        out: List[int] = []
+        addr = (start + _ALIGN - 1) & ~(_ALIGN - 1)
+        while addr + len(PROLOGUE_SIGNATURE) <= end:
+            if (
+                physmem.read(gva_to_gpa(addr), len(PROLOGUE_SIGNATURE))
+                == PROLOGUE_SIGNATURE
+            ):
+                out.append(addr)
+            addr += _ALIGN
+        return out
+
+    def scan(self, span: int = _DEFAULT_SPAN) -> List[HiddenRegion]:
+        """Return code regions in module space owned by no listed module."""
+        visible: List[GuestModuleInfo] = (
+            self.machine.introspector.read_module_list()
+        )
+        owned: List[Tuple[int, int]] = sorted(
+            (m.base, m.base + m.size) for m in visible
+        )
+
+        def is_owned(addr: int) -> bool:
+            return any(b <= addr < e for b, e in owned)
+
+        sweep_end = MODULE_SPACE_BASE + span
+        orphans = [
+            addr
+            for addr in self._prologues(MODULE_SPACE_BASE, sweep_end)
+            if not is_owned(addr)
+        ]
+        # group orphan prologues into page-contiguous regions
+        regions: List[HiddenRegion] = []
+        group: List[int] = []
+        for addr in orphans:
+            if group and addr - group[-1] > PAGE_SIZE:
+                regions.append(self._finish(group))
+                group = []
+            group.append(addr)
+        if group:
+            regions.append(self._finish(group))
+        return regions
+
+    def _finish(self, prologues: List[int]) -> HiddenRegion:
+        finder = FunctionBoundaryFinder(self.machine.physmem)
+        start = prologues[0]
+        # the last function extends to the next page boundary at most
+        last = prologues[-1]
+        end = (last + PAGE_SIZE) & ~(PAGE_SIZE - 1)
+        _, fn_end = finder.containing_function(last, start, end)
+        return HiddenRegion(start=start, end=fn_end, functions=len(prologues))
+
+    def report(self, span: int = _DEFAULT_SPAN) -> str:
+        regions = self.scan(span)
+        if not regions:
+            return "no hidden kernel-heap code found"
+        lines = [f"{len(regions)} hidden code region(s):"]
+        lines += [f"  {region}" for region in regions]
+        return "\n".join(lines)

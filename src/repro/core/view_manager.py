@@ -1,0 +1,252 @@
+"""Kernel view construction (Section III-B1).
+
+A :class:`KernelView` is a set of hypervisor-owned host frames shadowing
+the guest's kernel code pages.  Frames start out filled with the ``UD2``
+pattern (``0f 0b`` repeated from the page base, so even offsets hold
+``0f``), then every profiled range -- widened to whole-function
+boundaries -- is copied in from the guest's original code pages.
+
+Function widening follows the paper exactly: starting from a marked
+basic block, scan backwards and forwards for the function header
+signature ``push ebp; mov ebp, esp`` (``55 89 e5``) at power-of-two
+aligned addresses (the kernel is built with ``-falign-functions``).  The
+scan reads raw guest memory and crosses page boundaries, handling
+functions that straddle pages.
+
+Installing a view re-points EPT entries for the covered guest-physical
+pages at the view's frames; uninstalling restores identity mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.rangelist import BASE_KERNEL
+from repro.isa.opcodes import PROLOGUE_SIGNATURE, UD2_BYTES
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import KERNEL_BASE, PAGE_SIZE
+from repro.memory.physmem import PhysicalMemory
+
+#: Function alignment produced by -falign-functions.
+FUNCTION_ALIGN = 16
+
+
+def gva_to_gpa(gva: int) -> int:
+    return gva - KERNEL_BASE
+
+
+class FunctionBoundaryFinder:
+    """Signature-based function boundary search over original guest memory."""
+
+    def __init__(self, physmem: PhysicalMemory) -> None:
+        self.physmem = physmem
+
+    def _signature_at(self, gva: int) -> bool:
+        return (
+            self.physmem.read(gva_to_gpa(gva), len(PROLOGUE_SIGNATURE))
+            == PROLOGUE_SIGNATURE
+        )
+
+    def containing_function(
+        self, addr: int, region_start: int, region_end: int
+    ) -> Tuple[int, int]:
+        """The whole-function range around ``addr`` within a code region.
+
+        Returns ``(start, end)`` where ``start`` is the nearest preceding
+        aligned prologue and ``end`` the next aligned prologue (or the
+        region bounds when no signature is found).
+        """
+        addr = max(region_start, min(addr, region_end - 1))
+        # backwards: nearest aligned prologue at or before addr
+        start = region_start
+        candidate = addr & ~(FUNCTION_ALIGN - 1)
+        while candidate >= region_start:
+            if self._signature_at(candidate):
+                start = candidate
+                break
+            candidate -= FUNCTION_ALIGN
+        # forwards: next aligned prologue strictly after addr
+        end = region_end
+        candidate = (addr + FUNCTION_ALIGN) & ~(FUNCTION_ALIGN - 1)
+        while candidate < region_end:
+            if self._signature_at(candidate):
+                end = candidate
+                break
+            candidate += FUNCTION_ALIGN
+        return start, end
+
+
+class KernelView:
+    """One application's in-memory kernel view (UD2-filled shadow frames)."""
+
+    def __init__(
+        self,
+        index: int,
+        config: KernelViewConfig,
+        physmem: PhysicalMemory,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.physmem = physmem
+        self.finder = FunctionBoundaryFinder(physmem)
+        #: gpfn -> shadow hpfn for every covered kernel-code page
+        self.frames: Dict[int, int] = {}
+        #: (region_start, region_end) of every covered code region
+        self.regions: List[Tuple[int, int]] = []
+        self.loaded_bytes = 0
+        self.recovered_ranges: List[Tuple[int, int]] = []
+        #: EPTs this view is currently installed in (several, when
+        #: multiple vCPUs run the same application)
+        self.installed_epts: List[ExtendedPageTable] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_region(self, region_start: int, region_end: int) -> None:
+        """Cover a guest code region with fresh UD2-filled shadow frames."""
+        first = gva_to_gpa(region_start) >> 12
+        last = (gva_to_gpa(region_end) + PAGE_SIZE - 1) >> 12
+        count = last - first
+        if count <= 0:
+            return
+        hpfns = self.physmem.allocate_frames(count)
+        for offset, hpfn in enumerate(hpfns):
+            self.frames[first + offset] = hpfn
+            self.physmem.fill(hpfn << 12, PAGE_SIZE, UD2_BYTES)
+        self.regions.append((region_start, region_end))
+
+    def region_of(self, addr: int) -> Optional[Tuple[int, int]]:
+        for begin, end in self.regions:
+            if begin <= addr < end:
+                return begin, end
+        return None
+
+    def covers(self, addr: int) -> bool:
+        return (gva_to_gpa(addr) >> 12) in self.frames
+
+    def load_function_ranges(
+        self,
+        ranges: Iterable[Tuple[int, int]],
+        region: Tuple[int, int],
+        widen: bool = True,
+    ) -> None:
+        """Copy profiled ranges in, widened to whole functions by default.
+
+        ``widen=False`` loads the raw basic-block ranges instead -- the
+        ablation of the paper's III-B1 relaxation.  Expect both more
+        recovery traps (adjacent same-function code is missing) and
+        split-UD2 hazards at odd range boundaries.
+        """
+        region_start, region_end = region
+        for begin, end in ranges:
+            if not widen:
+                self.copy_original(begin, end)
+                continue
+            fn_start, _ = self.finder.containing_function(
+                begin, region_start, region_end
+            )
+            _, fn_end = self.finder.containing_function(
+                max(begin, end - 1), region_start, region_end
+            )
+            self.copy_original(fn_start, fn_end)
+
+    def copy_original(self, start: int, end: int) -> None:
+        """Copy original guest bytes ``[start, end)`` into the view frames."""
+        addr = start
+        while addr < end:
+            gpfn = gva_to_gpa(addr) >> 12
+            hpfn = self.frames.get(gpfn)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - offset, end - addr)
+            if hpfn is not None:
+                data = self.physmem.read(gva_to_gpa(addr), chunk)
+                self.physmem.write((hpfn << 12) | offset, data)
+                self.loaded_bytes += chunk
+            addr += chunk
+
+    # -- EPT wiring ------------------------------------------------------------------
+
+    @property
+    def installed(self) -> bool:
+        return bool(self.installed_epts)
+
+    def install(self, ept: ExtendedPageTable) -> None:
+        ept.map_frames(self.frames.items())
+        if ept not in self.installed_epts:
+            self.installed_epts.append(ept)
+
+    def uninstall(self, ept: ExtendedPageTable) -> None:
+        ept.unmap_frames(self.frames.keys())
+        if ept in self.installed_epts:
+            self.installed_epts.remove(ept)
+
+    def free(self) -> None:
+        """Release the view's shadow frames (view unload, III-B4)."""
+        for ept in list(self.installed_epts):
+            self.uninstall(ept)
+        self.physmem.free_frames(list(self.frames.values()))
+        self.frames.clear()
+        self.regions.clear()
+
+
+class ViewBuilder:
+    """Builds :class:`KernelView` objects from configs + guest state.
+
+    ``widen=False`` disables the whole-function loading relaxation
+    (ablation of Section III-B1).
+    """
+
+    def __init__(self, machine, widen: bool = True) -> None:
+        self.machine = machine
+        self.widen = widen
+
+    def build(self, index: int, config: KernelViewConfig) -> KernelView:
+        view = KernelView(index, config, self.machine.physmem)
+        image = self.machine.image
+        # base kernel text
+        base_region = (image.text_start, image.text_end)
+        view.add_region(*base_region)
+        base_ranges = config.profile.segments.get(BASE_KERNEL)
+        if base_ranges is not None:
+            view.load_function_ranges(base_ranges, base_region, widen=self.widen)
+        # modules, located through the guest module list (VMI)
+        introspector = self.machine.introspector
+        modules = {
+            mod.name: mod for mod in introspector.read_module_list()
+        }
+        for name, module in modules.items():
+            region = (module.base, module.base + module.size)
+            view.add_region(*region)
+            rel_ranges = config.profile.segments.get(name)
+            if rel_ranges is not None:
+                absolute = [
+                    (module.base + begin, module.base + end)
+                    for begin, end in rel_ranges
+                ]
+                view.load_function_ranges(absolute, region, widen=self.widen)
+        return view
+
+    def extend_for_module(self, view: KernelView, name: str) -> None:
+        """Cover a newly loaded module with UD2 frames (no profiled code).
+
+        Called when a module appears after the view was built; any use of
+        the module's code by the view's application will surface through
+        the recovery log -- exactly the rootkit-detection property of the
+        paper's Section IV-A2.
+        """
+        introspector = self.machine.introspector
+        for module in introspector.read_module_list():
+            if module.name != name:
+                continue
+            region_start = module.base
+            region_end = module.base + module.size
+            if view.region_of(region_start) is None:
+                view.add_region(region_start, region_end)
+                rel_ranges = view.config.profile.segments.get(name)
+                if rel_ranges is not None:
+                    absolute = [
+                        (region_start + begin, region_start + end)
+                        for begin, end in rel_ranges
+                    ]
+                    view.load_function_ranges(absolute, (region_start, region_end))
+            return

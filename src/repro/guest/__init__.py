@@ -1,0 +1,5 @@
+"""Whole-guest assembly: boot a simulated VM ready to run workloads."""
+
+from repro.guest.machine import Machine, boot_machine
+
+__all__ = ["Machine", "boot_machine"]

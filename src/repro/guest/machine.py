@@ -1,0 +1,200 @@
+"""Machine builder: physical memory + EPT + VCPU + kernel image + runtime.
+
+``boot_machine()`` produces a fully wired guest: the synthetic kernel is
+assembled into guest memory, the boot modules (jbd2, ext4, e1000) are
+loaded, the kernel page table covers text/data/stacks/module space, the
+idle task is running, and the hypervisor exit loop is connected.  From
+there, ``spawn()`` adds user processes and ``run()`` advances the world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.hypervisor.kvm import Hypervisor
+from repro.hypervisor.vcpu import Vcpu
+from repro.hypervisor.vmi import Introspector
+from repro.isa.assembler import Assembler, NameRegistry
+from repro.kernel.catalog import BASE_FUNCTIONS, MODULES
+from repro.kernel.image import KernelImage
+from repro.kernel.objects import Packet, Task
+from repro.kernel.runtime import KernelRuntime, Platform
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import (
+    KERNEL_BASE,
+    KERNEL_STACK_BASE,
+    KERNEL_TEXT_BASE,
+    MODULE_SPACE_BASE,
+    PAGE_SIZE,
+)
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+#: Guest-physical frame backing the shared user-mode stub page.
+_USER_STUB_GPA = 0x00090000
+#: The user stub: a few filler instructions, ``int 0x80``, jump back.
+_USER_STUB = bytes(
+    [0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0xCD, 0x80, 0xE9]
+) + (-13 & 0xFFFFFFFF).to_bytes(4, "little")
+
+_KERNEL_TEXT_MAP = 0x00400000  # 4 MiB of text mapping
+_KERNEL_DATA_BASE = 0xC1000000
+_KERNEL_DATA_MAP = 0x00040000  # 256 KiB of introspectable data
+_KERNEL_STACK_MAP = 0x00800000  # 8 MiB of kernel stacks
+_MODULE_SPACE_MAP = 0x00400000  # 4 MiB of module heap
+
+
+class Machine:
+    """A booted guest VM plus its hypervisor.
+
+    ``vcpu_count > 1`` boots an SMP guest (the paper's §V-C future work):
+    each vCPU owns its own EPT, so FACE-CHANGE performs *per-vCPU* kernel
+    view switching.
+    """
+
+    def __init__(self, platform: str = Platform.KVM, vcpu_count: int = 1) -> None:
+        self.platform = platform
+        self.vcpu_count = max(1, vcpu_count)
+        self.physmem = PhysicalMemory()
+        self.hypervisor = Hypervisor(self.physmem)
+        self.epts: List[ExtendedPageTable] = [
+            ExtendedPageTable() for _ in range(self.vcpu_count)
+        ]
+        self.names = NameRegistry()
+        self.assembler = Assembler(self.names)
+        self.image = KernelImage(self.physmem, self.assembler)
+        self.kernel_page_table = GuestPageTable()
+        self.runtime: Optional[KernelRuntime] = None
+        self.vcpus: List[Vcpu] = []
+        self.introspector: Optional[Introspector] = None
+
+    @property
+    def ept(self) -> ExtendedPageTable:
+        """CPU 0's EPT (the only one on a uniprocessor guest)."""
+        return self.epts[0]
+
+    @property
+    def vcpu(self) -> Optional[Vcpu]:
+        return self.vcpus[0] if self.vcpus else None
+
+    # -- boot -----------------------------------------------------------------
+
+    def boot(self) -> "Machine":
+        self.image.build_base(BASE_FUNCTIONS)
+        for name, functions in MODULES.items():
+            self.image.load_module(name, functions)
+        self._map_kernel_regions()
+        self._install_user_stub()
+        self.runtime = KernelRuntime(
+            self.image,
+            self.names,
+            self.kernel_page_table,
+            platform=self.platform,
+            num_cpus=self.vcpu_count,
+        )
+        self.hypervisor.set_idle_handler(self.runtime.on_idle)
+        for cpu_id in range(self.vcpu_count):
+            mmu = Mmu(self.physmem, self.epts[cpu_id])
+            vcpu = Vcpu(cpu_id, mmu, self.runtime)
+            self.vcpus.append(vcpu)
+            self.hypervisor.attach_vcpu(vcpu, self.epts[cpu_id])
+            self.runtime.attach_vcpu(vcpu)
+        self.runtime.set_active_vcpu(self.vcpus[0])
+        self.introspector = Introspector(self.vcpus[0].mmu)
+        return self
+
+    def _map_linear(self, gva_start: int, length: int) -> None:
+        for offset in range(0, length, PAGE_SIZE):
+            gva = gva_start + offset
+            self.kernel_page_table.map_page(gva, gva - KERNEL_BASE)
+
+    def _map_kernel_regions(self) -> None:
+        self._map_linear(KERNEL_TEXT_BASE, _KERNEL_TEXT_MAP)
+        self._map_linear(_KERNEL_DATA_BASE, _KERNEL_DATA_MAP)
+        self._map_linear(KERNEL_STACK_BASE, _KERNEL_STACK_MAP)
+        self._map_linear(MODULE_SPACE_BASE, _MODULE_SPACE_MAP)
+
+    def _install_user_stub(self) -> None:
+        self.physmem.write(_USER_STUB_GPA, _USER_STUB)
+
+    # -- conveniences ------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        assert self.vcpu is not None
+        return self.vcpu.cycles
+
+    def spawn(
+        self,
+        comm: str,
+        driver_factory: Callable[[], Generator[Any, Any, None]],
+        cpu: Optional[int] = None,
+    ) -> Task:
+        assert self.runtime is not None
+        return self.runtime.create_task(comm, driver_factory, cpu=cpu)
+
+    def inject_packet(
+        self,
+        port: int,
+        nbytes: int,
+        delay: int = 0,
+        kind: str = "dgram",
+        conn_id: Optional[int] = None,
+    ) -> None:
+        """Queue an inbound packet ``delay`` cycles from now."""
+        assert self.runtime is not None
+        packet = Packet(
+            port=port,
+            nbytes=nbytes,
+            arrival_cycles=self.cycles + delay,
+            kind=kind,
+        )
+        if conn_id is not None:
+            packet.conn_id = conn_id  # type: ignore[attr-defined]
+        self.runtime.net.inject(packet)
+        self.runtime.refresh_next_event()
+
+    def inject_keystrokes(self, nchars: int, delay: int = 0) -> None:
+        assert self.runtime is not None
+        self.runtime.tty.inject_keystrokes(self.cycles + delay, nchars)
+        self.runtime.refresh_next_event()
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+        step_budget: int = 200_000,
+        max_steps: int = 100_000,
+    ) -> None:
+        """Run the guest until ``until()`` or the cycle bound is reached.
+
+        On an SMP guest the vCPUs execute in interleaved time slices
+        (round-robin, ``step_budget`` instructions each).
+        """
+        assert self.vcpus and self.runtime is not None
+        budget = max(1000, step_budget // self.vcpu_count)
+        for _ in range(max_steps):
+            if until is not None and until():
+                return
+            if max_cycles is not None and self.vcpus[0].cycles >= max_cycles:
+                return
+            for vcpu in self.vcpus:
+                self.runtime.set_active_vcpu(vcpu)
+                self.hypervisor.run(vcpu, budget=budget)
+            self.runtime.set_active_vcpu(self.vcpus[0])
+        raise RuntimeError("machine run exceeded max_steps")
+
+    def run_until_finished(self, tasks, max_cycles: int = 500_000_000) -> None:
+        """Run until every task in ``tasks`` has exited."""
+        self.run(
+            max_cycles=max_cycles,
+            until=lambda: all(t.finished for t in tasks),
+        )
+
+
+def boot_machine(platform: str = Platform.KVM, vcpu_count: int = 1) -> Machine:
+    """Build and boot a guest VM (optionally SMP)."""
+    return Machine(platform=platform, vcpu_count=vcpu_count).boot()

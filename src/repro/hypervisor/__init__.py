@@ -1,0 +1,23 @@
+"""Simulated KVM-like hypervisor: VCPU, VM exits, EPT control and VMI.
+
+The virtual CPU fetches, decodes and executes real bytes through the
+two-stage MMU, with a QEMU-style decoded-block cache.  The hypervisor
+registers *address traps* (on ``context_switch`` and ``resume_userspace``)
+and receives ``#UD`` VM exits -- the two interception points FACE-CHANGE
+is built on.
+"""
+
+from repro.hypervisor.vmexit import VmExit, VmExitReason
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu, VcpuError
+from repro.hypervisor.kvm import Hypervisor
+from repro.hypervisor.vmi import Introspector
+
+__all__ = [
+    "Hypervisor",
+    "Introspector",
+    "SemanticsBridge",
+    "Vcpu",
+    "VcpuError",
+    "VmExit",
+    "VmExitReason",
+]

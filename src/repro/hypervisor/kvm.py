@@ -1,0 +1,156 @@
+"""The hypervisor: exit dispatch, trap registration and cost accounting.
+
+This is the component FACE-CHANGE's runtime phase plugs into (the paper
+implements it inside kvm-kmod).  It owns the physical memory and one EPT
+per VCPU, routes VM exits to registered handlers, and charges the
+world-switch cost that makes the performance evaluation meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hypervisor.vcpu import Vcpu
+from repro.hypervisor.vmexit import VmExit, VmExitReason
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.physmem import PhysicalMemory
+
+#: Cycles charged to the guest for every VM exit (world switch + handler).
+VMEXIT_COST_CYCLES = 3500
+
+TrapHandler = Callable[[Vcpu, VmExit], None]
+#: Returns True when the #UD was handled (code recovered) and the guest
+#: may resume at the same rip; False crashes the guest.
+InvalidOpcodeHandler = Callable[[Vcpu, VmExit], bool]
+IdleHandler = Callable[[Vcpu], None]
+
+
+class GuestCrash(Exception):
+    """The guest hit an unhandled fault (would panic on real hardware)."""
+
+    def __init__(self, exit_: VmExit):
+        super().__init__(f"unhandled guest fault: {exit_}")
+        self.exit = exit_
+
+
+@dataclass
+class ExitStats:
+    """Aggregate VM-exit accounting, consumed by the benchmarks."""
+
+    address_traps: int = 0
+    invalid_opcode_traps: int = 0
+    hlt_exits: int = 0
+    per_trap_address: Dict[int, int] = field(default_factory=dict)
+
+
+class Hypervisor:
+    """KVM-like host side: owns memory, EPTs and the exit loop."""
+
+    def __init__(self, physmem: Optional[PhysicalMemory] = None) -> None:
+        self.physmem = physmem if physmem is not None else PhysicalMemory()
+        self.vcpus: List[Vcpu] = []
+        self.epts: List[ExtendedPageTable] = []
+        self._trap_handlers: Dict[int, TrapHandler] = {}
+        self._trap_armed: Dict[int, set] = {}
+        self._invalid_opcode_handler: Optional[InvalidOpcodeHandler] = None
+        self._idle_handler: Optional[IdleHandler] = None
+        self.stats = ExitStats()
+        #: cycles charged for hypervisor work, attributed to the guest
+        self.overhead_cycles = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_vcpu(self, vcpu: Vcpu, ept: ExtendedPageTable) -> None:
+        self.vcpus.append(vcpu)
+        self.epts.append(ept)
+        for address in self._trap_handlers:
+            if None in self._trap_armed.get(address, set()):
+                vcpu.arm_trap(address)
+
+    def register_address_trap(
+        self,
+        address: int,
+        handler: TrapHandler,
+        vcpu: Optional[Vcpu] = None,
+    ) -> None:
+        """Trap guest fetches of ``address`` (on one vCPU or on all)."""
+        self._trap_handlers[address] = handler
+        armed = self._trap_armed.setdefault(address, set())
+        if vcpu is None:
+            armed.add(None)  # sentinel: armed everywhere
+            for each in self.vcpus:
+                each.arm_trap(address)
+        else:
+            armed.add(vcpu.cpu_id)
+            vcpu.arm_trap(address)
+
+    def unregister_address_trap(
+        self, address: int, vcpu: Optional[Vcpu] = None
+    ) -> None:
+        armed = self._trap_armed.get(address, set())
+        if vcpu is None:
+            armed.clear()
+            for each in self.vcpus:
+                each.disarm_trap(address)
+        else:
+            armed.discard(vcpu.cpu_id)
+            vcpu.disarm_trap(address)
+        if not armed:
+            self._trap_handlers.pop(address, None)
+            self._trap_armed.pop(address, None)
+
+    def set_invalid_opcode_handler(
+        self, handler: Optional[InvalidOpcodeHandler]
+    ) -> None:
+        self._invalid_opcode_handler = handler
+
+    def set_idle_handler(self, handler: IdleHandler) -> None:
+        self._idle_handler = handler
+
+    def charge(self, vcpu: Vcpu, cycles: int) -> None:
+        """Attribute hypervisor work to the guest's virtual clock."""
+        vcpu.cycles += cycles
+        self.overhead_cycles += cycles
+
+    # -- exit loop ---------------------------------------------------------------
+
+    def run(self, vcpu: Vcpu, budget: int = 1_000_000) -> None:
+        """Run ``vcpu`` until the instruction budget is consumed.
+
+        VM exits are dispatched transparently; only an unhandled fault
+        stops execution (raising :class:`GuestCrash`).
+        """
+        start = vcpu.instructions
+        while True:
+            executed = vcpu.instructions - start
+            if executed >= budget:
+                return
+            exit_ = vcpu.run(budget=budget - executed)
+            if exit_.reason is VmExitReason.BUDGET:
+                return
+            self.charge(vcpu, VMEXIT_COST_CYCLES)
+            if exit_.reason is VmExitReason.ADDRESS_TRAP:
+                self.stats.address_traps += 1
+                self.stats.per_trap_address[exit_.rip] = (
+                    self.stats.per_trap_address.get(exit_.rip, 0) + 1
+                )
+                handler = self._trap_handlers.get(exit_.rip)
+                if handler is None:
+                    raise GuestCrash(exit_)
+                handler(vcpu, exit_)
+                vcpu.resume_past_trap()
+            elif exit_.reason is VmExitReason.INVALID_OPCODE:
+                self.stats.invalid_opcode_traps += 1
+                handler = self._invalid_opcode_handler
+                if handler is None or not handler(vcpu, exit_):
+                    raise GuestCrash(exit_)
+            elif exit_.reason is VmExitReason.HLT:
+                self.stats.hlt_exits += 1
+                if self._idle_handler is None:
+                    raise GuestCrash(exit_)
+                self._idle_handler(vcpu)
+            elif exit_.reason is VmExitReason.ERROR:
+                raise GuestCrash(exit_)
+            else:  # pragma: no cover - exhaustive
+                raise GuestCrash(exit_)

@@ -1,0 +1,404 @@
+"""The virtual CPU: fetch/decode/execute with a decoded-block cache.
+
+Execution is byte-accurate: every instruction is fetched through the
+guest page table and the EPT, so swapping EPT entries (kernel view
+switching) or writing recovered code into a view frame takes effect on
+the very next fetch.  Blocks are decoded once per (host frame, frame
+version, offset) and cached, mirroring how QEMU's translation-block
+cache works -- and mirroring why the paper's profiler operates at basic
+block granularity.
+
+Data-dependent control flow (predicate evaluation, dispatch-slot
+resolution, semantic actions, the architectural context-switch point and
+interrupt entry/exit) is delegated to a :class:`SemanticsBridge`
+implemented by the guest kernel runtime.  On real hardware these are
+ordinary register/memory-driven branches; the bridge is the simulation
+seam that keeps the byte-level machinery honest while the OS logic lives
+in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.isa.decoder import decode
+from repro.isa.opcodes import Instr, Op
+from repro.memory.layout import PAGE_SIZE, is_kernel_address
+from repro.memory.mmu import Mmu, TranslationError
+from repro.hypervisor.vmexit import VmExit, VmExitReason
+
+#: Hard cap on instructions decoded into a single block.  Filler runs are
+#: fused into a single step at decode time, so a large cap keeps big
+#: synthetic function bodies cheap to execute.
+_MAX_BLOCK_INSNS = 4096
+#: Ops that terminate a decoded block (control transfer or host interaction).
+_BLOCK_TERMINATORS = frozenset(
+    {
+        Op.CALL,
+        Op.JMP,
+        Op.JZ,
+        Op.DISPATCH,
+        Op.RET,
+        Op.IRET,
+        Op.INT,
+        Op.UD2,
+        Op.INVALID,
+        Op.HLT,
+        Op.CTXSW,
+    }
+)
+
+
+class VcpuError(Exception):
+    """Internal inconsistency (bad bridge wiring, broken guest image)."""
+
+
+class SemanticsBridge:
+    """Interface the guest kernel runtime provides to the VCPU.
+
+    The default implementations raise, so a partially wired machine fails
+    loudly instead of silently misbehaving.
+    """
+
+    def eval_pred(self, pred_id: int) -> bool:
+        raise VcpuError(f"unhandled predicate {pred_id}")
+
+    def do_act(self, act_id: int) -> None:
+        raise VcpuError(f"unhandled action {act_id}")
+
+    def resolve_slot(self, slot_id: int) -> int:
+        raise VcpuError(f"unhandled dispatch slot {slot_id}")
+
+    def on_ctxsw(self, vcpu: "Vcpu") -> None:
+        raise VcpuError("unhandled context switch")
+
+    def on_software_interrupt(self, vcpu: "Vcpu", vector: int) -> None:
+        raise VcpuError(f"unhandled software interrupt {vector:#x}")
+
+    def on_iret(self, vcpu: "Vcpu") -> None:
+        raise VcpuError("unhandled iret")
+
+    def interrupt_pending(self, vcpu: "Vcpu") -> bool:
+        return False
+
+    def deliver_interrupt(self, vcpu: "Vcpu") -> None:
+        raise VcpuError("unhandled interrupt delivery")
+
+
+#: A decoded block: the non-terminal steps plus the terminator.
+#: Steps are ("fill", n_insns, n_bytes) fusions or plain Instr objects.
+_Block = Tuple[List[object], Optional[Instr], int]
+
+#: Optional per-block execution tracer: (start_gva, end_gva) of the block
+#: about to execute.  Used by the profiling-phase component.
+BlockTracer = Callable[[int, int], None]
+
+
+class Vcpu:
+    """A single virtual CPU."""
+
+    def __init__(self, cpu_id: int, mmu: Mmu, bridge: SemanticsBridge) -> None:
+        self.cpu_id = cpu_id
+        self.mmu = mmu
+        self.bridge = bridge
+        # architectural state
+        self.eip = 0
+        self.esp = 0
+        self.ebp = 0
+        self.eax = 0
+        self.zf = False
+        self.if_enabled = True
+        self.user_mode = True
+        # accounting
+        self.cycles = 0
+        self.instructions = 0
+        #: count of silently executed ``0b 0f`` misdecodes -- the corruption
+        #: instant recovery exists to prevent; observable only by tests.
+        self.corruption_executed = 0
+        # hypervisor wiring
+        self.trap_addresses: Set[int] = set()
+        self._skip_trap_once: Optional[int] = None
+        self.block_tracer: Optional[BlockTracer] = None
+        # decoded-block cache
+        self._block_cache: Dict[Tuple[int, int, int], _Block] = {}
+        # one-entry stack page cache: (vfn, pt_gen, ept_gen, frame)
+        self._stack_cache = None
+
+    # -- register/stack helpers ----------------------------------------------
+    #
+    # push/pop are the hottest memory operations (every call/ret/frame).
+    # They use a one-entry stack-page cache, invalidated by generation
+    # checks, and fall back to the full MMU path on page misses/crossings.
+
+    def _stack_frame(self, addr: int):
+        mmu = self.mmu
+        vfn = addr >> 12
+        cache = self._stack_cache
+        if (
+            cache is not None
+            and cache[0] == vfn
+            and cache[1] == mmu.cr3.generation
+            and cache[2] == mmu.ept.generation
+        ):
+            return cache[3]
+        _, frame = mmu.resolve_page(addr)
+        self._stack_cache = (vfn, mmu.cr3.generation, mmu.ept.generation, frame)
+        return frame
+
+    def push(self, value: int) -> None:
+        esp = (self.esp - 4) & 0xFFFFFFFF
+        self.esp = esp
+        offset = esp & 0xFFF
+        if offset <= 0xFFC:
+            frame = self._stack_frame(esp)
+            value &= 0xFFFFFFFF
+            frame[offset] = value & 0xFF
+            frame[offset + 1] = (value >> 8) & 0xFF
+            frame[offset + 2] = (value >> 16) & 0xFF
+            frame[offset + 3] = (value >> 24) & 0xFF
+        else:
+            self.mmu.write_u32(esp, value)
+
+    def pop(self) -> int:
+        esp = self.esp
+        self.esp = (esp + 4) & 0xFFFFFFFF
+        offset = esp & 0xFFF
+        if offset <= 0xFFC:
+            frame = self._stack_frame(esp)
+            return (
+                frame[offset]
+                | (frame[offset + 1] << 8)
+                | (frame[offset + 2] << 16)
+                | (frame[offset + 3] << 24)
+            )
+        return self.mmu.read_u32(esp)
+
+    def read_stack_u32(self, addr: int) -> int:
+        """Aligned stack read used by the hypervisor's backtracer."""
+        return self.mmu.read_u32(addr)
+
+    def snapshot_exit(self, reason: VmExitReason, detail: str = None) -> VmExit:
+        return VmExit(
+            reason=reason, rip=self.eip, rbp=self.ebp, rsp=self.esp, detail=detail
+        )
+
+    def arm_trap(self, address: int) -> None:
+        """Register a fetch trap at ``address`` (hypervisor interception)."""
+        self.trap_addresses.add(address)
+
+    def disarm_trap(self, address: int) -> None:
+        self.trap_addresses.discard(address)
+
+    def resume_past_trap(self) -> None:
+        """Resume after an ADDRESS_TRAP without immediately re-trapping."""
+        self._skip_trap_once = self.eip
+
+    def flush_block_cache(self) -> None:
+        self._block_cache.clear()
+
+    # -- block decode ----------------------------------------------------------
+
+    def _decode_block(
+        self, frame: bytearray, offset: int, limit: Optional[int] = None
+    ) -> _Block:
+        steps: List[object] = []
+        terminator: Optional[Instr] = None
+        pos = offset
+        fill_insns = 0
+        fill_bytes = 0
+        count = 0
+        data = bytes(frame)
+        stop_at = PAGE_SIZE if limit is None else min(PAGE_SIZE, offset + limit)
+        while count < _MAX_BLOCK_INSNS:
+            if pos >= stop_at:
+                break
+            if pos + 8 > PAGE_SIZE:
+                # Near the page end a truncated buffer cannot be decoded
+                # reliably (an instruction may span pages, as the paper
+                # notes for split kernel functions); leave the tail to the
+                # cross-page slow path.
+                break
+            instr = decode(data, pos)
+            if instr.op is Op.FILL:
+                fill_insns += 1
+                fill_bytes += instr.length
+                pos += instr.length
+                count += 1
+                continue
+            if fill_insns:
+                steps.append(("fill", fill_insns, fill_bytes))
+                fill_insns = 0
+                fill_bytes = 0
+            if instr.op in _BLOCK_TERMINATORS:
+                terminator = instr
+                pos += instr.length
+                break
+            steps.append(instr)
+            pos += instr.length
+            count += 1
+        if fill_insns:
+            steps.append(("fill", fill_insns, fill_bytes))
+        # block_len covers the terminator too, so tracers see the full
+        # basic-block byte range; terminator execution advances eip itself.
+        block_len = pos - offset
+        return (steps, terminator, block_len)
+
+    def _fetch_block(self) -> Tuple[_Block, bool]:
+        """Return (block, is_kernel) for the current ``eip``."""
+        hpfn, frame = self.mmu.resolve_page(self.eip)
+        version = self.mmu.physmem.version(hpfn)
+        offset = self.eip & (PAGE_SIZE - 1)
+        # A block must end *before* any armed trap address so the trap
+        # check at the next block boundary can fire mid-stream (the same
+        # reason QEMU splits translation blocks at breakpoints).
+        limit = None
+        if self.trap_addresses:
+            start = self.eip
+            for trap in self.trap_addresses:
+                if start < trap and (limit is None or trap - start < limit):
+                    if trap - start < PAGE_SIZE:
+                        limit = trap - start
+        key = (hpfn, version, offset, limit)
+        block = self._block_cache.get(key)
+        if block is None:
+            block = self._decode_block(frame, offset, limit)
+            if len(self._block_cache) > 65536:
+                self._block_cache.clear()
+            self._block_cache[key] = block
+        return block, is_kernel_address(self.eip)
+
+    def _fetch_cross_page(self) -> Instr:
+        """Slow path: decode one instruction that may span two pages."""
+        raw = self.mmu.read(self.eip, 8)
+        return decode(raw, 0)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, budget: int = 1_000_000) -> VmExit:
+        """Execute until a VM exit occurs or ``budget`` instructions run."""
+        executed = 0
+        while executed < budget:
+            # interrupt window, checked at block boundaries
+            if self.if_enabled and self.bridge.interrupt_pending(self):
+                self.bridge.deliver_interrupt(self)
+            if self.eip in self.trap_addresses:
+                if self._skip_trap_once == self.eip:
+                    self._skip_trap_once = None
+                else:
+                    return self.snapshot_exit(VmExitReason.ADDRESS_TRAP)
+            else:
+                self._skip_trap_once = None
+            try:
+                block, _in_kernel = self._fetch_block()
+            except TranslationError as exc:
+                return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+            steps, terminator, block_len = block
+            if self.block_tracer is not None:
+                self.block_tracer(self.eip, self.eip + block_len)
+            try:
+                exit_ = self._execute_block(steps, terminator, block_len)
+            except TranslationError as exc:
+                return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+            executed += max(1, len(steps) + (1 if terminator else 0))
+            if exit_ is not None:
+                return exit_
+        return self.snapshot_exit(VmExitReason.BUDGET)
+
+    def _execute_block(
+        self, steps: List[object], terminator: Optional[Instr], block_len: int
+    ) -> Optional[VmExit]:
+        for step in steps:
+            if isinstance(step, tuple):
+                _, n_insns, n_bytes = step
+                self.eip = (self.eip + n_bytes) & 0xFFFFFFFF
+                self.cycles += n_insns
+                self.instructions += n_insns
+                continue
+            self._execute_simple(step)
+        if terminator is None:
+            if block_len == 0:
+                # Could not decode anything within this page: the
+                # instruction spans pages.  Execute it via the slow path.
+                instr = self._fetch_cross_page()
+                if instr.op in _BLOCK_TERMINATORS:
+                    return self._execute_terminator(instr)
+                self._execute_simple(instr)
+            return None
+        return self._execute_terminator(terminator)
+
+    def _execute_simple(self, instr: Instr) -> None:
+        op = instr.op
+        self.cycles += 1
+        self.instructions += 1
+        if op is Op.PUSH_EBP:
+            self.push(self.ebp)
+        elif op is Op.MOV_EBP_ESP:
+            self.ebp = self.esp
+        elif op is Op.PUSH_IMM:
+            self.push(instr.operand or 0)
+        elif op is Op.PRED:
+            # ZF set => the JZ that follows skips the guarded body.
+            self.zf = not self.bridge.eval_pred(instr.operand or 0)
+        elif op is Op.ACT:
+            self.bridge.do_act(instr.operand or 0)
+        elif op is Op.LEAVE:
+            self.esp = self.ebp
+            self.ebp = self.pop()
+        elif op is Op.OR_MIS:
+            # The silent misdecode of a split UD2 stream.
+            self.corruption_executed += 1
+        elif op is Op.CLI:
+            self.if_enabled = False
+        elif op is Op.STI:
+            self.if_enabled = True
+        elif op is Op.FILL:
+            pass
+        else:  # pragma: no cover - decoder/terminator partition is fixed
+            raise VcpuError(f"non-simple op in block body: {op}")
+        self.eip = (self.eip + instr.length) & 0xFFFFFFFF
+
+    def _execute_terminator(self, instr: Instr) -> Optional[VmExit]:
+        op = instr.op
+        self.cycles += 1
+        self.instructions += 1
+        if op is Op.CALL:
+            self.push((self.eip + instr.length) & 0xFFFFFFFF)
+            self.eip = (self.eip + instr.length + (instr.operand or 0)) & 0xFFFFFFFF
+            return None
+        if op is Op.JMP:
+            self.eip = (self.eip + instr.length + (instr.operand or 0)) & 0xFFFFFFFF
+            return None
+        if op is Op.JZ:
+            if self.zf:
+                self.eip = (
+                    self.eip + instr.length + (instr.operand or 0)
+                ) & 0xFFFFFFFF
+            else:
+                self.eip = (self.eip + instr.length) & 0xFFFFFFFF
+            return None
+        if op is Op.DISPATCH:
+            target = self.bridge.resolve_slot(instr.operand or 0)
+            self.push((self.eip + instr.length) & 0xFFFFFFFF)
+            self.eip = target & 0xFFFFFFFF
+            return None
+        if op is Op.RET:
+            self.eip = self.pop()
+            return None
+        if op is Op.IRET:
+            self.bridge.on_iret(self)
+            return None
+        if op is Op.INT:
+            self.eip = (self.eip + instr.length) & 0xFFFFFFFF
+            self.bridge.on_software_interrupt(self, instr.operand or 0)
+            return None
+        if op is Op.CTXSW:
+            self.eip = (self.eip + instr.length) & 0xFFFFFFFF
+            self.bridge.on_ctxsw(self)
+            return None
+        if op is Op.HLT:
+            self.eip = (self.eip + instr.length) & 0xFFFFFFFF
+            return self.snapshot_exit(VmExitReason.HLT)
+        if op in (Op.UD2, Op.INVALID):
+            # #UD: eip stays at the faulting instruction, like hardware.
+            return self.snapshot_exit(VmExitReason.INVALID_OPCODE)
+        raise VcpuError(f"unexpected terminator {op}")  # pragma: no cover

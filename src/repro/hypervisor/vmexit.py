@@ -1,0 +1,41 @@
+"""VM exit descriptions returned by :meth:`repro.hypervisor.vcpu.Vcpu.run`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class VmExitReason(enum.Enum):
+    """Why the VCPU stopped executing guest code."""
+
+    #: Fetch reached a hypervisor-registered trap address (used for the
+    #: ``context_switch`` and ``resume_userspace`` traps).
+    ADDRESS_TRAP = "address_trap"
+    #: ``UD2`` (or an undecodable byte) raised ``#UD`` -- the kernel-view
+    #: boundary violation FACE-CHANGE's recovery handles.
+    INVALID_OPCODE = "invalid_opcode"
+    #: The guest executed ``hlt`` (idle); the host may advance virtual time.
+    HLT = "hlt"
+    #: The instruction budget given to ``run()`` was exhausted.
+    BUDGET = "budget"
+    #: Unrecoverable guest error (translation failure, stack fault).
+    ERROR = "error"
+
+
+@dataclass
+class VmExit:
+    """A single VM exit: the reason plus the faulting state snapshot."""
+
+    reason: VmExitReason
+    rip: int = 0
+    rbp: int = 0
+    rsp: int = 0
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        text = f"{self.reason.value} @ {self.rip:#010x}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text

@@ -1,0 +1,75 @@
+"""Virtual machine introspection: parsing guest memory from the host.
+
+FACE-CHANGE is guest-transparent: everything it learns about the guest --
+which process is about to run (``READ_PROC_INFO`` in Algorithm 1), where
+each kernel module is loaded -- it learns by parsing guest kernel data
+structures out of raw memory.  The simulated kernel maintains the same
+structures at fixed, kernel-published addresses (see
+:mod:`repro.memory.layout` and :mod:`repro.kernel.image`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.memory.mmu import Mmu
+
+#: Guest kernel data region used for introspectable structures.
+#: One record per CPU (like per-cpu ``current`` on real SMP kernels).
+CURRENT_TASK_ADDR = 0xC1000000
+#: Layout per record: pid u32, comm char[16].
+CURRENT_TASK_SIZE = 20
+#: Stride between per-CPU current-task records.
+CURRENT_TASK_STRIDE = 32
+MODULE_LIST_HEAD_ADDR = 0xC1000100
+#: Module descriptor: name char[24], base u32, size u32, next u32.
+MODULE_DESC_SIZE = 36
+
+
+@dataclass(frozen=True)
+class GuestProcessInfo:
+    """What the hypervisor can learn about the process being scheduled."""
+
+    pid: int
+    comm: str
+
+
+@dataclass(frozen=True)
+class GuestModuleInfo:
+    """One entry of the guest's kernel module list."""
+
+    name: str
+    base: int
+    size: int
+
+
+class Introspector:
+    """Reads guest kernel structures through a VCPU's MMU."""
+
+    def __init__(self, mmu: Mmu) -> None:
+        self.mmu = mmu
+
+    def read_current_process(self, cpu: int = 0) -> GuestProcessInfo:
+        """Parse the guest's per-CPU "current task" record (pid + comm)."""
+        addr = CURRENT_TASK_ADDR + cpu * CURRENT_TASK_STRIDE
+        raw = self.mmu.read(addr, CURRENT_TASK_SIZE)
+        pid = struct.unpack_from("<I", raw, 0)[0]
+        comm = raw[4:20].split(b"\x00", 1)[0].decode("ascii", "replace")
+        return GuestProcessInfo(pid=pid, comm=comm)
+
+    def read_module_list(self) -> List[GuestModuleInfo]:
+        """Walk the guest's module list (like reading ``modules`` in Linux)."""
+        modules: List[GuestModuleInfo] = []
+        head = self.mmu.read_u32(MODULE_LIST_HEAD_ADDR)
+        ptr = head
+        seen = set()
+        while ptr and ptr not in seen:
+            seen.add(ptr)
+            raw = self.mmu.read(ptr, MODULE_DESC_SIZE)
+            name = raw[0:24].split(b"\x00", 1)[0].decode("ascii", "replace")
+            base, size, nxt = struct.unpack_from("<III", raw, 24)
+            modules.append(GuestModuleInfo(name=name, base=base, size=size))
+            ptr = nxt
+        return modules

@@ -1,0 +1,73 @@
+"""Miniature x86-subset instruction set used by the simulated guest.
+
+The FACE-CHANGE mechanisms operate on raw bytes: kernel views are built by
+filling pages with the two-byte ``UD2`` opcode (``0f 0b``), function
+boundaries are found by scanning for the prologue signature ``55 89 e5``
+(``push ebp; mov ebp, esp``), and the lazy/instant recovery distinction
+hinges on whether a return address is even (lands on ``0f 0b`` -> traps) or
+odd (lands on ``0b 0f`` -> silently misdecodes as an ``or`` instruction).
+This package therefore defines a byte-accurate, variable-length encoding
+that preserves all of those properties.
+
+Modules
+-------
+``opcodes``
+    Opcode constants, the :class:`~repro.isa.opcodes.Instr` decoded form and
+    instruction-length metadata.
+``assembler``
+    A tiny statement IR (:class:`~repro.isa.assembler.Work`,
+    :class:`~repro.isa.assembler.Call`, ...) and the assembler that lowers a
+    kernel function body into bytes plus relocations.
+``decoder``
+    The byte decoder used by the virtual CPU's fetch stage and by the
+    basic-block cache.
+"""
+
+from repro.isa.opcodes import (
+    Instr,
+    Op,
+    PROLOGUE_SIGNATURE,
+    UD2_BYTES,
+)
+from repro.isa.assembler import (
+    Act,
+    AssembledFunction,
+    Assembler,
+    Call,
+    Cond,
+    CtxSwitch,
+    Dispatch,
+    FunctionBody,
+    Halt,
+    Iret,
+    Jump,
+    Relocation,
+    Ret,
+    While,
+    Work,
+)
+from repro.isa.decoder import DecodeError, decode
+
+__all__ = [
+    "Act",
+    "AssembledFunction",
+    "Assembler",
+    "Call",
+    "Cond",
+    "CtxSwitch",
+    "DecodeError",
+    "Dispatch",
+    "FunctionBody",
+    "Halt",
+    "Instr",
+    "Iret",
+    "Jump",
+    "Op",
+    "PROLOGUE_SIGNATURE",
+    "Relocation",
+    "Ret",
+    "UD2_BYTES",
+    "While",
+    "Work",
+    "decode",
+]

@@ -1,0 +1,393 @@
+"""Statement IR and assembler for synthetic kernel functions.
+
+Kernel functions in the simulated guest are written in a tiny statement IR
+(:class:`Work`, :class:`Call`, :class:`Cond`, ...) and lowered to real
+bytes.  The lowering produces standard frames::
+
+    55                      push ebp
+    89 e5                   mov ebp, esp
+    ...body...
+    c9                      leave
+    c3                      ret
+
+so that the hypervisor-side stack walker (``BACK_TRACE`` in the paper's
+Algorithm 1) can follow the ``ebp`` chain, and so that FACE-CHANGE's
+function-boundary search finds the ``55 89 e5`` header signature.
+
+Filler bytes inside :class:`Work` are chosen deterministically from the
+function's name, mixing 1/2/3/4-byte instructions, which naturally places
+call sites and return addresses at both even and odd addresses -- a
+property the lazy/instant recovery logic depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.opcodes import (
+    FILLER_2,
+    FILLER_3,
+    FILLER_4,
+    OP_ACT_SECOND,
+    OP_CLI,
+    OP_CTXSW,
+    OP_HLT,
+    OP_INC_EAX,
+    OP_IRET,
+    OP_JMP32,
+    OP_LEAVE,
+    OP_NOP,
+    OP_PRED,
+    OP_RET,
+    OP_STI,
+    OP_TWO_BYTE,
+    PROLOGUE_SIGNATURE,
+)
+
+# --- statement IR ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Work:
+    """``nbytes`` of side-effect-free filler (simulated computation)."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Call:
+    """Direct ``call`` to another kernel function by symbol name."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Direct ``jmp`` to another symbol (tail call / detour)."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Indirect call through a named dispatch slot.
+
+    The slot's target is resolved at run time by the kernel's semantic
+    layer (e.g. the syscall table, a VFS file_operations table, or the
+    clocksource read hook).
+    """
+
+    slot: str
+
+
+@dataclass(frozen=True)
+class Act:
+    """Invoke a named semantic action (side effects on kernel state)."""
+
+    action: str
+
+
+@dataclass(frozen=True)
+class Cond:
+    """Execute ``body`` only when the named predicate is true."""
+
+    pred: str
+    body: Tuple["Stmt", ...]
+
+    def __init__(self, pred: str, body: Sequence["Stmt"]):
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class While:
+    """Repeat ``body`` while the named predicate is true."""
+
+    pred: str
+    body: Tuple["Stmt", ...]
+
+    def __init__(self, pred: str, body: Sequence["Stmt"]):
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class Ret:
+    """Explicit early return (frames also return implicitly at the end)."""
+
+
+@dataclass(frozen=True)
+class Iret:
+    """Return from interrupt/syscall to the interrupted context."""
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Idle instruction (used by the idle task)."""
+
+
+@dataclass(frozen=True)
+class CtxSwitch:
+    """Architectural context-switch point inside ``context_switch``."""
+
+
+@dataclass(frozen=True)
+class Cli:
+    """Disable interrupt delivery."""
+
+
+@dataclass(frozen=True)
+class Sti:
+    """Enable interrupt delivery."""
+
+
+Stmt = Union[
+    Work, Call, Jump, Dispatch, Act, Cond, While, Ret, Iret, Halt, CtxSwitch, Cli, Sti
+]
+
+
+@dataclass(frozen=True)
+class FunctionBody:
+    """A kernel function before layout: name, frame flag and statements."""
+
+    name: str
+    stmts: Tuple[Stmt, ...]
+    frame: bool = True
+
+    def __init__(self, name: str, stmts: Sequence[Stmt], frame: bool = True):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "stmts", tuple(stmts))
+        object.__setattr__(self, "frame", frame)
+
+
+# --- relocations and output -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A 32-bit field at ``offset`` needing the rel32 to symbol ``target``.
+
+    ``kind`` is ``"call"`` or ``"jmp"``; both are pc-relative with the
+    displacement measured from the end of the instruction.
+    """
+
+    offset: int
+    target: str
+    kind: str
+    #: offset of the first byte of the instruction (for rel computation)
+    insn_end: int = 0
+
+
+@dataclass
+class AssembledFunction:
+    """Assembly output: raw bytes plus symbol relocations."""
+
+    name: str
+    data: bytearray
+    relocations: List[Relocation] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class NameRegistry:
+    """Assigns stable 32-bit identifiers to predicate/action/slot names."""
+
+    def __init__(self) -> None:
+        self._preds: Dict[str, int] = {}
+        self._acts: Dict[str, int] = {}
+        self._slots: Dict[str, int] = {}
+        self._pred_names: List[str] = []
+        self._act_names: List[str] = []
+        self._slot_names: List[str] = []
+
+    @staticmethod
+    def _intern(name: str, table: Dict[str, int], names: List[str]) -> int:
+        ident = table.get(name)
+        if ident is None:
+            ident = len(names)
+            table[name] = ident
+            names.append(name)
+        return ident
+
+    def pred_id(self, name: str) -> int:
+        return self._intern(name, self._preds, self._pred_names)
+
+    def act_id(self, name: str) -> int:
+        return self._intern(name, self._acts, self._act_names)
+
+    def slot_id(self, name: str) -> int:
+        return self._intern(name, self._slots, self._slot_names)
+
+    def pred_name(self, ident: int) -> str:
+        return self._pred_names[ident]
+
+    def act_name(self, ident: int) -> str:
+        return self._act_names[ident]
+
+    def slot_name(self, ident: int) -> str:
+        return self._slot_names[ident]
+
+
+class _FillerStream:
+    """Deterministic stream of filler instructions seeded by a name."""
+
+    _CHOICES = (1, 1, 2, 3, 3, 4, 1, 3)
+
+    def __init__(self, seed: str) -> None:
+        digest = hashlib.sha256(seed.encode("utf-8")).digest()
+        self._state = int.from_bytes(digest[:8], "little")
+
+    def _next(self) -> int:
+        # xorshift64*
+        x = self._state
+        x ^= (x >> 12) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x << 25) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x >> 27) & 0xFFFFFFFFFFFFFFFF
+        self._state = x & 0xFFFFFFFFFFFFFFFF
+        return (x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+
+    def emit(self, nbytes: int, out: bytearray) -> None:
+        """Append exactly ``nbytes`` of filler instructions to ``out``."""
+        remaining = nbytes
+        while remaining > 0:
+            length = self._CHOICES[self._next() % len(self._CHOICES)]
+            if length > remaining:
+                length = 1
+            if length == 1:
+                out.append(OP_NOP if self._next() & 1 else OP_INC_EAX)
+            elif length == 2:
+                out.extend(FILLER_2)
+            elif length == 3:
+                out.extend(FILLER_3)
+                out.append(self._next() & 0xFF)
+            else:
+                out.extend(FILLER_4)
+                out.append(self._next() & 0x7F)
+            remaining -= length
+
+
+class Assembler:
+    """Lowers :class:`FunctionBody` objects to bytes.
+
+    Symbol references (``Call``/``Jump`` targets) are left as relocations
+    for the image layout pass; predicate/action/slot names are interned
+    into 32-bit identifiers via the shared :class:`NameRegistry`.
+    """
+
+    def __init__(self, names: Optional[NameRegistry] = None) -> None:
+        self.names = names if names is not None else NameRegistry()
+
+    def assemble(self, body: FunctionBody) -> AssembledFunction:
+        out = bytearray()
+        relocs: List[Relocation] = []
+        filler = _FillerStream(body.name)
+        if body.frame:
+            out.extend(PROLOGUE_SIGNATURE)
+        self._lower_block(body.stmts, out, relocs, filler)
+        if body.frame:
+            out.append(OP_LEAVE)
+            out.append(OP_RET)
+        return AssembledFunction(body.name, out, relocs)
+
+    # -- lowering helpers ---------------------------------------------------
+
+    def _lower_block(
+        self,
+        stmts: Sequence[Stmt],
+        out: bytearray,
+        relocs: List[Relocation],
+        filler: _FillerStream,
+    ) -> None:
+        for stmt in stmts:
+            self._lower_stmt(stmt, out, relocs, filler)
+
+    def _lower_stmt(
+        self,
+        stmt: Stmt,
+        out: bytearray,
+        relocs: List[Relocation],
+        filler: _FillerStream,
+    ) -> None:
+        if isinstance(stmt, Work):
+            filler.emit(stmt.nbytes, out)
+        elif isinstance(stmt, Call):
+            insn_start = len(out)
+            out.append(0xE8)
+            out.extend(b"\x00\x00\x00\x00")
+            relocs.append(
+                Relocation(insn_start + 1, stmt.target, "call", insn_start + 5)
+            )
+        elif isinstance(stmt, Jump):
+            insn_start = len(out)
+            out.append(OP_JMP32)
+            out.extend(b"\x00\x00\x00\x00")
+            relocs.append(
+                Relocation(insn_start + 1, stmt.target, "jmp", insn_start + 5)
+            )
+        elif isinstance(stmt, Dispatch):
+            out.extend(b"\xff\x14\x85")
+            out.extend(struct.pack("<I", self.names.slot_id(stmt.slot)))
+        elif isinstance(stmt, Act):
+            out.append(OP_TWO_BYTE)
+            out.append(OP_ACT_SECOND)
+            out.extend(struct.pack("<I", self.names.act_id(stmt.action)))
+        elif isinstance(stmt, Cond):
+            self._lower_cond(stmt, out, relocs, filler)
+        elif isinstance(stmt, While):
+            self._lower_while(stmt, out, relocs, filler)
+        elif isinstance(stmt, Ret):
+            out.append(OP_LEAVE)
+            out.append(OP_RET)
+        elif isinstance(stmt, Iret):
+            out.append(OP_IRET)
+        elif isinstance(stmt, Halt):
+            out.append(OP_HLT)
+        elif isinstance(stmt, CtxSwitch):
+            out.append(OP_CTXSW)
+        elif isinstance(stmt, Cli):
+            out.append(OP_CLI)
+        elif isinstance(stmt, Sti):
+            out.append(OP_STI)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def _lower_cond(
+        self,
+        stmt: Cond,
+        out: bytearray,
+        relocs: List[Relocation],
+        filler: _FillerStream,
+    ) -> None:
+        out.append(OP_PRED)
+        out.extend(struct.pack("<I", self.names.pred_id(stmt.pred)))
+        jz_at = len(out)
+        out.extend(b"\x0f\x84\x00\x00\x00\x00")
+        body_start = len(out)
+        self._lower_block(stmt.body, out, relocs, filler)
+        rel = len(out) - body_start
+        struct.pack_into("<i", out, jz_at + 2, rel)
+
+    def _lower_while(
+        self,
+        stmt: While,
+        out: bytearray,
+        relocs: List[Relocation],
+        filler: _FillerStream,
+    ) -> None:
+        top = len(out)
+        out.append(OP_PRED)
+        out.extend(struct.pack("<I", self.names.pred_id(stmt.pred)))
+        jz_at = len(out)
+        out.extend(b"\x0f\x84\x00\x00\x00\x00")
+        body_start = len(out)
+        self._lower_block(stmt.body, out, relocs, filler)
+        jmp_at = len(out)
+        out.append(OP_JMP32)
+        out.extend(struct.pack("<i", top - (jmp_at + 5)))
+        exit_at = len(out)
+        struct.pack_into("<i", out, jz_at + 2, exit_at - body_start)

@@ -1,0 +1,139 @@
+"""Byte decoder for the simulated CPU's fetch stage.
+
+Decoding is deliberately tolerant of garbage: when a kernel view leaves a
+region filled with ``UD2`` (``0f 0b``) the even-aligned fetches decode to
+:attr:`~repro.isa.opcodes.Op.UD2` (which raises ``#UD`` and traps to the
+hypervisor), while an *odd* return address lands on ``0b 0f`` which decodes
+to the two-byte ``or`` instruction and executes silently -- exactly the
+hazard the paper's *instant recovery* exists to prevent (Figure 3).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.opcodes import (
+    FILLER_1,
+    Instr,
+    Op,
+    OP_ACT_SECOND,
+    OP_ADD_EAX_IMM8,
+    OP_CALL32,
+    OP_CLI,
+    OP_CTXSW,
+    OP_FF,
+    OP_HLT,
+    OP_INT,
+    OP_IRET,
+    OP_JMP32,
+    OP_JZ32_SECOND,
+    OP_LEAVE,
+    OP_MOV_MEM,
+    OP_OR,
+    OP_PRED,
+    OP_PUSH_EBP,
+    OP_PUSH_IMM32,
+    OP_RET,
+    OP_STI,
+    OP_TWO_BYTE,
+    OP_UD2_SECOND,
+    OP_XOR_EAX,
+    signed32,
+)
+
+
+class DecodeError(Exception):
+    """Raised when fewer bytes are available than the instruction needs."""
+
+
+def _u32(data: bytes, offset: int) -> int:
+    if offset + 4 > len(data):
+        raise DecodeError("truncated 32-bit operand")
+    return struct.unpack_from("<I", data, offset)[0]
+
+
+def decode(data: bytes, offset: int = 0) -> Instr:
+    """Decode one instruction from ``data`` starting at ``offset``.
+
+    Returns an :class:`~repro.isa.opcodes.Instr`.  Undecodable first bytes
+    yield ``Op.INVALID`` with length 1 (the CPU raises ``#UD`` without
+    advancing, like real hardware).
+    """
+    if offset >= len(data):
+        raise DecodeError("decode past end of buffer")
+    b0 = data[offset]
+
+    if b0 in FILLER_1:
+        return Instr(Op.FILL, 1)
+    if b0 == OP_PUSH_EBP:
+        return Instr(Op.PUSH_EBP, 1)
+    if b0 == OP_XOR_EAX:
+        if offset + 1 < len(data) and data[offset + 1] == 0xC0:
+            return Instr(Op.FILL, 2)
+        return Instr(Op.INVALID, 1)
+    if b0 == OP_ADD_EAX_IMM8:
+        if offset + 1 < len(data) and data[offset + 1] == 0xC0:
+            return Instr(Op.FILL, 3)
+        return Instr(Op.INVALID, 1)
+    if b0 == OP_MOV_MEM:
+        if offset + 1 >= len(data):
+            return Instr(Op.INVALID, 1)
+        b1 = data[offset + 1]
+        if b1 == 0xE5:
+            return Instr(Op.MOV_EBP_ESP, 2)
+        if b1 == 0x44 and offset + 2 < len(data) and data[offset + 2] == 0x24:
+            return Instr(Op.FILL, 4)
+        return Instr(Op.INVALID, 1)
+    if b0 == OP_PUSH_IMM32:
+        return Instr(Op.PUSH_IMM, 5, _u32(data, offset + 1))
+    if b0 == OP_PRED:
+        return Instr(Op.PRED, 5, _u32(data, offset + 1))
+    if b0 == OP_TWO_BYTE:
+        if offset + 1 >= len(data):
+            return Instr(Op.INVALID, 1)
+        b1 = data[offset + 1]
+        if b1 == OP_UD2_SECOND:
+            return Instr(Op.UD2, 2)
+        if b1 == OP_JZ32_SECOND:
+            return Instr(Op.JZ, 6, signed32(_u32(data, offset + 2)))
+        if b1 == OP_ACT_SECOND:
+            return Instr(Op.ACT, 6, _u32(data, offset + 2))
+        return Instr(Op.INVALID, 1)
+    if b0 == OP_JMP32:
+        return Instr(Op.JMP, 5, signed32(_u32(data, offset + 1)))
+    if b0 == OP_CALL32:
+        return Instr(Op.CALL, 5, signed32(_u32(data, offset + 1)))
+    if b0 == OP_FF:
+        if (
+            offset + 2 < len(data)
+            and data[offset + 1] == 0x14
+            and data[offset + 2] == 0x85
+        ):
+            return Instr(Op.DISPATCH, 7, _u32(data, offset + 3))
+        return Instr(Op.INVALID, 1)
+    if b0 == OP_LEAVE:
+        return Instr(Op.LEAVE, 1)
+    if b0 == OP_RET:
+        return Instr(Op.RET, 1)
+    if b0 == OP_INT:
+        if offset + 1 >= len(data):
+            return Instr(Op.INVALID, 1)
+        return Instr(Op.INT, 2, data[offset + 1])
+    if b0 == OP_IRET:
+        return Instr(Op.IRET, 1)
+    if b0 == OP_OR:
+        # "or r32, r/m32" with a register/indirect modrm: two bytes, no
+        # displacement.  This is how a processor misreads a split UD2
+        # stream starting at an odd offset ("0b 0f 0b 0f ...").
+        if offset + 1 >= len(data):
+            return Instr(Op.INVALID, 1)
+        return Instr(Op.OR_MIS, 2)
+    if b0 == OP_HLT:
+        return Instr(Op.HLT, 1)
+    if b0 == OP_CLI:
+        return Instr(Op.CLI, 1)
+    if b0 == OP_STI:
+        return Instr(Op.STI, 1)
+    if b0 == OP_CTXSW:
+        return Instr(Op.CTXSW, 1)
+    return Instr(Op.INVALID, 1)

@@ -1,0 +1,28 @@
+"""The synthetic guest kernel.
+
+A Linux-like kernel whose code section is real bytes in guest memory:
+~400 kernel functions with a realistic call graph spanning process
+management, scheduling, VFS (ext4 + jbd2 journalling, procfs, pipes),
+networking (UDP/TCP sockets with an apparmor LSM), TTY, signals, timers
+and the clocksource split (TSC under QEMU vs kvm-clock under KVM) that
+the paper's recovery example in Section III-B3 depends on.
+
+Control flow that on real hardware would be data-driven (branch on a
+file's type, indirect call through the syscall table) is delegated by
+the virtual CPU to this package's *semantic layer*: named predicates,
+actions and dispatch slots registered in :mod:`repro.kernel.registry`
+and interpreted by :class:`repro.kernel.runtime.KernelRuntime`.
+"""
+
+from repro.kernel.image import KernelImage, LoadedModule
+from repro.kernel.runtime import KernelRuntime, Platform
+from repro.kernel.objects import Task, TaskState
+
+__all__ = [
+    "KernelImage",
+    "KernelRuntime",
+    "LoadedModule",
+    "Platform",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,60 @@
+"""Aggregated kernel function catalog.
+
+``BASE_FUNCTIONS`` defines the base kernel text in layout order;
+``MODULES`` maps module name to its function list (load order matters:
+jbd2 must precede ext4 because ext4 links against it directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.assembler import FunctionBody
+from repro.kernel.catalog import (
+    e1000,
+    epoll,
+    entry,
+    ext4,
+    jbd2,
+    ktime,
+    lib,
+    misc,
+    mm,
+    net,
+    pipefs,
+    process,
+    procfs,
+    sched,
+    security,
+    signals,
+    tty,
+    vfs,
+)
+
+#: Base kernel text, in layout order.
+BASE_FUNCTIONS: List[FunctionBody] = (
+    entry.FUNCTIONS
+    + lib.FUNCTIONS
+    + sched.FUNCTIONS
+    + ktime.FUNCTIONS
+    + mm.FUNCTIONS
+    + vfs.FUNCTIONS
+    + epoll.FUNCTIONS
+    + pipefs.FUNCTIONS
+    + procfs.FUNCTIONS
+    + security.FUNCTIONS
+    + net.FUNCTIONS
+    + tty.FUNCTIONS
+    + signals.FUNCTIONS
+    + process.FUNCTIONS
+    + misc.FUNCTIONS
+)
+
+#: Loadable modules shipped with the guest, in load order.
+MODULES: Dict[str, List[FunctionBody]] = {
+    jbd2.MODULE_NAME: jbd2.FUNCTIONS,
+    ext4.MODULE_NAME: ext4.FUNCTIONS,
+    e1000.MODULE_NAME: e1000.FUNCTIONS,
+}
+
+__all__ = ["BASE_FUNCTIONS", "MODULES"]

@@ -1,0 +1,68 @@
+"""Shorthand DSL for defining catalog kernel functions.
+
+A kernel function is a :class:`repro.isa.assembler.FunctionBody`; these
+aliases keep the subsystem catalogs readable::
+
+    kfunc("vfs_read", W(120), C("rw_verify_area"), D("file.read_op"), W(40))
+
+``W`` is filler "computation" measured in bytes of real encoded
+instructions; ``C`` a direct call; ``D`` an indirect dispatch through a
+named slot; ``A`` a semantic action; ``Cnd``/``Wh`` predicate-guarded
+conditional/loop bodies.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import (
+    Act,
+    Call,
+    Cond,
+    CtxSwitch,
+    Dispatch,
+    FunctionBody,
+    Halt,
+    Iret,
+    Jump,
+    Ret,
+    Stmt,
+    While,
+    Work,
+)
+
+#: Multiplier applied to every ``W`` size so kernel functions (and hence
+#: profiled kernel-view sizes) land in the paper's hundreds-of-KB range.
+WORK_SCALE = 28
+
+
+def W(nbytes: int) -> Work:  # noqa: N802 - DSL shorthand
+    """Scaled filler work."""
+    return Work(nbytes * WORK_SCALE)
+
+
+C = Call
+D = Dispatch
+A = Act
+Cnd = Cond
+Wh = While
+J = Jump
+
+__all__ = [
+    "A",
+    "C",
+    "Cnd",
+    "CtxSwitch",
+    "D",
+    "FunctionBody",
+    "Halt",
+    "Iret",
+    "J",
+    "Ret",
+    "W",
+    "Wh",
+    "kfunc",
+]
+
+
+def kfunc(name: str, *stmts: Stmt, frame: bool = True) -> FunctionBody:
+    """Define a kernel function body."""
+    return FunctionBody(name, list(stmts), frame=frame)

@@ -1,0 +1,48 @@
+"""The e1000 NIC driver (loadable module).
+
+Inbound packets injected by workload drivers raise the NIC interrupt;
+``e1000_clean_rx_irq`` drains the ring into ``netif_receive_skb``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+MODULE_NAME = "e1000"
+
+FUNCTIONS = [
+    kfunc("e1000_intr", W(54), C("e1000_clean")),
+    kfunc(
+        "e1000_clean",
+        W(78),
+        C("e1000_clean_rx_irq"),
+        C("e1000_clean_tx_irq"),
+    ),
+    kfunc(
+        "e1000_clean_rx_irq",
+        W(92),
+        Wh(
+            "net.nic_has_rx",
+            [A("net.nic_pop"), C("netif_receive_skb")],
+        ),
+        W(16),
+    ),
+    kfunc("e1000_clean_tx_irq", W(58)),
+    kfunc("e1000_xmit_frame", W(102), A("net.nic_tx")),
+]
+
+
+@REGISTRY.pred("net.nic_has_rx")
+def _nic_has_rx(rt) -> bool:
+    return rt.net.nic_has_rx(rt)
+
+
+@REGISTRY.act("net.nic_pop")
+def _nic_pop(rt) -> None:
+    rt.net.nic_pop(rt)
+
+
+@REGISTRY.act("net.nic_tx")
+def _nic_tx(rt) -> None:
+    rt.net.nic_tx(rt)

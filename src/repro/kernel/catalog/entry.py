@@ -1,0 +1,141 @@
+"""Entry/exit paths: syscall entry, interrupt entry, idle, fork return.
+
+``syscall_call`` dispatches through the syscall-table slot (the indirect
+``call *sys_call_table(,%eax,4)`` the paper's Figure 3 shows), and the
+return path funnels through ``resume_userspace`` -- the address
+FACE-CHANGE traps to perform the deferred kernel-view switch.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, D, Halt, Iret, J, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc(
+        "syscall_call",
+        D("syscall_table"),
+        W(6),
+        J("resume_userspace"),
+    ),
+    kfunc(
+        "resume_userspace",
+        Cnd("signal.pending", [C("do_notify_resume")]),
+        Cnd("sched.need_resched", [C("schedule")]),
+        W(4),
+        Iret(),
+    ),
+    kfunc(
+        "irq_entry",
+        A("irq.enter"),
+        C("do_IRQ"),
+        Cnd("irq.softirq_pending", [C("__do_softirq")]),
+        A("irq.exit"),
+        Cnd("irq.return_to_user", [J("resume_userspace")]),
+        Iret(),
+    ),
+    kfunc(
+        "do_IRQ",
+        W(28),
+        C("handle_irq_event"),
+        W(8),
+    ),
+    kfunc(
+        "handle_irq_event",
+        W(24),
+        D("irq.vector"),
+        W(6),
+    ),
+    kfunc(
+        "__do_softirq",
+        W(44),
+        Wh(
+            "irq.softirq_pending",
+            [
+                Cnd("softirq.timer", [A("softirq.take_timer"), C("run_timer_softirq")]),
+                Cnd("softirq.net_rx", [A("softirq.take_net"), C("net_rx_action")]),
+            ],
+        ),
+        W(10),
+    ),
+    kfunc(
+        "ret_from_fork",
+        A("task.finish_fork"),
+        W(6),
+        J("resume_userspace"),
+    ),
+    kfunc(
+        "cpu_idle",
+        Wh(
+            "sched.idle_forever",
+            [
+                Cnd("sched.need_resched", [C("schedule")]),
+                Halt(),
+                W(4),
+            ],
+        ),
+    ),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.pred("irq.softirq_pending")
+def _softirq_pending(rt) -> bool:
+    return bool(rt.softirq_pending) and not rt.in_interrupt_handler
+
+
+@REGISTRY.pred("softirq.timer")
+def _softirq_timer(rt) -> bool:
+    return "timer" in rt.softirq_pending
+
+
+@REGISTRY.pred("softirq.net_rx")
+def _softirq_net_rx(rt) -> bool:
+    return "net_rx" in rt.softirq_pending
+
+
+@REGISTRY.act("softirq.take_timer")
+def _take_timer(rt) -> None:
+    rt.softirq_pending.discard("timer")
+
+
+@REGISTRY.act("softirq.take_net")
+def _take_net(rt) -> None:
+    rt.softirq_pending.discard("net_rx")
+
+
+@REGISTRY.act("irq.enter")
+def _irq_enter(rt) -> None:
+    rt.irq_enter()
+
+
+@REGISTRY.act("irq.exit")
+def _irq_exit(rt) -> None:
+    rt.irq_exit()
+
+
+@REGISTRY.pred("irq.return_to_user")
+def _irq_return_to_user(rt) -> bool:
+    return rt.irq_returns_to_user()
+
+
+@REGISTRY.slot("irq.vector")
+def _irq_vector(rt) -> str:
+    return rt.current_irq_handler()
+
+
+@REGISTRY.slot("syscall_table")
+def _syscall_table(rt) -> str:
+    return rt.syscall_handler_symbol()
+
+
+@REGISTRY.pred("sched.idle_forever")
+def _idle_forever(rt) -> bool:
+    return True
+
+
+@REGISTRY.act("task.finish_fork")
+def _finish_fork(rt) -> None:
+    rt.finish_fork()

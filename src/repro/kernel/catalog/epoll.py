@@ -1,0 +1,74 @@
+"""The epoll event interface (used by modern event-loop applications).
+
+``ep_poll`` reuses the generic poll scan machinery: the watched fd set
+is seeded from the eventpoll object instead of syscall arguments, then
+readiness scanning and blocking work exactly as ``do_poll`` does.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, D, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc(
+        "sys_epoll_create",
+        W(36),
+        C("anon_inode_getfile"),
+        A("epoll.create"),
+    ),
+    kfunc("anon_inode_getfile", W(44), C("get_unused_fd"), C("kmalloc")),
+    kfunc(
+        "sys_epoll_ctl",
+        W(40),
+        C("fget_light"),
+        A("epoll.ctl"),
+        C("ep_insert"),
+        C("fput"),
+    ),
+    kfunc("ep_insert", W(66), C("kmalloc"), C("rb_insert_color")),
+    kfunc(
+        "sys_epoll_wait",
+        W(44),
+        C("fget_light"),
+        C("ep_poll"),
+        C("copy_to_user"),
+        C("fput"),
+    ),
+    kfunc(
+        "ep_poll",
+        W(70),
+        A("epoll.begin_wait"),
+        Wh(
+            "poll.wait_loop",
+            [
+                A("poll.rescan_init"),
+                Wh(
+                    "poll.more_fds",
+                    [
+                        A("poll.next_fd"),
+                        Cnd("poll.fd_pollable", [D("vfs.poll_op")]),
+                    ],
+                ),
+                Cnd("poll.should_block", [A("poll.block"), C("schedule_timeout")]),
+            ],
+        ),
+        W(16),
+    ),
+    kfunc("eventpoll_release", W(30), C("rb_erase"), C("kfree")),
+]
+
+
+@REGISTRY.act("epoll.create")
+def _epoll_create(rt) -> None:
+    rt.fs.epoll_create(rt)
+
+
+@REGISTRY.act("epoll.ctl")
+def _epoll_ctl(rt) -> None:
+    rt.fs.epoll_ctl(rt)
+
+
+@REGISTRY.act("epoll.begin_wait")
+def _epoll_begin_wait(rt) -> None:
+    rt.fs.epoll_begin_wait(rt)

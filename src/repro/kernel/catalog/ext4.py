@@ -1,0 +1,73 @@
+"""The ext4 file system (loadable module).
+
+The write path reproduces the paper's Figure 5 chain exactly:
+``do_sync_write -> ext4_file_write -> generic_file_aio_write ->
+__generic_file_aio_write -> file_update_time -> __mark_inode_dirty ->
+ext4_dirty_inode -> __ext4_journal_stop -> __jbd2_log_start_commit``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+MODULE_NAME = "ext4"
+
+FUNCTIONS = [
+    kfunc("ext4_file_open", W(44), C("generic_file_open")),
+    kfunc("ext4_lookup", W(76), C("ext4_find_entry")),
+    kfunc("ext4_find_entry", W(108), C("ext4_getblk")),
+    kfunc("ext4_getblk", W(64), C("ext4_get_blocks"), C("submit_bh")),
+    kfunc("ext4_get_blocks", W(118)),
+    kfunc("ext4_get_block", W(48), C("ext4_get_blocks")),
+    kfunc("ext4_readpage", W(66), C("mpage_readpage")),
+    kfunc("ext4_file_write", W(58), C("generic_file_aio_write")),
+    kfunc(
+        "ext4_dirty_inode",
+        W(52),
+        C("ext4_journal_start"),
+        C("__ext4_journal_stop"),
+    ),
+    kfunc("ext4_journal_start", W(38), C("jbd2_journal_start")),
+    kfunc(
+        "__ext4_journal_stop",
+        W(48),
+        C("jbd2_journal_stop"),
+        C("__jbd2_log_start_commit"),
+    ),
+    kfunc("ext4_da_write_begin", W(84), C("ext4_get_blocks")),
+    kfunc("ext4_da_write_end", W(56), C("generic_write_end")),
+    kfunc(
+        "ext4_sync_file",
+        W(64),
+        C("jbd2_journal_commit_transaction"),
+    ),
+    kfunc("ext4_readdir", W(94), C("ext4_getblk")),
+    kfunc(
+        "ext4_unlink",
+        W(86),
+        C("ext4_find_entry"),
+        C("ext4_journal_start"),
+        C("jbd2_journal_dirty_metadata"),
+        C("__ext4_journal_stop"),
+    ),
+    kfunc(
+        "ext4_rename",
+        W(104),
+        C("ext4_find_entry"),
+        C("ext4_journal_start"),
+        C("jbd2_journal_dirty_metadata"),
+        C("__ext4_journal_stop"),
+    ),
+    kfunc(
+        "ext4_mkdir",
+        W(92),
+        C("ext4_journal_start"),
+        C("ext4_get_blocks"),
+        C("__ext4_journal_stop"),
+    ),
+    kfunc("ext4_release_file", W(36)),
+    kfunc("ext4_ioctl", W(46), A("dev.ioctl")),
+]
+
+_ = REGISTRY

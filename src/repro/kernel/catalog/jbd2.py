@@ -1,0 +1,23 @@
+"""The jbd2 journalling layer (loadable module, loaded before ext4)."""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+MODULE_NAME = "jbd2"
+
+FUNCTIONS = [
+    kfunc("jbd2_journal_start", W(64), C("kmalloc")),
+    kfunc("jbd2_journal_stop", W(76)),
+    kfunc("__jbd2_log_start_commit", W(58), C("__wake_up_sync")),
+    kfunc("jbd2_journal_dirty_metadata", W(88)),
+    kfunc(
+        "jbd2_journal_commit_transaction",
+        W(196),
+        C("submit_bh"),
+        C("submit_bh"),
+    ),
+]
+
+_ = REGISTRY

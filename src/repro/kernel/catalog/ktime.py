@@ -1,0 +1,134 @@
+"""Timekeeping: clocksources, the timer interrupt, timers and sleeps.
+
+The clocksource is selected by platform through the
+``time.clocksource_read`` dispatch slot: under QEMU (the profiling
+emulator) it resolves to the TSC path, under KVM (the runtime
+hypervisor) to the kvm-clock paravirtual path.  This reproduces the
+paper's Section III-B3 example: the chain ``kvm_clock_get_cycles ->
+kvm_clock_read -> pvclock_clocksource_read -> native_read_tsc`` can never
+be profiled under QEMU and must be recovered at run time.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, D, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    # clocksources
+    kfunc("native_read_tsc", W(12)),
+    kfunc("read_tsc", W(14), C("native_read_tsc")),
+    kfunc("pvclock_clocksource_read", W(42), C("native_read_tsc")),
+    kfunc("kvm_clock_read", W(18), C("pvclock_clocksource_read")),
+    kfunc("kvm_clock_get_cycles", W(10), C("kvm_clock_read")),
+    kfunc("ktime_get", W(32), D("time.clocksource_read")),
+    kfunc("getnstimeofday", W(30), D("time.clocksource_read")),
+    kfunc("do_gettimeofday", W(22), C("getnstimeofday")),
+    kfunc("sys_gettimeofday", W(30), C("do_gettimeofday"), C("copy_to_user")),
+    kfunc("sys_time", W(16), C("do_gettimeofday")),
+    kfunc(
+        "sys_clock_gettime",
+        W(28),
+        C("ktime_get"),
+        C("copy_to_user"),
+    ),
+    # the periodic tick
+    kfunc("timer_interrupt", W(30), C("tick_handle_periodic")),
+    kfunc(
+        "tick_handle_periodic",
+        W(40),
+        C("ktime_get"),
+        C("do_timer"),
+        C("update_process_times"),
+    ),
+    kfunc("do_timer", W(34)),
+    kfunc(
+        "update_process_times",
+        W(30),
+        C("account_process_tick"),
+        C("run_local_timers"),
+        C("scheduler_tick"),
+    ),
+    kfunc("account_process_tick", W(44)),
+    kfunc("run_local_timers", W(18), C("raise_softirq")),
+    kfunc("raise_softirq", W(16), A("time.raise_timer_softirq")),
+    kfunc(
+        "run_timer_softirq",
+        W(56),
+        A("time.run_timers"),
+        Wh("time.itimer_fired", [C("it_real_fn")]),
+        W(12),
+    ),
+    kfunc("it_real_fn", W(26), C("send_signal")),
+    # sleeping
+    kfunc("sys_nanosleep", W(38), C("hrtimer_nanosleep")),
+    kfunc(
+        "hrtimer_nanosleep",
+        W(52),
+        A("time.set_sleep"),
+        C("schedule_timeout"),
+    ),
+    kfunc(
+        "schedule_timeout",
+        W(40),
+        Wh("time.sleep_wait", [C("schedule")]),
+        W(12),
+    ),
+    # interval timers
+    kfunc("sys_setitimer", W(38), C("do_setitimer")),
+    kfunc("do_setitimer", W(56), A("time.set_itimer"), W(14)),
+    kfunc("sys_alarm", W(28), A("time.set_alarm"), C("do_setitimer")),
+    kfunc("sys_times", W(26), C("account_process_tick"), C("copy_to_user")),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.slot("time.clocksource_read")
+def _clocksource_read(rt) -> str:
+    if rt.platform == "kvm":
+        return "kvm_clock_get_cycles"
+    return "read_tsc"
+
+
+@REGISTRY.act("time.raise_timer_softirq")
+def _raise_timer_softirq(rt) -> None:
+    rt.softirq_pending.add("timer")
+
+
+@REGISTRY.act("time.run_timers")
+def _run_timers(rt) -> None:
+    rt.time.run_expired(rt)
+
+
+@REGISTRY.pred("time.itimer_fired")
+def _itimer_fired(rt) -> bool:
+    # Pops one fired interval timer and stages its SIGALRM for the
+    # ``send_signal`` call inside ``it_real_fn``.
+    return rt.time.pop_fired(rt)
+
+
+@REGISTRY.act("time.set_sleep")
+def _set_sleep(rt) -> None:
+    cycles = int(rt.arg("cycles", 10_000))
+    rt.time.sleep_current(rt, cycles)
+
+
+@REGISTRY.pred("time.sleep_wait")
+def _sleep_wait(rt) -> bool:
+    return rt.time.still_sleeping(rt)
+
+
+@REGISTRY.act("time.set_itimer")
+def _set_itimer(rt) -> None:
+    interval = int(rt.arg("interval", 0))
+    rt.time.set_itimer(rt, interval)
+    rt.ret(0)
+
+
+@REGISTRY.act("time.set_alarm")
+def _set_alarm(rt) -> None:
+    delay = int(rt.arg("delay", 0))
+    rt.time.set_alarm(rt, delay)
+    rt.ret(0)

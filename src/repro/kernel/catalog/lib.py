@@ -1,0 +1,46 @@
+"""Kernel library routines: string ops, formatting, user copies, locks.
+
+``strnlen``/``vsnprintf``/``snprintf`` exist (with their real call
+structure) because the KBeast case study (Figure 5) recovers exactly that
+chain when the rootkit formats sniffed keystrokes.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("memcpy", W(44)),
+    kfunc("memset", W(32)),
+    kfunc("strlen", W(14)),
+    kfunc("strnlen", W(24)),
+    kfunc("strcmp", W(22)),
+    kfunc("strcpy", W(18)),
+    kfunc("strncpy", W(26)),
+    kfunc("vsnprintf", W(176), C("strnlen"), C("memcpy"), W(48)),
+    kfunc("snprintf", W(26), C("vsnprintf")),
+    kfunc("sprintf", W(22), C("vsnprintf")),
+    kfunc("printk", W(58), C("vsnprintf"), W(22)),
+    kfunc("copy_to_user", W(30), C("memcpy")),
+    kfunc("copy_from_user", W(30), C("memcpy")),
+    kfunc("mutex_lock", W(22)),
+    kfunc("mutex_unlock", W(18)),
+    kfunc("_spin_lock", W(12)),
+    kfunc("_spin_unlock", W(10)),
+    kfunc("prepare_to_wait", W(28)),
+    kfunc("prepare_to_wait_exclusive", W(32)),
+    kfunc("finish_wait", W(22)),
+    # generic data structures shared by mm/vfs/net
+    kfunc("radix_tree_lookup", W(46)),
+    kfunc("radix_tree_insert", W(58)),
+    kfunc("rb_insert_color", W(52)),
+    kfunc("rb_erase", W(48)),
+    kfunc("rb_next", W(18)),
+    kfunc("idr_get_new", W(40)),
+]
+
+# lib has no semantics; the registry import keeps the module signature
+# uniform with the other catalog files.
+_ = REGISTRY
+_ = A

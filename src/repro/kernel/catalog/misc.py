@@ -1,0 +1,50 @@
+"""Miscellaneous: character devices and module loading/unloading.
+
+``sys_init_module`` is how kernel modules -- including the rootkits of
+the security evaluation -- enter the guest at run time.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("chrdev_open", W(46), C("kmalloc")),
+    kfunc("chrdev_read", W(48), A("vfs.file_read"), C("copy_to_user")),
+    kfunc("chrdev_write", W(48), C("copy_from_user"), A("vfs.file_write")),
+    kfunc("chrdev_ioctl", W(52), A("dev.ioctl")),
+    kfunc("chrdev_poll", W(30), A("poll.record")),
+    kfunc("chrdev_release", W(26)),
+    kfunc(
+        "sys_init_module",
+        W(74),
+        C("security_kernel_module"),
+        C("copy_from_user"),
+        C("kmalloc"),
+        A("module.load"),
+        C("printk"),
+    ),
+    kfunc("sys_delete_module", W(52), A("module.unload"), C("kfree")),
+    kfunc("sys_ni_syscall", W(10), A("sys.enosys")),
+]
+
+
+@REGISTRY.act("sys.enosys")
+def _enosys(rt) -> None:
+    rt.ret(-38)  # -ENOSYS
+
+
+@REGISTRY.act("dev.ioctl")
+def _dev_ioctl(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.act("module.load")
+def _module_load(rt) -> None:
+    rt.modules_api.load(rt)
+
+
+@REGISTRY.act("module.unload")
+def _module_unload(rt) -> None:
+    rt.modules_api.unload(rt)

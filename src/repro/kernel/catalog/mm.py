@@ -1,0 +1,75 @@
+"""Memory management: slab allocation, brk/mmap, VMA handling."""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("kmalloc", W(52), C("__kmalloc")),
+    kfunc(
+        "__kmalloc",
+        W(78),
+        Cnd("mm.need_refill", [C("cache_alloc_refill")]),
+        W(18),
+    ),
+    kfunc("cache_alloc_refill", W(116), C("alloc_pages")),
+    kfunc("alloc_pages", W(92), C("get_page_from_freelist")),
+    kfunc("get_page_from_freelist", W(138)),
+    kfunc("kfree", W(48)),
+    kfunc("sys_brk", W(48), C("do_brk")),
+    kfunc("do_brk", W(88), C("find_vma"), C("vma_merge")),
+    kfunc("find_vma", W(42), C("rb_next"), W(8)),
+    kfunc("vma_merge", W(70), C("rb_insert_color")),
+    kfunc("sys_mmap", W(56), C("do_mmap_pgoff")),
+    kfunc(
+        "do_mmap_pgoff",
+        W(146),
+        C("get_unmapped_area"),
+        C("find_vma"),
+        C("vma_merge"),
+        C("kmalloc"),
+        Cnd("mm.populate", [C("handle_mm_fault")]),
+    ),
+    kfunc("get_unmapped_area", W(58)),
+    kfunc("sys_munmap", W(38), C("do_munmap")),
+    kfunc("do_munmap", W(90), C("find_vma"), C("rb_erase"), C("kfree")),
+    kfunc("handle_mm_fault", W(122), C("alloc_pages"), W(28)),
+    kfunc("do_page_fault", W(86), C("find_vma"), C("handle_mm_fault")),
+    # page cache
+    kfunc("find_get_page", W(44), C("radix_tree_lookup")),
+    kfunc(
+        "add_to_page_cache_lru",
+        W(56),
+        C("radix_tree_insert"),
+        C("lru_cache_add"),
+    ),
+    kfunc("lru_cache_add", W(36)),
+    kfunc("page_cache_alloc", W(30), C("alloc_pages")),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+_REFILL_PERIOD = 8
+
+
+@REGISTRY.pred("mm.need_refill")
+def _need_refill(rt) -> bool:
+    # Every Nth slab allocation goes to the page allocator, approximating
+    # slab-cache hit behaviour without modelling real freelists.
+    rt.mm_alloc_counter += 1
+    return rt.mm_alloc_counter % _REFILL_PERIOD == 0
+
+
+@REGISTRY.pred("mm.populate")
+def _populate(rt) -> bool:
+    return bool(rt.arg("populate", True))
+
+
+@REGISTRY.act("mm.noop")
+def _noop(rt) -> None:  # pragma: no cover - placeholder action
+    return None
+
+
+_ = A

@@ -1,0 +1,477 @@
+"""Networking: sockets, UDP/TCP/UNIX/packet families, RX/TX paths.
+
+The UDP receive chain (``sys_recvfrom -> sock_recvmsg ->
+security_socket_recvmsg -> ... -> udp_recvmsg -> __skb_recv_datagram ->
+prepare_to_wait_exclusive``) and the bind chain are reproduced
+function-for-function from the paper's Figure 4, because the Injectso
+case study's detection evidence is exactly this sequence appearing in
+``top``'s recovery log.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, D, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    # socket creation
+    kfunc("sys_socket", W(48), C("sock_create"), C("sock_map_fd")),
+    kfunc(
+        "sock_create",
+        W(58),
+        C("security_socket_create"),
+        D("net.create_op"),
+        W(18),
+    ),
+    kfunc(
+        "inet_create",
+        W(108),
+        C("sk_alloc"),
+        Cnd("net.is_stream", [C("tcp_v4_init_sock")]),
+        A("net.create"),
+    ),
+    kfunc("tcp_v4_init_sock", W(66)),
+    kfunc("packet_create", W(78), C("sk_alloc"), A("net.create")),
+    kfunc("unix_create", W(68), C("sk_alloc"), A("net.create")),
+    kfunc("sk_alloc", W(56), C("kmalloc")),
+    kfunc("sock_map_fd", W(48), C("get_unused_fd"), A("net.install_fd")),
+    kfunc("sockfd_lookup", W(28), C("fget_light")),
+    # bind / listen / accept / connect
+    kfunc(
+        "sys_bind",
+        W(38),
+        C("sockfd_lookup"),
+        C("security_socket_bind"),
+        D("net.bind_op"),
+        W(12),
+    ),
+    kfunc(
+        "inet_bind",
+        W(88),
+        C("inet_addr_type"),
+        C("lock_sock_nested"),
+        D("net.get_port_op"),
+        C("release_sock"),
+    ),
+    kfunc("inet_addr_type", W(52)),
+    kfunc("lock_sock_nested", W(30)),
+    kfunc("release_sock", W(32)),
+    kfunc("udp_v4_get_port", W(28), C("udp_lib_get_port")),
+    kfunc("udp_lib_get_port", W(68), C("udp_lib_lport_inuse"), A("net.bind")),
+    kfunc("udp_lib_lport_inuse", W(48)),
+    kfunc("inet_csk_get_port", W(76), A("net.bind")),
+    kfunc("packet_bind", W(54), A("net.bind"), A("net.tap_enable")),
+    kfunc("unix_bind", W(58), A("net.bind")),
+    kfunc(
+        "sys_listen",
+        W(30),
+        C("sockfd_lookup"),
+        C("security_socket_listen"),
+        C("inet_listen"),
+    ),
+    kfunc("inet_listen", W(56), A("net.listen")),
+    kfunc(
+        "sys_accept",
+        W(46),
+        C("sockfd_lookup"),
+        C("security_socket_accept"),
+        C("inet_csk_accept"),
+        C("sock_map_fd"),
+    ),
+    kfunc(
+        "inet_csk_accept",
+        W(66),
+        C("lock_sock_nested"),
+        Wh(
+            "net.accept_wait",
+            [A("net.accept_block"), C("schedule_timeout")],
+        ),
+        A("net.do_accept"),
+        C("release_sock"),
+    ),
+    kfunc(
+        "sys_connect",
+        W(38),
+        C("sockfd_lookup"),
+        C("security_socket_connect"),
+        D("net.connect_op"),
+    ),
+    kfunc(
+        "inet_stream_connect",
+        W(64),
+        C("lock_sock_nested"),
+        C("tcp_v4_connect"),
+        A("net.connect"),
+        C("release_sock"),
+    ),
+    kfunc("tcp_v4_connect", W(112), C("ip_route_output"), C("tcp_connect")),
+    kfunc("tcp_connect", W(84), C("tcp_transmit_skb")),
+    kfunc("ip4_datagram_connect", W(56), C("ip_route_output"), A("net.connect")),
+    kfunc("unix_stream_connect", W(74), A("net.connect")),
+    kfunc("ip_route_output", W(84), C("fib_lookup")),
+    kfunc("fib_lookup", W(66)),
+    # send
+    kfunc("sys_sendto", W(46), C("sockfd_lookup"), C("sock_sendmsg")),
+    kfunc("sock_sendmsg", W(38), C("security_socket_sendmsg"), D("net.sendmsg_op")),
+    kfunc(
+        "tcp_sendmsg",
+        W(142),
+        C("lock_sock_nested"),
+        C("sk_stream_alloc_skb"),
+        C("tcp_push"),
+        A("net.send"),
+        C("release_sock"),
+    ),
+    kfunc("sk_stream_alloc_skb", W(46), C("__alloc_skb")),
+    kfunc("__alloc_skb", W(58), C("kmalloc")),
+    kfunc("tcp_push", W(38), C("tcp_transmit_skb")),
+    kfunc("tcp_transmit_skb", W(104), C("ip_queue_xmit")),
+    kfunc("ip_queue_xmit", W(92), C("ip_route_output"), C("dev_queue_xmit")),
+    kfunc("dev_queue_xmit", W(74), D("net.xmit_op")),
+    kfunc("loopback_xmit", W(38), C("netif_rx")),
+    kfunc("netif_rx", W(42), A("net.backlog_enqueue"), A("net.raise_rx_softirq")),
+    kfunc(
+        "udp_sendmsg",
+        W(122),
+        Cnd("net.needs_autobind", [C("inet_autobind")]),
+        C("ip_route_output"),
+        C("__alloc_skb"),
+        C("udp_push_pending_frames"),
+        A("net.send"),
+    ),
+    kfunc("inet_autobind", W(36), C("lock_sock_nested"), C("udp_v4_get_port"), C("release_sock"), A("net.autobind")),
+    kfunc("udp_push_pending_frames", W(54), C("ip_queue_xmit")),
+    kfunc(
+        "unix_stream_sendmsg",
+        W(86),
+        C("__alloc_skb"),
+        A("net.send_local"),
+        C("__wake_up_sync"),
+    ),
+    kfunc("packet_sendmsg", W(72), C("__alloc_skb"), C("dev_queue_xmit"), A("net.send")),
+    # receive
+    kfunc("sys_recvfrom", W(46), C("sockfd_lookup"), C("sock_recvmsg")),
+    kfunc("sock_recvmsg", W(38), C("security_socket_recvmsg"), D("net.recvmsg_op")),
+    kfunc("sock_common_recvmsg", W(28), C("udp_recvmsg")),
+    kfunc(
+        "udp_recvmsg",
+        W(94),
+        C("__skb_recv_datagram"),
+        A("net.recv"),
+        C("copy_to_user"),
+    ),
+    kfunc(
+        "__skb_recv_datagram",
+        W(68),
+        Wh(
+            "net.rx_wait",
+            [
+                C("prepare_to_wait_exclusive"),
+                A("net.rx_block"),
+                C("schedule_timeout"),
+                C("finish_wait"),
+            ],
+        ),
+        W(14),
+    ),
+    kfunc(
+        "tcp_recvmsg",
+        W(134),
+        C("lock_sock_nested"),
+        Wh("net.rx_wait", [C("sk_wait_data")]),
+        A("net.recv"),
+        C("copy_to_user"),
+        C("release_sock"),
+    ),
+    kfunc(
+        "sk_wait_data",
+        W(48),
+        C("prepare_to_wait"),
+        A("net.rx_block"),
+        C("schedule_timeout"),
+        C("finish_wait"),
+    ),
+    kfunc(
+        "packet_recvmsg",
+        W(74),
+        C("__skb_recv_datagram"),
+        A("net.recv"),
+        C("copy_to_user"),
+    ),
+    kfunc(
+        "unix_stream_recvmsg",
+        W(82),
+        Wh(
+            "net.rx_wait",
+            [
+                C("prepare_to_wait"),
+                A("net.rx_block"),
+                C("schedule_timeout"),
+                C("finish_wait"),
+            ],
+        ),
+        A("net.recv"),
+    ),
+    # socket misc
+    kfunc("sys_setsockopt", W(36), C("sockfd_lookup"), A("net.setsockopt")),
+    kfunc("sys_getsockopt", W(32), C("sockfd_lookup"), A("net.getsockopt")),
+    kfunc("sys_shutdown", W(28), C("sockfd_lookup"), A("net.shutdown")),
+    kfunc("sock_close", W(36), D("net.release_op"), W(10)),
+    kfunc("inet_release", W(52), A("net.release")),
+    kfunc("packet_release", W(44), A("net.release"), A("net.tap_disable")),
+    kfunc("unix_release", W(46), A("net.release")),
+    kfunc("sock_ioctl", W(38), A("net.ioctl")),
+    kfunc("sock_poll", W(34), D("net.poll_proto_op")),
+    kfunc("tcp_poll", W(58), A("poll.record")),
+    kfunc("datagram_poll", W(48), A("poll.record")),
+    kfunc("unix_poll", W(42), A("poll.record")),
+    kfunc("sock_aio_read", W(44), C("sock_recvmsg")),
+    kfunc("sock_aio_write", W(44), C("sock_sendmsg")),
+    # RX softirq + protocol demux
+    kfunc(
+        "net_rx_action",
+        W(54),
+        Wh("net.backlog_nonempty", [C("process_backlog")]),
+    ),
+    kfunc("process_backlog", W(44), A("net.backlog_pop"), C("netif_receive_skb")),
+    kfunc(
+        "netif_receive_skb",
+        W(64),
+        Cnd("net.tap_active", [C("packet_rcv")]),
+        C("ip_rcv"),
+    ),
+    kfunc("packet_rcv", W(72), C("skb_clone"), A("net.tap_deliver"), C("sock_def_readable")),
+    kfunc("skb_clone", W(38), C("kmalloc")),
+    kfunc("ip_rcv", W(74), C("ip_local_deliver")),
+    kfunc("ip_local_deliver", W(46), D("net.proto_rcv_op")),
+    kfunc("udp_rcv", W(82), C("udp_queue_rcv_skb")),
+    kfunc("udp_queue_rcv_skb", W(54), A("net.deliver"), C("sock_def_readable")),
+    kfunc(
+        "tcp_v4_rcv",
+        W(118),
+        Cnd("net.pkt_is_syn", [C("tcp_v4_conn_request")]),
+        Cnd("net.pkt_is_data", [C("tcp_rcv_established")]),
+    ),
+    kfunc("tcp_v4_conn_request", W(86), A("net.enqueue_accept"), C("sock_def_readable")),
+    kfunc("tcp_rcv_established", W(104), A("net.deliver"), C("sock_def_readable")),
+    kfunc("sock_def_readable", W(28), C("__wake_up_sync")),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.slot("net.create_op")
+def _create_op(rt) -> str:
+    return rt.net.create_op(rt)
+
+
+@REGISTRY.pred("net.is_stream")
+def _is_stream(rt) -> bool:
+    return rt.arg("stype", "stream") == "stream"
+
+
+@REGISTRY.act("net.create")
+def _create(rt) -> None:
+    rt.net.do_create(rt)
+
+
+@REGISTRY.act("net.install_fd")
+def _install_fd(rt) -> None:
+    rt.net.do_install_fd(rt)
+
+
+@REGISTRY.slot("net.bind_op")
+def _bind_op(rt) -> str:
+    return rt.net.bind_op(rt)
+
+
+@REGISTRY.slot("net.get_port_op")
+def _get_port_op(rt) -> str:
+    return rt.net.get_port_op(rt)
+
+
+@REGISTRY.act("net.bind")
+def _bind(rt) -> None:
+    rt.net.do_bind(rt)
+
+
+@REGISTRY.pred("net.needs_autobind")
+def _needs_autobind(rt) -> bool:
+    sock = rt.net._sock(rt)
+    return sock is not None and sock.bound_port is None
+
+
+@REGISTRY.act("net.autobind")
+def _autobind(rt) -> None:
+    rt.net.do_autobind(rt)
+
+
+@REGISTRY.act("net.tap_enable")
+def _tap_enable(rt) -> None:
+    rt.net.do_tap_enable(rt)
+
+
+@REGISTRY.act("net.tap_disable")
+def _tap_disable(rt) -> None:
+    rt.net.do_tap_disable(rt)
+
+
+@REGISTRY.act("net.listen")
+def _listen(rt) -> None:
+    rt.net.do_listen(rt)
+
+
+@REGISTRY.pred("net.accept_wait")
+def _accept_wait(rt) -> bool:
+    return rt.net.accept_wait(rt)
+
+
+@REGISTRY.act("net.accept_block")
+def _accept_block(rt) -> None:
+    rt.net.accept_block(rt)
+
+
+@REGISTRY.act("net.do_accept")
+def _do_accept(rt) -> None:
+    rt.net.do_accept(rt)
+
+
+@REGISTRY.slot("net.connect_op")
+def _connect_op(rt) -> str:
+    return rt.net.connect_op(rt)
+
+
+@REGISTRY.act("net.connect")
+def _connect(rt) -> None:
+    rt.net.do_connect(rt)
+
+
+@REGISTRY.slot("net.sendmsg_op")
+def _sendmsg_op(rt) -> str:
+    return rt.net.sendmsg_op(rt)
+
+
+@REGISTRY.act("net.send")
+def _send(rt) -> None:
+    rt.net.do_send(rt)
+
+
+@REGISTRY.act("net.send_local")
+def _send_local(rt) -> None:
+    rt.net.do_send_local(rt)
+
+
+@REGISTRY.slot("net.recvmsg_op")
+def _recvmsg_op(rt) -> str:
+    return rt.net.recvmsg_op(rt)
+
+
+@REGISTRY.pred("net.rx_wait")
+def _rx_wait(rt) -> bool:
+    return rt.net.rx_wait(rt)
+
+
+@REGISTRY.act("net.rx_block")
+def _rx_block(rt) -> None:
+    rt.net.rx_block(rt)
+
+
+@REGISTRY.act("net.recv")
+def _recv(rt) -> None:
+    rt.net.do_recv(rt)
+
+
+@REGISTRY.act("net.setsockopt")
+def _setsockopt(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.act("net.getsockopt")
+def _getsockopt(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.act("net.shutdown")
+def _shutdown(rt) -> None:
+    rt.net.do_shutdown(rt)
+
+
+@REGISTRY.slot("net.release_op")
+def _release_op(rt) -> str:
+    return rt.net.release_op(rt)
+
+
+@REGISTRY.act("net.release")
+def _release(rt) -> None:
+    rt.net.do_release(rt)
+
+
+@REGISTRY.act("net.ioctl")
+def _ioctl(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.slot("net.poll_proto_op")
+def _poll_proto_op(rt) -> str:
+    return rt.net.poll_proto_op(rt)
+
+
+@REGISTRY.slot("net.xmit_op")
+def _xmit_op(rt) -> str:
+    return rt.net.xmit_op(rt)
+
+
+@REGISTRY.act("net.backlog_enqueue")
+def _backlog_enqueue(rt) -> None:
+    rt.net.backlog_enqueue(rt)
+
+
+@REGISTRY.act("net.raise_rx_softirq")
+def _raise_rx_softirq(rt) -> None:
+    rt.softirq_pending.add("net_rx")
+
+
+@REGISTRY.pred("net.backlog_nonempty")
+def _backlog_nonempty(rt) -> bool:
+    return rt.net.backlog_nonempty(rt)
+
+
+@REGISTRY.act("net.backlog_pop")
+def _backlog_pop(rt) -> None:
+    rt.net.backlog_pop(rt)
+
+
+@REGISTRY.pred("net.tap_active")
+def _tap_active(rt) -> bool:
+    return rt.net.tap_active(rt)
+
+
+@REGISTRY.act("net.tap_deliver")
+def _tap_deliver(rt) -> None:
+    rt.net.tap_deliver(rt)
+
+
+@REGISTRY.slot("net.proto_rcv_op")
+def _proto_rcv_op(rt) -> str:
+    return rt.net.proto_rcv_op(rt)
+
+
+@REGISTRY.pred("net.pkt_is_syn")
+def _pkt_is_syn(rt) -> bool:
+    return rt.net.pkt_is_syn(rt)
+
+
+@REGISTRY.pred("net.pkt_is_data")
+def _pkt_is_data(rt) -> bool:
+    return rt.net.pkt_is_data(rt)
+
+
+@REGISTRY.act("net.enqueue_accept")
+def _enqueue_accept(rt) -> None:
+    rt.net.enqueue_accept(rt)
+
+
+@REGISTRY.act("net.deliver")
+def _deliver(rt) -> None:
+    rt.net.deliver(rt)

@@ -1,0 +1,111 @@
+"""Anonymous pipes: the subsystem behind the paper's Figure 3 example.
+
+``pipe_poll`` / ``sys_poll`` / ``do_sys_poll`` are the functions involved
+in the cross-view recovery bug the paper describes, and the Pipe-based
+Context Switching UnixBench subtest (the one workload FACE-CHANGE visibly
+slows down, Figure 6) lives entirely on this path.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("sys_pipe", W(30), C("do_pipe")),
+    kfunc(
+        "do_pipe",
+        W(66),
+        C("get_unused_fd"),
+        C("get_unused_fd"),
+        C("kmalloc"),
+        A("pipe.create"),
+    ),
+    kfunc(
+        "pipe_read",
+        W(64),
+        C("mutex_lock"),
+        Wh(
+            "pipe.read_wait",
+            [
+                A("pipe.read_block"),
+                C("mutex_unlock"),
+                C("schedule"),
+                C("mutex_lock"),
+            ],
+        ),
+        A("pipe.do_read"),
+        C("__wake_up_sync"),
+        C("mutex_unlock"),
+        C("copy_to_user"),
+    ),
+    kfunc(
+        "pipe_write",
+        W(60),
+        C("mutex_lock"),
+        C("copy_from_user"),
+        Wh(
+            "pipe.write_wait",
+            [
+                A("pipe.write_block"),
+                C("mutex_unlock"),
+                C("schedule"),
+                C("mutex_lock"),
+            ],
+        ),
+        A("pipe.do_write"),
+        C("__wake_up_sync"),
+        C("mutex_unlock"),
+    ),
+    kfunc("pipe_poll", W(52), A("poll.record")),
+    kfunc(
+        "pipe_release",
+        W(42),
+        A("pipe.release"),
+        C("__wake_up_sync"),
+        C("kfree"),
+    ),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.act("pipe.create")
+def _pipe_create(rt) -> None:
+    rt.fs.pipe_create(rt)
+
+
+@REGISTRY.pred("pipe.read_wait")
+def _pipe_read_wait(rt) -> bool:
+    return rt.fs.pipe_read_wait(rt)
+
+
+@REGISTRY.act("pipe.read_block")
+def _pipe_read_block(rt) -> None:
+    rt.fs.pipe_read_block(rt)
+
+
+@REGISTRY.act("pipe.do_read")
+def _pipe_do_read(rt) -> None:
+    rt.fs.pipe_do_read(rt)
+
+
+@REGISTRY.pred("pipe.write_wait")
+def _pipe_write_wait(rt) -> bool:
+    return rt.fs.pipe_write_wait(rt)
+
+
+@REGISTRY.act("pipe.write_block")
+def _pipe_write_block(rt) -> None:
+    rt.fs.pipe_write_block(rt)
+
+
+@REGISTRY.act("pipe.do_write")
+def _pipe_do_write(rt) -> None:
+    rt.fs.pipe_do_write(rt)
+
+
+@REGISTRY.act("pipe.release")
+def _pipe_release(rt) -> None:
+    rt.fs.pipe_release(rt)

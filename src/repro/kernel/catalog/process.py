@@ -1,0 +1,207 @@
+"""Process management: fork/clone/execve/exit/wait, futexes, identity."""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("sys_fork", W(28), C("do_fork")),
+    kfunc("sys_clone", W(32), C("do_fork")),
+    kfunc("sys_vfork", W(26), C("do_fork")),
+    kfunc(
+        "do_fork",
+        W(76),
+        C("security_task_create"),
+        C("copy_process"),
+        C("wake_up_new_task"),
+        A("task.fork_ret"),
+    ),
+    kfunc(
+        "copy_process",
+        W(152),
+        C("dup_task_struct"),
+        C("copy_files"),
+        C("copy_mm"),
+        C("copy_thread"),
+        A("task.create_child"),
+    ),
+    kfunc("dup_task_struct", W(58), C("kmalloc")),
+    kfunc("copy_files", W(48), C("kmalloc")),
+    kfunc("copy_mm", W(84), C("dup_mm")),
+    kfunc("dup_mm", W(102), C("kmalloc"), C("copy_page_range")),
+    kfunc("copy_page_range", W(126)),
+    kfunc("copy_thread", W(52)),
+    kfunc("wake_up_new_task", W(38), C("try_to_wake_up")),
+    kfunc("sys_execve", W(38), C("do_execve")),
+    kfunc(
+        "do_execve",
+        W(96),
+        C("getname"),
+        C("open_exec"),
+        C("security_bprm_check"),
+        C("search_binary_handler"),
+        A("task.execve"),
+        C("putname"),
+    ),
+    kfunc("open_exec", W(46), C("do_filp_open")),
+    kfunc("search_binary_handler", W(56), C("load_elf_binary")),
+    kfunc(
+        "load_elf_binary",
+        W(172),
+        C("kmalloc"),
+        C("do_mmap_pgoff"),
+        C("start_thread"),
+    ),
+    kfunc("start_thread", W(30)),
+    kfunc("sys_exit", W(18), C("do_group_exit")),
+    kfunc("sys_exit_group", W(18), C("do_group_exit")),
+    kfunc("do_group_exit", W(34), C("do_exit")),
+    kfunc(
+        "do_exit",
+        W(112),
+        C("exit_mm"),
+        C("exit_files"),
+        C("exit_notify"),
+        A("task.exit"),
+        Wh("task.exited", [C("schedule")]),
+    ),
+    kfunc("exit_mm", W(48), C("kfree")),
+    kfunc("exit_files", W(52), A("task.close_fds"), C("kfree")),
+    kfunc(
+        "exit_notify",
+        W(56),
+        A("signal.stage_child_exit"),
+        C("send_signal"),
+        C("__wake_up_sync"),
+    ),
+    kfunc("sys_waitpid", W(44), C("do_wait")),
+    kfunc(
+        "do_wait",
+        W(86),
+        Wh("task.wait_no_child", [A("task.wait_block"), C("schedule")]),
+        A("task.reap_child"),
+        C("release_task"),
+    ),
+    kfunc("release_task", W(64), C("kfree")),
+    kfunc("sys_getpid", W(14), A("task.getpid")),
+    kfunc("sys_getppid", W(14), A("task.getppid")),
+    kfunc("sys_getuid", W(12), A("task.getuid")),
+    kfunc("sys_uname", W(28), C("copy_to_user")),
+    kfunc(
+        "sys_futex",
+        W(54),
+        Cnd("futex.is_wait", [C("futex_wait")]),
+        Cnd("futex.is_wake", [C("futex_wake")]),
+    ),
+    kfunc(
+        "futex_wait",
+        W(74),
+        C("get_futex_key"),
+        A("futex.prepare_wait"),
+        Wh("futex.wait_cond", [A("futex.block"), C("schedule")]),
+        W(12),
+    ),
+    kfunc("futex_wake", W(56), C("get_futex_key"), A("futex.wake"), C("__wake_up_sync")),
+    kfunc("get_futex_key", W(42)),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.act("task.fork_ret")
+def _fork_ret(rt) -> None:
+    rt.tasks_api.fork_ret(rt)
+
+
+@REGISTRY.act("task.create_child")
+def _create_child(rt) -> None:
+    rt.tasks_api.create_child(rt)
+
+
+@REGISTRY.act("task.execve")
+def _execve(rt) -> None:
+    rt.tasks_api.execve(rt)
+
+
+@REGISTRY.act("task.exit")
+def _exit(rt) -> None:
+    rt.tasks_api.exit_current(rt)
+
+
+@REGISTRY.pred("task.exited")
+def _exited(rt) -> bool:
+    # A zombie never leaves do_exit; if ever rescheduled it just loops.
+    return True
+
+
+@REGISTRY.act("task.close_fds")
+def _close_fds(rt) -> None:
+    rt.tasks_api.close_fds(rt)
+
+
+@REGISTRY.act("signal.stage_child_exit")
+def _stage_child_exit(rt) -> None:
+    rt.signals.stage_child_exit(rt)
+
+
+@REGISTRY.pred("task.wait_no_child")
+def _wait_no_child(rt) -> bool:
+    return rt.tasks_api.wait_no_child(rt)
+
+
+@REGISTRY.act("task.wait_block")
+def _wait_block(rt) -> None:
+    rt.tasks_api.wait_block(rt)
+
+
+@REGISTRY.act("task.reap_child")
+def _reap_child(rt) -> None:
+    rt.tasks_api.reap_child(rt)
+
+
+@REGISTRY.act("task.getpid")
+def _getpid(rt) -> None:
+    rt.ret(rt.current.pid)
+
+
+@REGISTRY.act("task.getppid")
+def _getppid(rt) -> None:
+    parent = rt.current.parent
+    rt.ret(parent.pid if parent is not None else 0)
+
+
+@REGISTRY.act("task.getuid")
+def _getuid(rt) -> None:
+    rt.ret(1000)
+
+
+@REGISTRY.pred("futex.is_wait")
+def _futex_is_wait(rt) -> bool:
+    return rt.arg("op", "wait") == "wait"
+
+
+@REGISTRY.pred("futex.is_wake")
+def _futex_is_wake(rt) -> bool:
+    return rt.arg("op", "wait") == "wake"
+
+
+@REGISTRY.act("futex.prepare_wait")
+def _futex_prepare_wait(rt) -> None:
+    rt.futex.prepare_wait(rt)
+
+
+@REGISTRY.pred("futex.wait_cond")
+def _futex_wait_cond(rt) -> bool:
+    return rt.futex.wait_cond(rt)
+
+
+@REGISTRY.act("futex.block")
+def _futex_block(rt) -> None:
+    rt.futex.block(rt)
+
+
+@REGISTRY.act("futex.wake")
+def _futex_wake(rt) -> None:
+    rt.futex.wake(rt)

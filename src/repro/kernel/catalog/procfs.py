@@ -1,0 +1,34 @@
+"""procfs: the memory-backed file system that ``top`` lives on.
+
+The paper's motivating contrast -- ``top`` reads statistics from procfs
+and writes to the tty, while Apache needs the network stack -- depends on
+these paths being disjoint from ext4's.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("proc_root_lookup", W(56), C("proc_pid_lookup")),
+    kfunc("proc_pid_lookup", W(72)),
+    kfunc("proc_reg_open", W(48), C("single_open")),
+    kfunc("single_open", W(38), C("kmalloc")),
+    kfunc("proc_reg_read", W(42), C("seq_read")),
+    kfunc(
+        "seq_read",
+        W(96),
+        A("vfs.file_read"),
+        C("seq_printf"),
+        C("copy_to_user"),
+    ),
+    kfunc("seq_printf", W(30), C("vsnprintf")),
+    kfunc("proc_reg_release", W(28), C("single_release")),
+    kfunc("single_release", W(20), C("kfree")),
+    kfunc("proc_pid_readdir", W(78), C("proc_fill_cache")),
+    kfunc("proc_fill_cache", W(62)),
+]
+
+_ = REGISTRY
+_ = A

@@ -1,0 +1,115 @@
+"""Scheduler: schedule/pick/context-switch, wakeups, tick accounting.
+
+``context_switch`` is the function whose entry address FACE-CHANGE traps
+("Context Switch Trap", Figure 2 step 2).  The architectural switch point
+itself (register/stack swap) is the ``CtxSwitch`` pseudo-instruction
+inside ``__switch_to``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, CtxSwitch, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc(
+        "schedule",
+        W(68),
+        A("sched.prepare"),
+        C("pick_next_task"),
+        Cnd("sched.switch_needed", [C("context_switch")]),
+        W(22),
+    ),
+    kfunc(
+        "pick_next_task",
+        W(84),
+        C("update_curr"),
+        A("sched.pick_next"),
+        W(12),
+    ),
+    kfunc("update_curr", W(46)),
+    kfunc(
+        "context_switch",
+        W(18),
+        C("__switch_to"),
+        W(10),
+    ),
+    kfunc(
+        "__switch_to",
+        W(26),
+        CtxSwitch(),
+        W(8),
+    ),
+    kfunc(
+        "try_to_wake_up",
+        W(58),
+        C("enqueue_task"),
+        A("sched.resched_check"),
+        W(10),
+    ),
+    kfunc("enqueue_task", W(52)),
+    kfunc("dequeue_task", W(48)),
+    kfunc(
+        "__wake_up_sync",
+        W(36),
+        C("__wake_up_common"),
+    ),
+    kfunc(
+        "__wake_up_common",
+        W(44),
+        C("try_to_wake_up"),
+    ),
+    kfunc(
+        "scheduler_tick",
+        W(54),
+        A("sched.tick"),
+        C("task_tick_fair"),
+    ),
+    kfunc("task_tick_fair", W(64)),
+    kfunc(
+        "sys_sched_yield",
+        W(30),
+        A("sched.yield"),
+        C("schedule"),
+    ),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.act("sched.prepare")
+def _sched_prepare(rt) -> None:
+    rt.sched.need_resched = False
+
+
+@REGISTRY.act("sched.pick_next")
+def _sched_pick_next(rt) -> None:
+    rt.sched.pick_next(rt)
+
+
+@REGISTRY.pred("sched.switch_needed")
+def _switch_needed(rt) -> bool:
+    return rt.sched.switch_needed
+
+
+@REGISTRY.pred("sched.need_resched")
+def _need_resched(rt) -> bool:
+    return rt.sched.need_resched
+
+
+@REGISTRY.act("sched.resched_check")
+def _resched_check(rt) -> None:
+    # A newly woken task may preempt at the next user-space resume.
+    rt.sched.need_resched = True
+
+
+@REGISTRY.act("sched.tick")
+def _sched_tick(rt) -> None:
+    rt.sched.on_tick(rt)
+
+
+@REGISTRY.act("sched.yield")
+def _sched_yield(rt) -> None:
+    rt.sched.need_resched = True
+    rt.ret(0)

@@ -1,0 +1,38 @@
+"""LSM hooks and the AppArmor policy engine (built in, as on Ubuntu).
+
+``security_socket_bind`` -> ``apparmor_socket_bind`` is part of the
+recovered chain in the paper's Figure 4 (the Injectso UDP payload).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import C, W, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("security_file_permission", W(16), C("apparmor_file_permission")),
+    kfunc("apparmor_file_permission", W(58), C("aa_file_perm")),
+    kfunc("aa_file_perm", W(52)),
+    kfunc("security_inode_permission", W(16), C("apparmor_inode_permission")),
+    kfunc("apparmor_inode_permission", W(42)),
+    kfunc("security_socket_create", W(14), C("apparmor_socket_create")),
+    kfunc("apparmor_socket_create", W(40)),
+    kfunc("security_socket_bind", W(14), C("apparmor_socket_bind")),
+    kfunc("apparmor_socket_bind", W(44)),
+    kfunc("security_socket_connect", W(14), C("apparmor_socket_connect")),
+    kfunc("apparmor_socket_connect", W(44)),
+    kfunc("security_socket_listen", W(14), C("apparmor_socket_listen")),
+    kfunc("apparmor_socket_listen", W(38)),
+    kfunc("security_socket_accept", W(14), C("apparmor_socket_accept")),
+    kfunc("apparmor_socket_accept", W(38)),
+    kfunc("security_socket_sendmsg", W(14), C("apparmor_socket_sendmsg")),
+    kfunc("apparmor_socket_sendmsg", W(40)),
+    kfunc("security_socket_recvmsg", W(14), C("apparmor_socket_recvmsg")),
+    kfunc("apparmor_socket_recvmsg", W(40)),
+    kfunc("security_task_create", W(20)),
+    kfunc("security_task_kill", W(24)),
+    kfunc("security_bprm_check", W(26)),
+    kfunc("security_kernel_module", W(22)),
+]
+
+_ = REGISTRY

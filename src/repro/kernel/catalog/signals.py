@@ -1,0 +1,114 @@
+"""Signals: registration, queueing, delivery frames, sigreturn.
+
+The Cymothoa case study (paper case study II) relies on this subsystem:
+the parasite registers a SIGALRM handler and drives its backdoor from
+the timer, so its kernel evidence is ``sys_rt_sigaction``/``sys_setitimer``
+plus the delivery path appearing in a kernel view that never used them.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("sys_rt_sigaction", W(44), C("copy_from_user"), C("do_sigaction")),
+    kfunc("sys_signal", W(30), C("do_sigaction")),
+    kfunc("do_sigaction", W(56), A("signal.sigaction")),
+    kfunc("sys_kill", W(38), C("group_send_sig_info")),
+    kfunc(
+        "group_send_sig_info",
+        W(48),
+        C("security_task_kill"),
+        A("signal.stage_kill"),
+        C("send_signal"),
+    ),
+    kfunc("send_signal", W(64), A("signal.queue"), C("complete_signal")),
+    kfunc("complete_signal", W(44), C("signal_wake_up")),
+    kfunc("signal_wake_up", W(30), C("try_to_wake_up")),
+    kfunc("do_notify_resume", W(28), C("do_signal")),
+    kfunc(
+        "do_signal",
+        W(66),
+        C("get_signal_to_deliver"),
+        Cnd(
+            "signal.has_handler",
+            [C("setup_frame"), A("signal.push_handler")],
+        ),
+        Cnd("signal.is_fatal", [A("signal.default_fatal"), C("do_group_exit")]),
+        W(12),
+    ),
+    kfunc("get_signal_to_deliver", W(58), A("signal.dequeue")),
+    kfunc("setup_frame", W(76), C("copy_to_user")),
+    kfunc(
+        "sys_sigreturn",
+        W(36),
+        A("signal.sigreturn"),
+        C("restore_sigcontext"),
+    ),
+    kfunc("restore_sigcontext", W(42), C("copy_from_user")),
+    kfunc("sys_pause", W(26), A("signal.pause"), Wh("signal.pause_wait", [C("schedule")])),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.pred("signal.pending")
+def _pending(rt) -> bool:
+    return rt.signals.pending(rt.current)
+
+
+@REGISTRY.act("signal.sigaction")
+def _sigaction(rt) -> None:
+    rt.signals.do_sigaction(rt)
+
+
+@REGISTRY.act("signal.stage_kill")
+def _stage_kill(rt) -> None:
+    rt.signals.stage_kill(rt)
+
+
+@REGISTRY.act("signal.queue")
+def _queue(rt) -> None:
+    rt.signals.queue_staged(rt)
+
+
+@REGISTRY.act("signal.dequeue")
+def _dequeue(rt) -> None:
+    rt.signals.dequeue(rt)
+
+
+@REGISTRY.pred("signal.has_handler")
+def _has_handler(rt) -> bool:
+    return rt.signals.delivering_has_handler(rt)
+
+
+@REGISTRY.act("signal.push_handler")
+def _push_handler(rt) -> None:
+    rt.signals.push_handler(rt)
+
+
+@REGISTRY.pred("signal.is_fatal")
+def _is_fatal(rt) -> bool:
+    return rt.signals.delivering_is_fatal(rt)
+
+
+@REGISTRY.act("signal.default_fatal")
+def _default_fatal(rt) -> None:
+    rt.signals.mark_fatal(rt)
+
+
+@REGISTRY.act("signal.sigreturn")
+def _sigreturn(rt) -> None:
+    rt.signals.do_sigreturn(rt)
+
+
+@REGISTRY.act("signal.pause")
+def _pause(rt) -> None:
+    rt.signals.do_pause(rt)
+
+
+@REGISTRY.pred("signal.pause_wait")
+def _pause_wait(rt) -> bool:
+    return rt.signals.pause_wait(rt)

@@ -1,0 +1,100 @@
+"""TTY layer: line discipline, console output, ptys, keyboard input.
+
+``top``/``bash``/``gvim`` spend their kernel time here; the KBeast case
+study sniffs keystrokes flowing through the keyboard -> line-discipline
+path while the bash kernel view is enforced.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, D, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    kfunc("tty_open", W(54), C("tty_init_dev")),
+    kfunc("tty_init_dev", W(46), C("kmalloc")),
+    kfunc("tty_read", W(46), C("n_tty_read")),
+    kfunc(
+        "n_tty_read",
+        W(112),
+        Wh(
+            "tty.read_wait",
+            [
+                C("prepare_to_wait"),
+                A("tty.read_block"),
+                C("schedule_timeout"),
+                C("finish_wait"),
+            ],
+        ),
+        A("tty.do_read"),
+        C("copy_to_user"),
+    ),
+    kfunc("tty_write", W(46), C("n_tty_write")),
+    kfunc(
+        "n_tty_write",
+        W(94),
+        C("copy_from_user"),
+        A("tty.do_write"),
+        D("tty.out_op"),
+    ),
+    kfunc("con_write", W(84), C("do_con_write")),
+    kfunc("do_con_write", W(106)),
+    kfunc("pty_write", W(48), A("tty.pty_forward"), C("__wake_up_sync")),
+    kfunc("tty_poll", W(38), A("poll.record")),
+    kfunc("tty_ioctl", W(66), A("tty.ioctl")),
+    kfunc("tty_release", W(38), C("kfree")),
+    # keyboard input path (interrupt context)
+    kfunc("atkbd_interrupt", W(58), C("kbd_event")),
+    kfunc("kbd_event", W(76), C("tty_insert_flip_char")),
+    kfunc("tty_insert_flip_char", W(36), A("tty.input"), C("flush_to_ldisc")),
+    kfunc("flush_to_ldisc", W(54), C("n_tty_receive_buf")),
+    kfunc("n_tty_receive_buf", W(88), A("tty.cook"), C("__wake_up_sync")),
+]
+
+
+# --- semantics -------------------------------------------------------------
+
+
+@REGISTRY.pred("tty.read_wait")
+def _tty_read_wait(rt) -> bool:
+    return rt.tty.read_wait(rt)
+
+
+@REGISTRY.act("tty.read_block")
+def _tty_read_block(rt) -> None:
+    rt.tty.read_block(rt)
+
+
+@REGISTRY.act("tty.do_read")
+def _tty_do_read(rt) -> None:
+    rt.tty.do_read(rt)
+
+
+@REGISTRY.act("tty.do_write")
+def _tty_do_write(rt) -> None:
+    rt.tty.do_write(rt)
+
+
+@REGISTRY.slot("tty.out_op")
+def _tty_out_op(rt) -> str:
+    return rt.tty.out_op(rt)
+
+
+@REGISTRY.act("tty.pty_forward")
+def _tty_pty_forward(rt) -> None:
+    rt.tty.pty_forward(rt)
+
+
+@REGISTRY.act("tty.ioctl")
+def _tty_ioctl(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.act("tty.input")
+def _tty_input(rt) -> None:
+    rt.tty.on_input(rt)
+
+
+@REGISTRY.act("tty.cook")
+def _tty_cook(rt) -> None:
+    rt.tty.cook(rt)

@@ -1,0 +1,473 @@
+"""Virtual file system: open/read/write/close, stat, poll/select, dirs.
+
+Per-file-type behaviour is routed through dispatch slots (``vfs.read_op``
+etc.), mirroring Linux ``file_operations`` tables.  This is what makes
+kernel footprints application-specific: a ``read`` on procfs and a
+``read`` on ext4 reach disjoint kernel code, the key observation of the
+paper's Section II.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.catalog._dsl import A, C, Cnd, D, W, Wh, kfunc
+from repro.kernel.registry import REGISTRY
+
+FUNCTIONS = [
+    # fd plumbing
+    kfunc("fget_light", W(30)),
+    kfunc("fput", W(28)),
+    kfunc("get_unused_fd", W(34)),
+    kfunc("getname", W(38), C("kmalloc"), C("copy_from_user")),
+    kfunc("putname", W(18), C("kfree")),
+    # open/close
+    kfunc("sys_open", W(42), C("do_sys_open")),
+    kfunc(
+        "do_sys_open",
+        W(62),
+        C("getname"),
+        C("get_unused_fd"),
+        C("do_filp_open"),
+        A("vfs.install_fd"),
+        C("putname"),
+    ),
+    kfunc("filp_open", W(30), C("do_filp_open")),
+    kfunc(
+        "do_filp_open",
+        W(118),
+        C("path_init"),
+        C("link_path_walk"),
+        D("vfs.open_op"),
+        W(26),
+    ),
+    kfunc("path_init", W(40)),
+    kfunc(
+        "link_path_walk",
+        W(140),
+        C("d_lookup"),
+        C("inode_permission"),
+        D("vfs.lookup_op"),
+        C("dput"),
+        W(36),
+    ),
+    kfunc("d_lookup", W(52)),
+    kfunc("dput", W(30)),
+    kfunc("generic_permission", W(40)),
+    kfunc("inode_permission", W(30), C("generic_permission"), C("security_inode_permission")),
+    kfunc("generic_file_open", W(32)),
+    kfunc("sys_close", W(28), C("filp_close"), A("vfs.close_fd")),
+    kfunc("filp_close", W(38), D("vfs.release_op"), C("fput")),
+    # read
+    kfunc("sys_read", W(40), C("fget_light"), C("vfs_read"), C("fput")),
+    kfunc(
+        "vfs_read",
+        W(58),
+        C("rw_verify_area"),
+        C("security_file_permission"),
+        D("vfs.read_op"),
+        W(18),
+    ),
+    kfunc("rw_verify_area", W(30)),
+    kfunc("do_sync_read", W(48), D("vfs.aio_read_op")),
+    kfunc("sys_pread64", W(42), C("fget_light"), C("vfs_read"), C("fput")),
+    kfunc("sys_pwrite64", W(42), C("fget_light"), C("vfs_write"), C("fput")),
+    kfunc(
+        "sys_readv",
+        W(38),
+        C("fget_light"),
+        C("rw_verify_area"),
+        C("security_file_permission"),
+        D("vfs.aio_read_op"),
+        C("fput"),
+    ),
+    kfunc(
+        "generic_file_aio_read",
+        W(128),
+        C("find_get_page"),
+        Cnd("vfs.need_readpage", [C("page_cache_alloc"), D("vfs.readpage_op")]),
+        A("vfs.file_read"),
+        C("copy_to_user"),
+        W(34),
+    ),
+    kfunc("mpage_readpage", W(70), C("add_to_page_cache_lru"), D("vfs.get_block_op"), C("submit_bio")),
+    # write
+    kfunc("sys_write", W(40), C("fget_light"), C("vfs_write"), C("fput")),
+    kfunc(
+        "vfs_write",
+        W(58),
+        C("rw_verify_area"),
+        C("security_file_permission"),
+        D("vfs.write_op"),
+        W(18),
+    ),
+    kfunc("do_sync_write", W(48), D("vfs.aio_write_op")),
+    kfunc("generic_file_aio_write", W(62), C("__generic_file_aio_write")),
+    kfunc(
+        "__generic_file_aio_write",
+        W(118),
+        C("file_update_time"),
+        C("generic_perform_write"),
+        W(32),
+    ),
+    kfunc("file_update_time", W(42), C("__mark_inode_dirty")),
+    kfunc("__mark_inode_dirty", W(56), D("vfs.dirty_inode_op")),
+    kfunc("generic_dirty_inode", W(14)),
+    kfunc(
+        "generic_perform_write",
+        W(124),
+        C("find_get_page"),
+        D("vfs.write_begin_op"),
+        C("iov_iter_copy_from_user"),
+        A("vfs.file_write"),
+        D("vfs.write_end_op"),
+        C("mark_page_accessed"),
+    ),
+    kfunc("iov_iter_copy_from_user", W(38), C("copy_from_user")),
+    kfunc("mark_page_accessed", W(28)),
+    kfunc("generic_write_end", W(36)),
+    # block layer
+    kfunc("submit_bh", W(54), C("submit_bio")),
+    kfunc("submit_bio", W(66), C("generic_make_request")),
+    kfunc("generic_make_request", W(88), C("blk_queue_bio"), A("blk.io")),
+    kfunc("blk_queue_bio", W(64), C("elv_merge")),
+    kfunc("elv_merge", W(48)),
+    # fsync
+    kfunc("sys_fsync", W(30), C("fget_light"), C("vfs_fsync"), C("fput")),
+    kfunc("vfs_fsync", W(48), D("vfs.fsync_op")),
+    # stat & friends
+    kfunc(
+        "vfs_stat",
+        W(52),
+        C("getname"),
+        C("path_init"),
+        C("link_path_walk"),
+        C("cp_new_stat64"),
+        C("putname"),
+    ),
+    kfunc("sys_stat64", W(36), C("vfs_stat")),
+    kfunc("sys_fstat64", W(30), C("fget_light"), C("cp_new_stat64"), C("fput")),
+    kfunc("cp_new_stat64", W(46), C("copy_to_user")),
+    kfunc("sys_lseek", W(28), C("fget_light"), A("vfs.lseek"), C("fput")),
+    kfunc("sys_getdents64", W(38), C("fget_light"), C("vfs_readdir"), C("fput")),
+    kfunc(
+        "vfs_readdir",
+        W(52),
+        C("security_file_permission"),
+        D("vfs.readdir_op"),
+    ),
+    # poll/select
+    kfunc("sys_poll", W(58), C("do_sys_poll")),
+    kfunc(
+        "do_sys_poll",
+        W(106),
+        C("poll_initwait"),
+        C("do_poll"),
+        C("poll_freewait"),
+        C("copy_to_user"),
+        W(20),
+    ),
+    kfunc("poll_initwait", W(30)),
+    kfunc("poll_freewait", W(24)),
+    kfunc(
+        "do_poll",
+        W(64),
+        Wh(
+            "poll.wait_loop",
+            [
+                A("poll.rescan_init"),
+                Wh(
+                    "poll.more_fds",
+                    [
+                        A("poll.next_fd"),
+                        Cnd("poll.fd_pollable", [D("vfs.poll_op")]),
+                    ],
+                ),
+                Cnd("poll.should_block", [A("poll.block"), C("schedule_timeout")]),
+            ],
+        ),
+        W(18),
+    ),
+    kfunc("sys_select", W(46), C("core_sys_select")),
+    kfunc("core_sys_select", W(84), C("do_select"), C("copy_to_user")),
+    kfunc(
+        "do_select",
+        W(116),
+        C("poll_initwait"),
+        Wh(
+            "poll.wait_loop",
+            [
+                A("poll.rescan_init"),
+                Wh(
+                    "poll.more_fds",
+                    [
+                        A("poll.next_fd"),
+                        Cnd("poll.fd_pollable", [D("vfs.poll_op")]),
+                    ],
+                ),
+                Cnd("poll.should_block", [A("poll.block"), C("schedule_timeout")]),
+            ],
+        ),
+        C("poll_freewait"),
+        W(24),
+    ),
+    # misc fd syscalls
+    kfunc("sys_dup2", W(28), A("vfs.dup2")),
+    kfunc("sys_fcntl64", W(36), A("vfs.fcntl")),
+    kfunc("sys_ioctl", W(38), C("fget_light"), D("vfs.ioctl_op"), C("fput")),
+    kfunc(
+        "sys_writev",
+        W(38),
+        C("fget_light"),
+        C("do_readv_writev"),
+        C("fput"),
+    ),
+    kfunc(
+        "do_readv_writev",
+        W(74),
+        C("rw_verify_area"),
+        C("security_file_permission"),
+        D("vfs.aio_write_op"),
+    ),
+    kfunc(
+        "sys_sendfile64",
+        W(44),
+        C("fget_light"),
+        C("do_sendfile"),
+        C("fput"),
+    ),
+    kfunc("do_sendfile", W(76), C("do_splice_direct")),
+    kfunc(
+        "do_splice_direct",
+        W(98),
+        C("generic_file_splice_read"),
+        C("sock_sendmsg"),
+    ),
+    kfunc("generic_file_splice_read", W(86), A("vfs.file_read")),
+    # namespace ops
+    kfunc(
+        "sys_unlink",
+        W(38),
+        C("getname"),
+        C("link_path_walk"),
+        D("vfs.unlink_op"),
+        C("putname"),
+    ),
+    kfunc(
+        "sys_rename",
+        W(46),
+        C("getname"),
+        C("link_path_walk"),
+        D("vfs.rename_op"),
+        C("putname"),
+    ),
+    kfunc(
+        "sys_mkdir",
+        W(38),
+        C("getname"),
+        C("link_path_walk"),
+        D("vfs.mkdir_op"),
+        C("putname"),
+    ),
+    kfunc(
+        "sys_chdir",
+        W(34),
+        C("getname"),
+        C("link_path_walk"),
+        A("vfs.chdir"),
+        C("putname"),
+    ),
+    kfunc("sys_getcwd", W(32), C("copy_to_user")),
+]
+
+
+# --- semantics: fd table ----------------------------------------------------
+
+
+@REGISTRY.act("vfs.install_fd")
+def _install_fd(rt) -> None:
+    rt.fs.do_open(rt)
+
+
+@REGISTRY.act("vfs.lseek")
+def _lseek(rt) -> None:
+    rt.fs.do_lseek(rt)
+
+
+@REGISTRY.act("vfs.dup2")
+def _dup2(rt) -> None:
+    rt.fs.do_dup2(rt)
+
+
+@REGISTRY.act("vfs.fcntl")
+def _fcntl(rt) -> None:
+    rt.fs.do_fcntl(rt)
+
+
+@REGISTRY.act("vfs.chdir")
+def _chdir(rt) -> None:
+    rt.ret(0)
+
+
+@REGISTRY.act("vfs.close_fd")
+def _close_fd(rt) -> None:
+    rt.fs.do_close_fd(rt)
+
+
+@REGISTRY.act("vfs.file_read")
+def _file_read(rt) -> None:
+    rt.fs.do_file_read(rt)
+
+
+@REGISTRY.act("vfs.file_write")
+def _file_write(rt) -> None:
+    rt.fs.do_file_write(rt)
+
+
+@REGISTRY.act("blk.io")
+def _blk_io(rt) -> None:
+    rt.fs.block_ios += 1
+
+
+@REGISTRY.pred("vfs.need_readpage")
+def _need_readpage(rt) -> bool:
+    return rt.fs.need_readpage(rt)
+
+
+# --- semantics: per-type dispatch -------------------------------------------
+
+
+@REGISTRY.slot("vfs.open_op")
+def _open_op(rt) -> str:
+    return rt.fs.open_op(rt)
+
+
+@REGISTRY.slot("vfs.lookup_op")
+def _lookup_op(rt) -> str:
+    return rt.fs.lookup_op(rt)
+
+
+@REGISTRY.slot("vfs.release_op")
+def _release_op(rt) -> str:
+    return rt.fs.release_op(rt)
+
+
+@REGISTRY.slot("vfs.read_op")
+def _read_op(rt) -> str:
+    return rt.fs.read_op(rt)
+
+
+@REGISTRY.slot("vfs.write_op")
+def _write_op(rt) -> str:
+    return rt.fs.write_op(rt)
+
+
+@REGISTRY.slot("vfs.aio_read_op")
+def _aio_read_op(rt) -> str:
+    return rt.fs.aio_read_op(rt)
+
+
+@REGISTRY.slot("vfs.aio_write_op")
+def _aio_write_op(rt) -> str:
+    return rt.fs.aio_write_op(rt)
+
+
+@REGISTRY.slot("vfs.readpage_op")
+def _readpage_op(rt) -> str:
+    return "ext4_readpage"
+
+
+@REGISTRY.slot("vfs.get_block_op")
+def _get_block_op(rt) -> str:
+    return "ext4_get_block"
+
+
+@REGISTRY.slot("vfs.dirty_inode_op")
+def _dirty_inode_op(rt) -> str:
+    return rt.fs.dirty_inode_op(rt)
+
+
+@REGISTRY.slot("vfs.write_begin_op")
+def _write_begin_op(rt) -> str:
+    return rt.fs.write_begin_op(rt)
+
+
+@REGISTRY.slot("vfs.write_end_op")
+def _write_end_op(rt) -> str:
+    return rt.fs.write_end_op(rt)
+
+
+@REGISTRY.slot("vfs.fsync_op")
+def _fsync_op(rt) -> str:
+    return "ext4_sync_file"
+
+
+@REGISTRY.slot("vfs.readdir_op")
+def _readdir_op(rt) -> str:
+    return rt.fs.readdir_op(rt)
+
+
+@REGISTRY.slot("vfs.ioctl_op")
+def _ioctl_op(rt) -> str:
+    return rt.fs.ioctl_op(rt)
+
+
+@REGISTRY.slot("vfs.unlink_op")
+def _unlink_op(rt) -> str:
+    return "ext4_unlink"
+
+
+@REGISTRY.slot("vfs.rename_op")
+def _rename_op(rt) -> str:
+    return "ext4_rename"
+
+
+@REGISTRY.slot("vfs.mkdir_op")
+def _mkdir_op(rt) -> str:
+    return "ext4_mkdir"
+
+
+@REGISTRY.slot("vfs.poll_op")
+def _poll_op(rt) -> str:
+    return rt.fs.poll_op(rt)
+
+
+# --- semantics: poll/select scan machinery -----------------------------------
+
+
+@REGISTRY.pred("poll.wait_loop")
+def _poll_wait_loop(rt) -> bool:
+    return rt.fs.poll_wait_loop(rt)
+
+
+@REGISTRY.act("poll.rescan_init")
+def _poll_rescan_init(rt) -> None:
+    rt.fs.poll_rescan_init(rt)
+
+
+@REGISTRY.pred("poll.more_fds")
+def _poll_more_fds(rt) -> bool:
+    return rt.fs.poll_more_fds(rt)
+
+
+@REGISTRY.act("poll.next_fd")
+def _poll_next_fd(rt) -> None:
+    rt.fs.poll_next_fd(rt)
+
+
+@REGISTRY.pred("poll.fd_pollable")
+def _poll_fd_pollable(rt) -> bool:
+    return rt.fs.poll_fd_pollable(rt)
+
+
+@REGISTRY.act("poll.record")
+def _poll_record(rt) -> None:
+    rt.fs.poll_record(rt)
+
+
+@REGISTRY.pred("poll.should_block")
+def _poll_should_block(rt) -> bool:
+    return rt.fs.poll_should_block(rt)
+
+
+@REGISTRY.act("poll.block")
+def _poll_block(rt) -> None:
+    rt.fs.poll_block(rt)

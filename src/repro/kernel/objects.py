@@ -1,0 +1,248 @@
+"""Kernel object model: tasks, files, pipes, sockets, wait queues.
+
+These are the Python-side twins of the structures a real kernel keeps in
+memory.  The parts FACE-CHANGE introspects from the hypervisor (pid,
+comm, the module list) are *also* maintained as raw structures in guest
+memory by the runtime, so the VMI layer genuinely parses memory rather
+than peeking at these objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
+
+from repro.memory.paging import GuestPageTable
+
+
+class TaskState(enum.Enum):
+    RUNNING = "running"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"  # interruptible sleep on a wait queue
+    SLEEPING = "sleeping"  # timed sleep (nanosleep)
+    ZOMBIE = "zombie"
+
+
+@dataclass
+class SavedRegs:
+    """Register file (plus IF flag) saved across a context switch."""
+
+    eip: int = 0
+    esp: int = 0
+    ebp: int = 0
+    eax: int = 0
+    if_enabled: bool = True
+
+
+class WaitQueue:
+    """A set of tasks waiting for a condition."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.waiters: List["Task"] = []
+
+    def add(self, task: "Task") -> None:
+        if task not in self.waiters:
+            self.waiters.append(task)
+
+    def remove(self, task: "Task") -> None:
+        if task in self.waiters:
+            self.waiters.remove(task)
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+
+#: What a user-space driver may yield to the kernel runtime.
+#: ``Syscall`` enters the kernel; ``Compute`` burns pure user-mode cycles.
+@dataclass
+class Syscall:
+    name: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __init__(self, name: str, **args: Any) -> None:
+        self.name = name
+        self.args = args
+
+
+@dataclass
+class Compute:
+    """Pure user-space computation of ``cycles`` virtual cycles."""
+
+    cycles: int
+
+
+#: A driver is a generator yielding Syscall/Compute requests and receiving
+#: each syscall's return value back through ``send``.
+Driver = Generator[Any, Any, None]
+DriverFactory = Callable[[], Driver]
+
+
+@dataclass
+class SyscallContext:
+    """Per-syscall execution context consulted by predicates/actions."""
+
+    name: str
+    args: Dict[str, Any]
+    retval: int = 0
+    #: scratch space for multi-step kernel paths
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+class Epoll:
+    """An eventpoll instance: the set of fds it watches."""
+
+    def __init__(self, ident: int) -> None:
+        self.ident = ident
+        self.watched: List[int] = []
+
+
+class File:
+    """An open file description (what an fd points at)."""
+
+    KINDS = ("ext4", "proc", "tty", "pipe_r", "pipe_w", "socket", "dev", "epoll")
+
+    def __init__(self, kind: str, name: str, obj: Any = None) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown file kind {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.obj = obj  # Pipe, Socket, or inode-ish payload
+        self.pos = 0
+        self.flags: Set[str] = set()
+        #: open-file-description reference count (fork/dup2 share files)
+        self.refcount = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<File {self.kind}:{self.name}>"
+
+
+class Pipe:
+    """A pipe: byte count plus reader/writer bookkeeping."""
+
+    CAPACITY = 65536
+
+    def __init__(self, ident: int) -> None:
+        self.ident = ident
+        self.count = 0
+        self.readers = 1
+        self.writers = 1
+        self.wait_read = WaitQueue(f"pipe{ident}:read")
+        self.wait_write = WaitQueue(f"pipe{ident}:write")
+
+
+class Socket:
+    """A socket: family/type plus receive/accept queues."""
+
+    def __init__(self, ident: int, family: str, stype: str) -> None:
+        self.ident = ident
+        self.family = family  # "inet" / "unix" / "packet"
+        self.stype = stype  # "stream" / "dgram" / "raw"
+        self.bound_port: Optional[int] = None
+        self.listening = False
+        self.connected = False
+        self.shut_down = False
+        self.rx_bytes = 0
+        self.rx_packets: int = 0
+        self.accept_queue: List["Socket"] = []
+        self.wait_rx = WaitQueue(f"sock{ident}:rx")
+        self.wait_accept = WaitQueue(f"sock{ident}:accept")
+        self.nonblocking = False
+
+
+@dataclass
+class ITimer:
+    """setitimer state: fires SIGALRM every ``interval`` cycles."""
+
+    next_fire: int
+    interval: int
+
+
+class Task:
+    """A guest process (or kernel thread)."""
+
+    def __init__(
+        self,
+        pid: int,
+        comm: str,
+        page_table: GuestPageTable,
+        kstack_top: int,
+        driver: Optional[Driver] = None,
+    ) -> None:
+        self.pid = pid
+        self.comm = comm
+        self.page_table = page_table
+        self.kstack_top = kstack_top
+        self.state = TaskState.RUNNABLE
+        #: the CPU this task is pinned to (§V-C: "each process ... is
+        #: pinned to one CPU during execution")
+        self.cpu = 0
+        self.is_idle = False
+        self.regs = SavedRegs()
+        #: stack of drivers; signal handlers push a nested driver
+        self.drivers: List[Driver] = [driver] if driver is not None else []
+        self.syscall: Optional[SyscallContext] = None
+        self.fd_table: Dict[int, File] = {}
+        self.next_fd = 3
+        self.exit_code: Optional[int] = None
+        self.parent: Optional["Task"] = None
+        self.children: List["Task"] = []
+        self.wait_child = WaitQueue(f"task{pid}:wait")
+        # signals
+        self.signal_handlers: Dict[int, DriverFactory] = {}
+        self.pending_signals: List[int] = []
+        self.in_signal_handler = False
+        #: signal currently being delivered (valid within do_signal)
+        self.delivering_signal: Optional[int] = None
+        self.itimer: Optional[ITimer] = None
+        self.alarm_deadline: Optional[int] = None
+        # timed sleep
+        self.sleep_deadline: Optional[int] = None
+        #: wait queue this task is currently blocked on (for diagnostics)
+        self.blocked_on: Optional[WaitQueue] = None
+        #: remaining pure user-mode cycles for a Compute request
+        self.user_compute_remaining = 0
+        #: cumulative counts for tests/benchmarks
+        self.syscall_count = 0
+        #: last value returned to user space
+        self.last_retval = 0
+        #: set when the driver is exhausted and the task has exited
+        self.finished = False
+        #: user-visible time-slice accounting
+        self.timeslice = 0
+        #: saved contexts of interrupts delivered while this task ran
+        self.irq_frames: List[Any] = []
+
+    @property
+    def driver(self) -> Optional[Driver]:
+        return self.drivers[-1] if self.drivers else None
+
+    def alloc_fd(self, file: File) -> int:
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fd_table[fd] = file
+        return fd
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.pid} {self.comm} {self.state.value}>"
+
+
+class SignalNumbers:
+    """The handful of signal numbers the simulation uses."""
+
+    SIGKILL = 9
+    SIGALRM = 14
+    SIGTERM = 15
+    SIGCHLD = 17
+
+
+@dataclass
+class Packet:
+    """An inbound network packet queued on the simulated NIC."""
+
+    port: int
+    nbytes: int
+    arrival_cycles: int
+    #: "dgram" payload or "syn" for a TCP connection attempt
+    kind: str = "dgram"

@@ -1,0 +1,64 @@
+"""Semantic registry: named predicates, actions and dispatch slots.
+
+Kernel function bodies reference semantics by *name* (interned to 32-bit
+ids by the assembler).  The runtime resolves an id back to a name and
+looks up the Python callable here.  Subsystem catalog modules register
+their semantics with the decorators below at import time.
+
+All callables receive the :class:`repro.kernel.runtime.KernelRuntime`:
+
+* predicate: ``fn(rt) -> bool``
+* action:    ``fn(rt) -> None``
+* slot:      ``fn(rt) -> str``  (returns the target *symbol name*)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.runtime import KernelRuntime
+
+Predicate = Callable[["KernelRuntime"], bool]
+Action = Callable[["KernelRuntime"], None]
+Slot = Callable[["KernelRuntime"], str]
+
+
+class SemanticRegistry:
+    """Name -> callable tables for predicates, actions and slots."""
+
+    def __init__(self) -> None:
+        self.predicates: Dict[str, Predicate] = {}
+        self.actions: Dict[str, Action] = {}
+        self.slots: Dict[str, Slot] = {}
+
+    def pred(self, name: str) -> Callable[[Predicate], Predicate]:
+        def register(fn: Predicate) -> Predicate:
+            if name in self.predicates:
+                raise ValueError(f"duplicate predicate {name!r}")
+            self.predicates[name] = fn
+            return fn
+
+        return register
+
+    def act(self, name: str) -> Callable[[Action], Action]:
+        def register(fn: Action) -> Action:
+            if name in self.actions:
+                raise ValueError(f"duplicate action {name!r}")
+            self.actions[name] = fn
+            return fn
+
+        return register
+
+    def slot(self, name: str) -> Callable[[Slot], Slot]:
+        def register(fn: Slot) -> Slot:
+            if name in self.slots:
+                raise ValueError(f"duplicate slot {name!r}")
+            self.slots[name] = fn
+            return fn
+
+        return register
+
+
+#: The global registry the built-in catalog populates at import time.
+REGISTRY = SemanticRegistry()

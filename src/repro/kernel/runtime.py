@@ -1,0 +1,663 @@
+"""The kernel runtime: OS semantics + the VCPU's semantics bridge.
+
+This class is the simulated guest's "Linux": it owns tasks, the
+scheduler, the subsystem states, the syscall table, and implements the
+:class:`repro.hypervisor.vcpu.SemanticsBridge` protocol that the virtual
+CPU calls for predicates, actions, dispatch slots, context switches,
+syscall entry/exit and interrupt delivery.
+
+Guest-transparency note: everything FACE-CHANGE consumes (the per-CPU
+current-task records, the module list) is *written into guest memory*
+here and read back by the hypervisor's VMI layer -- the hypervisor never
+touches these Python objects.
+
+SMP: the guest supports multiple vCPUs (the paper's §V-C future work).
+Each CPU has its own run queue, idle task, interrupt state and timer;
+tasks are pinned to a CPU at creation, matching the paper's observation
+that "each process ... is pinned to one CPU during execution".  Device
+(NIC/keyboard) interrupts are delivered to CPU 0.  vCPUs execute in
+interleaved time slices, so subsystem state needs no locking; the
+machine marks the running vCPU via :meth:`set_active_vcpu`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu, VcpuError
+from repro.hypervisor.vmi import CURRENT_TASK_ADDR, CURRENT_TASK_STRIDE
+from repro.isa.assembler import NameRegistry
+from repro.kernel.image import KernelImage
+from repro.kernel.objects import (
+    Compute,
+    Syscall,
+    SyscallContext,
+    Task,
+    TaskState,
+    WaitQueue,
+)
+from repro.kernel.registry import REGISTRY, SemanticRegistry
+from repro.kernel.subsys import (
+    FsState,
+    FutexState,
+    ModulesApi,
+    NetState,
+    SignalState,
+    TasksApi,
+    TimeState,
+    TtyState,
+)
+from repro.kernel.syscalls import SYSCALL_TABLE
+from repro.memory.layout import (
+    KERNEL_STACK_BASE,
+    USER_STACK_TOP,
+    USER_TEXT_BASE,
+)
+from repro.memory.paging import GuestPageTable
+
+#: Periodic tick interval in simulated cycles.
+TIMER_PERIOD_CYCLES = 200_000
+#: Time slice, in ticks, before the scheduler preempts a task.
+TIMESLICE_TICKS = 4
+#: Kernel stack stride per task (2 pages, like 32-bit Linux THREAD_SIZE).
+KSTACK_STRIDE = 0x2000
+
+
+class Platform:
+    """Which hypervisor the guest believes it runs under.
+
+    Selects the clocksource: ``QEMU`` (profiling) uses the TSC path,
+    ``KVM`` (runtime) uses the kvm-clock paravirtual path -- the source
+    of the benign recoveries discussed in the paper's Section III-B3.
+    """
+
+    QEMU = "qemu"
+    KVM = "kvm"
+
+
+class SchedState:
+    """Per-CPU round-robin run queue state."""
+
+    def __init__(self) -> None:
+        self.need_resched = False
+        self.next_task: Optional[Task] = None
+        self.switch_needed = False
+        self.context_switches = 0
+
+    def pick_next(self, rt: "KernelRuntime") -> None:
+        cpu = rt.active_cpu
+        current = cpu.current
+        runnable = [
+            t
+            for t in rt.tasks.values()
+            if not t.is_idle
+            and t.cpu == cpu.cpu_id
+            and t.state == TaskState.RUNNABLE
+        ]
+        if (
+            current.state in (TaskState.RUNNING, TaskState.RUNNABLE)
+            and not current.is_idle
+        ):
+            # round-robin: rotate past the current task
+            after = [t for t in runnable if t.pid > current.pid]
+            candidates = after + [t for t in runnable if t.pid <= current.pid]
+            nxt = candidates[0] if candidates else current
+        else:
+            nxt = runnable[0] if runnable else cpu.idle_task
+        self.next_task = nxt
+        self.switch_needed = nxt is not current
+        if not self.switch_needed and current.state != TaskState.ZOMBIE:
+            current.state = TaskState.RUNNING
+        rt.publish_current_task(nxt, cpu.cpu_id)
+
+    def on_tick(self, rt: "KernelRuntime") -> None:
+        cpu = rt.active_cpu
+        current = cpu.current
+        if current.is_idle:
+            return
+        current.timeslice -= 1
+        others = [
+            t
+            for t in rt.tasks.values()
+            if not t.is_idle
+            and t.cpu == cpu.cpu_id
+            and t is not current
+            and t.state == TaskState.RUNNABLE
+        ]
+        if current.timeslice <= 0 and others:
+            current.timeslice = TIMESLICE_TICKS
+            self.need_resched = True
+
+
+@dataclass
+class _IrqFrame:
+    """Saved context for one delivered interrupt (kept per task)."""
+
+    eip: int
+    esp: int
+    ebp: int
+    was_user: bool
+
+
+class _DriverBox:
+    """A user-space driver generator plus its priming state."""
+
+    __slots__ = ("gen", "started")
+
+    def __init__(self, gen: Generator[Any, Any, None]) -> None:
+        self.gen = gen
+        self.started = False
+
+
+class CpuState:
+    """Per-CPU kernel state: current task, scheduler, interrupts, timer."""
+
+    def __init__(self, cpu_id: int, idle_task: Task) -> None:
+        self.cpu_id = cpu_id
+        self.idle_task = idle_task
+        self.current: Task = idle_task
+        self.sched = SchedState()
+        self.irq_nesting = 0
+        self.current_irq: Optional[str] = None
+        self.softirq_pending: Set[str] = set()
+        self.next_timer = TIMER_PERIOD_CYCLES
+        self.next_event = TIMER_PERIOD_CYCLES
+        self.timer_interrupts = 0
+
+
+class KernelRuntime(SemanticsBridge):
+    """The guest OS brain; also the VCPU's semantics bridge."""
+
+    def __init__(
+        self,
+        image: KernelImage,
+        names: NameRegistry,
+        kernel_page_table: GuestPageTable,
+        platform: str = Platform.KVM,
+        registry: SemanticRegistry = REGISTRY,
+        num_cpus: int = 1,
+    ) -> None:
+        self.image = image
+        self.names = names
+        self.registry = registry
+        self.platform = platform
+        self.kernel_page_table = kernel_page_table
+        self.vcpus: List[Vcpu] = []
+        self.active_vcpu: Optional[Vcpu] = None
+        # subsystems (shared across CPUs)
+        self.fs = FsState()
+        self.net = NetState()
+        self.tty = TtyState()
+        self.signals = SignalState()
+        self.time = TimeState()
+        self.futex = FutexState()
+        self.tasks_api = TasksApi()
+        self.modules_api = ModulesApi()
+        # tasks
+        self.tasks: Dict[int, Task] = {}
+        self.next_pid = 1
+        self._next_kstack_index = 0
+        self._kstack_free: List[int] = []
+        # per-CPU state (idle task per CPU)
+        self.cpus: List[CpuState] = []
+        for cpu_id in range(max(1, num_cpus)):
+            idle = self._make_idle_task(cpu_id)
+            self.cpus.append(CpuState(cpu_id, idle))
+        self.active_cpu: CpuState = self.cpus[0]
+        self._spawn_cpu_rr = 0
+        # syscall dispatch (rootkits hook entries of this table)
+        self.syscall_table: Dict[str, str] = dict(SYSCALL_TABLE)
+        # cross-subsystem scratch
+        self.pending_signal_op: Optional[Tuple[Task, int]] = None
+        self.mm_alloc_counter = 0
+        self.syscalls_executed = 0
+        #: notified after a module load changes the guest module list
+        self.module_load_listeners: List[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_vcpu(self, vcpu: Vcpu) -> None:
+        """Attach a vCPU to the CPU slot matching its cpu_id."""
+        while len(self.vcpus) <= vcpu.cpu_id:
+            self.vcpus.append(None)  # type: ignore[arg-type]
+        self.vcpus[vcpu.cpu_id] = vcpu
+        cpu = self.cpus[vcpu.cpu_id]
+        vcpu.mmu.set_cr3(cpu.idle_task.page_table)
+        vcpu.user_mode = False
+        vcpu.eip = self.image.address_of("cpu_idle")
+        vcpu.esp = cpu.idle_task.kstack_top
+        vcpu.ebp = 0
+        self.publish_current_task(cpu.idle_task, cpu.cpu_id)
+        if self.active_vcpu is None:
+            self.set_active_vcpu(vcpu)
+
+    def set_active_vcpu(self, vcpu: Vcpu) -> None:
+        """Mark which vCPU is executing (called by the machine's loop)."""
+        self.active_vcpu = vcpu
+        self.active_cpu = self.cpus[vcpu.cpu_id]
+
+    @property
+    def vcpu(self) -> Optional[Vcpu]:
+        """The active vCPU (CPU 0's on a uniprocessor guest)."""
+        return self.active_vcpu
+
+    @property
+    def cycles(self) -> int:
+        return self.active_vcpu.cycles if self.active_vcpu is not None else 0
+
+    @property
+    def current(self) -> Task:
+        return self.active_cpu.current
+
+    @property
+    def sched(self) -> SchedState:
+        return self.active_cpu.sched
+
+    @property
+    def softirq_pending(self) -> Set[str]:
+        return self.active_cpu.softirq_pending
+
+    @property
+    def next_timer(self) -> int:
+        return self.active_cpu.next_timer
+
+    @property
+    def timer_interrupts(self) -> int:
+        return sum(cpu.timer_interrupts for cpu in self.cpus)
+
+    @property
+    def idle_task(self) -> Task:
+        return self.cpus[0].idle_task
+
+    @property
+    def ctx(self) -> Optional[SyscallContext]:
+        return self.current.syscall
+
+    @property
+    def scratch(self) -> Dict[str, Any]:
+        ctx = self.ctx
+        if ctx is None:
+            raise VcpuError("no syscall context for scratch access")
+        return ctx.scratch
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        ctx = self.ctx
+        if ctx is None:
+            return default
+        return ctx.args.get(name, default)
+
+    def ret(self, value: Any) -> None:
+        ctx = self.ctx
+        if ctx is not None:
+            ctx.retval = value
+
+    @property
+    def in_interrupt(self) -> bool:
+        return self.active_cpu.irq_nesting > 0
+
+    @property
+    def in_interrupt_handler(self) -> bool:
+        return self.active_cpu.irq_nesting > 1
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+
+    def _alloc_kstack(self) -> int:
+        if self._kstack_free:
+            return self._kstack_free.pop()
+        index = self._next_kstack_index
+        self._next_kstack_index += 1
+        base = KERNEL_STACK_BASE + index * KSTACK_STRIDE
+        return base + KSTACK_STRIDE - 16
+
+    def release_kstack(self, top: int) -> None:
+        self._kstack_free.append(top)
+
+    def _make_idle_task(self, cpu_id: int) -> Task:
+        page_table = GuestPageTable()
+        self.kernel_page_table.share_kernel_mappings(page_table)
+        comm = "swapper" if cpu_id == 0 else f"swapper/{cpu_id}"
+        # idle tasks use pid 0 (CPU 0) / high sentinel pids (others)
+        pid = 0 if cpu_id == 0 else 1_000_000 + cpu_id
+        task = Task(pid, comm, page_table, self._alloc_kstack(), driver=None)
+        task.state = TaskState.RUNNING
+        task.timeslice = TIMESLICE_TICKS
+        task.cpu = cpu_id
+        task.is_idle = True
+        self.tasks[task.pid] = task
+        return task
+
+    def create_task(
+        self,
+        comm: str,
+        driver_factory: Callable[[], Generator[Any, Any, None]],
+        parent: Optional[Task] = None,
+        cpu: Optional[int] = None,
+    ) -> Task:
+        """Create a user task whose first schedule-in lands in ret_from_fork."""
+        pid = self.next_pid
+        self.next_pid += 1
+        page_table = GuestPageTable()
+        self.kernel_page_table.share_kernel_mappings(page_table)
+        # user mappings are shared read-only stub/stack frames
+        page_table.map_page(USER_TEXT_BASE, 0x00090000)
+        page_table.map_page(USER_STACK_TOP - 0x1000, 0x000A0000)
+        task = Task(pid, comm, page_table, self._alloc_kstack(), driver=None)
+        task.drivers = [_DriverBox(driver_factory())]
+        task.timeslice = TIMESLICE_TICKS
+        task.regs.eip = self.image.address_of("ret_from_fork")
+        task.regs.esp = task.kstack_top
+        task.regs.ebp = 0
+        if cpu is None:
+            cpu = self._spawn_cpu_rr % len(self.cpus)
+            self._spawn_cpu_rr += 1
+        task.cpu = cpu
+        if parent is not None:
+            task.parent = parent
+            parent.children.append(task)
+        self.tasks[pid] = task
+        task.state = TaskState.RUNNABLE
+        self.cpus[cpu].sched.need_resched = True
+        return task
+
+    def push_driver(self, task: Task, gen: Generator[Any, Any, None]) -> None:
+        task.drivers.append(_DriverBox(gen))
+
+    def replace_driver(self, task: Task, gen: Generator[Any, Any, None]) -> None:
+        task.drivers = [_DriverBox(gen)]
+
+    def publish_current_task(self, task: Task, cpu_id: Optional[int] = None) -> None:
+        """Write the guest-memory record VMI parses (pid + comm), per CPU."""
+        if cpu_id is None:
+            cpu_id = self.active_cpu.cpu_id
+        comm = task.comm.encode("ascii")[:15].ljust(16, b"\x00")
+        addr = CURRENT_TASK_ADDR + cpu_id * CURRENT_TASK_STRIDE
+        self.image.write_guest(
+            addr, struct.pack("<I", task.pid & 0xFFFFFFFF) + comm
+        )
+
+    def on_module_loaded(self, name: str) -> None:
+        for listener in self.module_load_listeners:
+            listener(name)
+
+    # ------------------------------------------------------------------
+    # blocking / waking
+    # ------------------------------------------------------------------
+
+    def block_current(self, queue: WaitQueue) -> None:
+        task = self.current
+        queue.add(task)
+        task.state = TaskState.BLOCKED
+        task.blocked_on = queue
+
+    def wake_queue(self, queue: WaitQueue) -> None:
+        for task in list(queue.waiters):
+            queue.remove(task)
+            self.wake_task(task)
+
+    def wake_task(self, task: Task) -> None:
+        if task.state in (TaskState.BLOCKED, TaskState.SLEEPING):
+            task.state = TaskState.RUNNABLE
+            task.blocked_on = None
+            # resched on the task's own CPU (cross-CPU wakes take effect
+            # at that CPU's next need_resched check, IPI-less)
+            self.cpus[task.cpu].sched.need_resched = True
+
+    # ------------------------------------------------------------------
+    # SemanticsBridge: predicates / actions / slots
+    # ------------------------------------------------------------------
+
+    def eval_pred(self, pred_id: int) -> bool:
+        name = self.names.pred_name(pred_id)
+        fn = self.registry.predicates.get(name)
+        if fn is None:
+            raise VcpuError(f"unregistered predicate {name!r}")
+        return bool(fn(self))
+
+    def do_act(self, act_id: int) -> None:
+        name = self.names.act_name(act_id)
+        fn = self.registry.actions.get(name)
+        if fn is None:
+            raise VcpuError(f"unregistered action {name!r}")
+        fn(self)
+
+    def resolve_slot(self, slot_id: int) -> int:
+        name = self.names.slot_name(slot_id)
+        fn = self.registry.slots.get(name)
+        if fn is None:
+            raise VcpuError(f"unregistered slot {name!r}")
+        symbol = fn(self)
+        return self.image.address_of(symbol)
+
+    def syscall_handler_symbol(self) -> str:
+        ctx = self.ctx
+        if ctx is None:
+            return "sys_ni_syscall"
+        symbol = self.syscall_table.get(ctx.name)
+        if symbol is None:
+            return "sys_ni_syscall"
+        return symbol
+
+    def current_irq_handler(self) -> str:
+        return {
+            "timer": "timer_interrupt",
+            "e1000": "e1000_intr",
+            "atkbd": "atkbd_interrupt",
+        }.get(self.active_cpu.current_irq or "timer", "timer_interrupt")
+
+    # ------------------------------------------------------------------
+    # context switch
+    # ------------------------------------------------------------------
+
+    def on_ctxsw(self, vcpu: Vcpu) -> None:
+        cpu = self.cpus[vcpu.cpu_id]
+        prev = cpu.current
+        nxt = cpu.sched.next_task or cpu.idle_task
+        if nxt is prev:
+            return
+        # save prev
+        prev.regs.eip = vcpu.eip
+        prev.regs.esp = vcpu.esp
+        prev.regs.ebp = vcpu.ebp
+        prev.regs.if_enabled = vcpu.if_enabled
+        if prev.state == TaskState.RUNNING:
+            prev.state = TaskState.RUNNABLE
+        # restore next
+        nxt.state = TaskState.RUNNING
+        cpu.current = nxt
+        vcpu.mmu.set_cr3(nxt.page_table)
+        vcpu.eip = nxt.regs.eip
+        vcpu.esp = nxt.regs.esp
+        vcpu.ebp = nxt.regs.ebp
+        vcpu.if_enabled = nxt.regs.if_enabled
+        cpu.sched.context_switches += 1
+        self.publish_current_task(nxt, cpu.cpu_id)
+
+    # ------------------------------------------------------------------
+    # syscalls
+    # ------------------------------------------------------------------
+
+    def _next_request(self, task: Task) -> Any:
+        box: Optional[_DriverBox] = task.drivers[-1] if task.drivers else None
+        if box is None:
+            return Syscall("exit", code=0)
+        try:
+            if not box.started:
+                box.started = True
+                return next(box.gen)
+            return box.gen.send(task.last_retval)
+        except StopIteration:
+            if len(task.drivers) > 1:
+                # a signal handler fell off its end: implicit sigreturn
+                return Syscall("sigreturn")
+            return Syscall("exit", code=0)
+
+    def on_software_interrupt(self, vcpu: Vcpu, vector: int) -> None:
+        if vector != 0x80:
+            raise VcpuError(f"unexpected software interrupt {vector:#x}")
+        task = self.cpus[vcpu.cpu_id].current
+        if task.user_compute_remaining > 0:
+            self._consume_user_compute(vcpu, task)
+            return
+        request = self._next_request(task)
+        if isinstance(request, Compute):
+            task.user_compute_remaining = max(1, int(request.cycles))
+            self._consume_user_compute(vcpu, task)
+            return
+        if not isinstance(request, Syscall):
+            raise VcpuError(f"driver yielded {request!r}, expected Syscall/Compute")
+        task.syscall = SyscallContext(request.name, dict(request.args))
+        task.syscall_count += 1
+        self.syscalls_executed += 1
+        # enter the kernel on the task's kernel stack
+        vcpu.user_mode = False
+        vcpu.esp = task.kstack_top
+        vcpu.push(0)  # backtrace sentinel
+        vcpu.ebp = 0
+        vcpu.eip = self.image.address_of("syscall_call")
+
+    def _consume_user_compute(self, vcpu: Vcpu, task: Task) -> None:
+        """Burn pure user-mode cycles in timer-bounded chunks."""
+        cpu = self.cpus[vcpu.cpu_id]
+        until_tick = max(1, cpu.next_timer - vcpu.cycles)
+        chunk = min(task.user_compute_remaining, until_tick)
+        vcpu.cycles += chunk
+        task.user_compute_remaining -= chunk
+        # eip is already past the INT; the user stub loops back to it,
+        # giving the interrupt-window check a chance to fire the tick.
+
+    def on_iret(self, vcpu: Vcpu) -> None:
+        task = self.cpus[vcpu.cpu_id].current
+        frames: List[_IrqFrame] = task.irq_frames
+        if frames:
+            frame = frames.pop()
+            vcpu.if_enabled = True
+            if frame.was_user:
+                self._return_to_user(vcpu, task)
+            else:
+                vcpu.user_mode = False
+                vcpu.eip = frame.eip
+                vcpu.esp = frame.esp
+                vcpu.ebp = frame.ebp
+            return
+        # syscall (or fork-child) return
+        if task.syscall is not None:
+            task.last_retval = task.syscall.retval
+            task.syscall = None
+        self._return_to_user(vcpu, task)
+
+    def _return_to_user(self, vcpu: Vcpu, task: Task) -> None:
+        vcpu.user_mode = True
+        vcpu.if_enabled = True
+        vcpu.eip = USER_TEXT_BASE
+        vcpu.esp = USER_STACK_TOP - 16
+        vcpu.ebp = 0
+
+    def finish_fork(self) -> None:
+        task = self.current
+        task.last_retval = 0  # fork returns 0 in the child
+        task.syscall = None
+
+    # ------------------------------------------------------------------
+    # interrupts
+    # ------------------------------------------------------------------
+
+    def _due_irq(self, cpu: CpuState, now: int) -> Optional[str]:
+        if now >= cpu.next_timer:
+            return "timer"
+        if cpu.cpu_id == 0:
+            if self.net.nic_irq_due(now):
+                return "e1000"
+            if self.tty.kbd_irq_due(now):
+                return "atkbd"
+        return None
+
+    def refresh_next_event(self) -> None:
+        """Recompute every CPU's cached earliest-interrupt deadline."""
+        for cpu in self.cpus:
+            nxt = cpu.next_timer
+            if cpu.cpu_id == 0:
+                nic = self.net.next_nic_event()
+                if nic is not None and nic < nxt:
+                    nxt = nic
+                kbd = self.tty.next_kbd_event()
+                if kbd is not None and kbd < nxt:
+                    nxt = kbd
+            cpu.next_event = nxt
+
+    def interrupt_pending(self, vcpu: Vcpu) -> bool:
+        return vcpu.cycles >= self.cpus[vcpu.cpu_id].next_event
+
+    def deliver_interrupt(self, vcpu: Vcpu) -> None:
+        cpu = self.cpus[vcpu.cpu_id]
+        irq = self._due_irq(cpu, vcpu.cycles)
+        if irq is None:
+            self.refresh_next_event()
+            return
+        if irq == "timer":
+            cpu.timer_interrupts += 1
+            while cpu.next_timer <= vcpu.cycles:
+                cpu.next_timer += TIMER_PERIOD_CYCLES
+        self.refresh_next_event()
+        cpu.current_irq = irq
+        task = cpu.current
+        task.irq_frames.append(
+            _IrqFrame(
+                eip=vcpu.eip,
+                esp=vcpu.esp,
+                ebp=vcpu.ebp,
+                was_user=vcpu.user_mode,
+            )
+        )
+        vcpu.if_enabled = False
+        if vcpu.user_mode:
+            vcpu.user_mode = False
+            vcpu.esp = task.kstack_top
+            vcpu.push(0)
+            vcpu.ebp = 0
+        else:
+            # interrupted kernel context: the handler runs deeper on the
+            # same stack, leaving the interrupted frame walkable
+            vcpu.push(vcpu.eip)
+        vcpu.eip = self.image.address_of("irq_entry")
+
+    def irq_enter(self) -> None:
+        self.active_cpu.irq_nesting += 1
+
+    def irq_exit(self) -> None:
+        cpu = self.active_cpu
+        cpu.irq_nesting = max(0, cpu.irq_nesting - 1)
+
+    def irq_returns_to_user(self) -> bool:
+        frames = self.current.irq_frames
+        return bool(frames) and frames[-1].was_user
+
+    # ------------------------------------------------------------------
+    # idle (HLT exit handler)
+    # ------------------------------------------------------------------
+
+    def on_idle(self, vcpu: Vcpu) -> None:
+        """Advance virtual time to the next event while the guest idles."""
+        self.refresh_next_event()
+        cpu = self.cpus[vcpu.cpu_id]
+        target = cpu.next_event
+        if len(self.cpus) > 1:
+            # co-simulation clamp: never run more than one tick period
+            # ahead of the slowest sibling vCPU (it catches up on its own
+            # interleaved slice)
+            others = [
+                v.cycles
+                for i, v in enumerate(self.vcpus)
+                if v is not None and i != vcpu.cpu_id
+            ]
+            if others:
+                target = min(target, min(others) + TIMER_PERIOD_CYCLES)
+        if target > vcpu.cycles:
+            vcpu.cycles = target
+        else:
+            vcpu.cycles += 1

@@ -1,0 +1,92 @@
+"""The system call table: request name -> handler symbol.
+
+The runtime resolves the ``syscall_table`` dispatch slot through this
+mapping; kernel rootkits hook entries of this table (KBeast hooks the
+read/write/getdents entries) by replacing the symbol with one of their
+module functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Default (pristine) syscall table.
+SYSCALL_TABLE: Dict[str, str] = {
+    # files
+    "open": "sys_open",
+    "close": "sys_close",
+    "read": "sys_read",
+    "write": "sys_write",
+    "writev": "sys_writev",
+    "sendfile": "sys_sendfile64",
+    "lseek": "sys_lseek",
+    "stat": "sys_stat64",
+    "fstat": "sys_fstat64",
+    "getdents": "sys_getdents64",
+    "poll": "sys_poll",
+    "select": "sys_select",
+    "dup2": "sys_dup2",
+    "fcntl": "sys_fcntl64",
+    "ioctl": "sys_ioctl",
+    "fsync": "sys_fsync",
+    "unlink": "sys_unlink",
+    "rename": "sys_rename",
+    "mkdir": "sys_mkdir",
+    "chdir": "sys_chdir",
+    "getcwd": "sys_getcwd",
+    "pipe": "sys_pipe",
+    "pread": "sys_pread64",
+    "pwrite": "sys_pwrite64",
+    "readv": "sys_readv",
+    "epoll_create": "sys_epoll_create",
+    "epoll_ctl": "sys_epoll_ctl",
+    "epoll_wait": "sys_epoll_wait",
+    # memory
+    "brk": "sys_brk",
+    "mmap": "sys_mmap",
+    "munmap": "sys_munmap",
+    # network
+    "socket": "sys_socket",
+    "bind": "sys_bind",
+    "listen": "sys_listen",
+    "accept": "sys_accept",
+    "connect": "sys_connect",
+    "sendto": "sys_sendto",
+    "send": "sys_sendto",
+    "recvfrom": "sys_recvfrom",
+    "recv": "sys_recvfrom",
+    "setsockopt": "sys_setsockopt",
+    "getsockopt": "sys_getsockopt",
+    "shutdown": "sys_shutdown",
+    # processes
+    "fork": "sys_fork",
+    "clone": "sys_clone",
+    "vfork": "sys_vfork",
+    "execve": "sys_execve",
+    "exit": "sys_exit",
+    "exit_group": "sys_exit_group",
+    "waitpid": "sys_waitpid",
+    "getpid": "sys_getpid",
+    "getppid": "sys_getppid",
+    "getuid": "sys_getuid",
+    "uname": "sys_uname",
+    "futex": "sys_futex",
+    "sched_yield": "sys_sched_yield",
+    # signals
+    "rt_sigaction": "sys_rt_sigaction",
+    "signal": "sys_signal",
+    "kill": "sys_kill",
+    "sigreturn": "sys_sigreturn",
+    "pause": "sys_pause",
+    # time
+    "gettimeofday": "sys_gettimeofday",
+    "time": "sys_time",
+    "clock_gettime": "sys_clock_gettime",
+    "times": "sys_times",
+    "nanosleep": "sys_nanosleep",
+    "setitimer": "sys_setitimer",
+    "alarm": "sys_alarm",
+    # modules
+    "init_module": "sys_init_module",
+    "delete_module": "sys_delete_module",
+}

@@ -1,0 +1,50 @@
+"""Simulated memory system: physical frames, guest paging and EPT.
+
+The two-stage translation is the heart of FACE-CHANGE's mechanism: the
+guest owns a conventional page table (guest-virtual to guest-physical)
+while the hypervisor owns the Extended Page Tables (guest-physical to
+host-physical).  Kernel view switching never touches guest state -- it
+re-points EPT entries covering the kernel's code so the *same* guest
+physical addresses resolve to per-view host frames.
+"""
+
+from repro.memory.layout import (
+    KERNEL_BASE,
+    KERNEL_STACK_BASE,
+    KERNEL_TEXT_BASE,
+    MODULE_SPACE_BASE,
+    PAGE_MASK,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    USER_STACK_TOP,
+    USER_TEXT_BASE,
+    is_kernel_address,
+    page_base,
+    page_number,
+)
+from repro.memory.physmem import PhysicalMemory
+from repro.memory.paging import GuestPageTable, PageFault
+from repro.memory.ept import ExtendedPageTable, EptViolation
+from repro.memory.mmu import Mmu, TranslationError
+
+__all__ = [
+    "EptViolation",
+    "ExtendedPageTable",
+    "GuestPageTable",
+    "KERNEL_BASE",
+    "KERNEL_STACK_BASE",
+    "KERNEL_TEXT_BASE",
+    "MODULE_SPACE_BASE",
+    "Mmu",
+    "PAGE_MASK",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageFault",
+    "PhysicalMemory",
+    "TranslationError",
+    "USER_STACK_TOP",
+    "USER_TEXT_BASE",
+    "is_kernel_address",
+    "page_base",
+    "page_number",
+]

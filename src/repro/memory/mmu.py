@@ -1,0 +1,122 @@
+"""Software MMU: combined GVA -> GPA -> HPA translation with caching.
+
+The cache maps a guest virtual frame number to the backing host frame and
+its bytearray, tagged with the generation counters of the active guest
+page table and the EPT (and the frame's write version for code fetches).
+Any remapping -- a guest ``mmap``, or FACE-CHANGE flipping EPT entries on
+a kernel-view switch -- bumps a generation and implicitly invalidates all
+cached translations, which is the software analogue of a TLB flush.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.memory.ept import EptViolation, ExtendedPageTable
+from repro.memory.layout import PAGE_SHIFT, PAGE_SIZE
+from repro.memory.paging import GuestPageTable, PageFault
+from repro.memory.physmem import PhysicalMemory
+
+
+class TranslationError(Exception):
+    """A guest access that neither the guest PT nor the EPT can satisfy."""
+
+    def __init__(self, gva: int, cause: Exception):
+        super().__init__(f"cannot translate gva {gva:#010x}: {cause}")
+        self.gva = gva
+        self.cause = cause
+
+
+class Mmu:
+    """Per-VCPU software MMU.
+
+    ``cr3`` selects the active guest page table; the EPT is fixed per
+    VCPU (the hypervisor swaps its *contents*, not the object).
+    """
+
+    def __init__(self, physmem: PhysicalMemory, ept: ExtendedPageTable) -> None:
+        self.physmem = physmem
+        self.ept = ept
+        self.cr3: Optional[GuestPageTable] = None
+        self._cache: Dict[int, Tuple[int, bytearray]] = {}
+        self._cache_pt_gen = -1
+        self._cache_ept_gen = -1
+
+    def set_cr3(self, page_table: GuestPageTable) -> None:
+        """Switch address space (guest context switch)."""
+        if page_table is not self.cr3:
+            self.cr3 = page_table
+            self._cache.clear()
+            self._cache_pt_gen = page_table.generation
+            self._cache_ept_gen = self.ept.generation
+
+    def _check_generations(self) -> None:
+        if self.cr3 is None:
+            raise TranslationError(0, PageFault(0))
+        if (
+            self._cache_pt_gen != self.cr3.generation
+            or self._cache_ept_gen != self.ept.generation
+        ):
+            self._cache.clear()
+            self._cache_pt_gen = self.cr3.generation
+            self._cache_ept_gen = self.ept.generation
+
+    def resolve_page(self, gva: int) -> Tuple[int, bytearray]:
+        """Return ``(hpfn, frame bytes)`` for the page containing ``gva``."""
+        self._check_generations()
+        vfn = (gva & 0xFFFFFFFF) >> PAGE_SHIFT
+        cached = self._cache.get(vfn)
+        if cached is not None:
+            return cached
+        assert self.cr3 is not None
+        try:
+            gpa = self.cr3.translate(vfn << PAGE_SHIFT)
+            hpfn = self.ept.translate_frame(gpa >> PAGE_SHIFT)
+        except (PageFault, EptViolation) as exc:
+            raise TranslationError(gva, exc) from exc
+        frame = self.physmem.frame(hpfn)
+        entry = (hpfn, frame)
+        self._cache[vfn] = entry
+        return entry
+
+    def translate(self, gva: int) -> int:
+        """Full GVA -> HPA translation of a single address."""
+        hpfn, _ = self.resolve_page(gva)
+        return (hpfn << PAGE_SHIFT) | (gva & (PAGE_SIZE - 1))
+
+    # -- guest-virtual byte access -------------------------------------------
+
+    def read(self, gva: int, length: int) -> bytes:
+        out = bytearray()
+        addr = gva
+        remaining = length
+        while remaining > 0:
+            _, frame = self.resolve_page(addr)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            out.extend(frame[offset : offset + chunk])
+            addr = (addr + chunk) & 0xFFFFFFFF
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, gva: int, data: bytes) -> None:
+        addr = gva
+        pos = 0
+        remaining = len(data)
+        while remaining > 0:
+            hpfn, frame = self.resolve_page(addr)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            frame[offset : offset + chunk] = data[pos : pos + chunk]
+            # Keep frame versions honest for the decoded-block cache.
+            self.physmem.bump_version(hpfn)
+            addr = (addr + chunk) & 0xFFFFFFFF
+            pos += chunk
+            remaining -= chunk
+
+    def read_u32(self, gva: int) -> int:
+        return struct.unpack("<I", self.read(gva, 4))[0]
+
+    def write_u32(self, gva: int, value: int) -> None:
+        self.write(gva, struct.pack("<I", value & 0xFFFFFFFF))

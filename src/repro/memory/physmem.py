@@ -1,0 +1,109 @@
+"""Host physical memory: a sparse collection of 4 KiB frames.
+
+Frames are identified by host page frame number (hpfn).  Guest RAM is
+mapped into the low hpfns; frames the hypervisor allocates for kernel-view
+copies live above :attr:`PhysicalMemory.guest_frames`.
+
+Each frame carries a monotonically increasing *version* so that the
+virtual CPU's decoded-block cache (and the software MMU's page cache) can
+detect writes -- in particular, FACE-CHANGE's recovery path writing
+recovered code into a view frame must invalidate previously decoded UD2
+blocks for that page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.memory.layout import PAGE_SIZE
+
+
+class PhysicalMemoryError(Exception):
+    """Access to an unmapped host frame."""
+
+
+class PhysicalMemory:
+    """Sparse physical memory with per-frame version counters."""
+
+    def __init__(self, guest_frames: int = 1 << 18) -> None:
+        #: number of hpfns reserved for guest RAM (default 1 GiB)
+        self.guest_frames = guest_frames
+        self._frames: Dict[int, bytearray] = {}
+        self._versions: Dict[int, int] = {}
+        self._next_hypervisor_frame = guest_frames
+
+    # -- frame management ---------------------------------------------------
+
+    def frame(self, hpfn: int) -> bytearray:
+        """Return the backing bytearray for ``hpfn``, creating it lazily."""
+        data = self._frames.get(hpfn)
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            self._frames[hpfn] = data
+            self._versions[hpfn] = 0
+        return data
+
+    def version(self, hpfn: int) -> int:
+        """Current write-version of ``hpfn`` (0 for untouched frames)."""
+        return self._versions.get(hpfn, 0)
+
+    def bump_version(self, hpfn: int) -> None:
+        """Record an external in-place write to ``hpfn``'s bytearray."""
+        self._versions[hpfn] = self._versions.get(hpfn, 0) + 1
+
+    def allocate_frames(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh hypervisor-owned frames."""
+        start = self._next_hypervisor_frame
+        self._next_hypervisor_frame += count
+        return list(range(start, start + count))
+
+    def free_frames(self, hpfns: List[int]) -> None:
+        """Release hypervisor-owned frames (e.g. on view unload)."""
+        for hpfn in hpfns:
+            self._frames.pop(hpfn, None)
+            self._versions.pop(hpfn, None)
+
+    def allocated_frame_count(self) -> int:
+        return len(self._frames)
+
+    # -- byte access (host-physical addressing) ------------------------------
+
+    def read(self, hpa: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at host-physical address ``hpa``."""
+        out = bytearray()
+        for hpfn, offset, chunk in self._spans(hpa, length):
+            out.extend(self.frame(hpfn)[offset : offset + chunk])
+        return bytes(out)
+
+    def write(self, hpa: int, data: bytes) -> None:
+        """Write ``data`` at host-physical address ``hpa``."""
+        pos = 0
+        for hpfn, offset, chunk in self._spans(hpa, len(data)):
+            self.frame(hpfn)[offset : offset + chunk] = data[pos : pos + chunk]
+            self._versions[hpfn] = self._versions.get(hpfn, 0) + 1
+            pos += chunk
+
+    def fill(self, hpa: int, length: int, pattern: bytes) -> None:
+        """Fill ``length`` bytes at ``hpa`` by repeating ``pattern``.
+
+        Used for UD2-filling view frames.  The pattern is laid down
+        aligned to the start address, so a two-byte pattern written at an
+        even address keeps ``0f`` on even offsets.
+        """
+        if not pattern:
+            raise ValueError("empty fill pattern")
+        repeated = (pattern * (length // len(pattern) + 2))[:length]
+        self.write(hpa, repeated)
+
+    def _spans(self, hpa: int, length: int) -> Iterator[Tuple[int, int, int]]:
+        if length < 0:
+            raise ValueError("negative length")
+        remaining = length
+        addr = hpa
+        while remaining > 0:
+            hpfn = addr >> 12
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            yield hpfn, offset, chunk
+            addr += chunk
+            remaining -= chunk

@@ -1,0 +1,36 @@
+"""Shared fixtures: booted machines and profiled view configurations.
+
+Profiling all twelve applications takes a few seconds, so the configs
+are produced once per session and shared by every test that needs them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.similarity import profile_applications
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+
+
+@pytest.fixture()
+def machine():
+    """A freshly booted KVM-platform machine."""
+    return boot_machine(platform=Platform.KVM)
+
+
+@pytest.fixture()
+def qemu_machine():
+    """A freshly booted QEMU-platform (profiling) machine."""
+    return boot_machine(platform=Platform.QEMU)
+
+
+@pytest.fixture(scope="session")
+def app_configs():
+    """Kernel view configs for all twelve Table I applications."""
+    return profile_applications(scale=4)
+
+
+@pytest.fixture(scope="session")
+def top_config(app_configs):
+    return app_configs["top"]

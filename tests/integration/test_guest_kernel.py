@@ -1,0 +1,514 @@
+"""Guest kernel integration tests: whole syscall flows on real bytes."""
+
+import pytest
+
+from repro.kernel.objects import Compute, Syscall, TaskState
+
+Sys = Syscall
+
+
+def run_app(machine, driver_factory, comm="app", max_cycles=2_000_000_000):
+    task = machine.spawn(comm, driver_factory)
+    machine.run(
+        until=lambda: task.finished, max_cycles=max_cycles, step_budget=50_000
+    )
+    assert task.finished, f"{comm} did not finish"
+    return task
+
+
+class TestFileIo:
+    def test_open_read_write_close(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("open", path="/data/file")
+            results["fd"] = fd
+            results["read"] = yield Sys("read", fd=fd, count=4096)
+            results["write"] = yield Sys("write", fd=fd, count=512)
+            results["close"] = yield Sys("close", fd=fd)
+
+        run_app(machine, app)
+        assert results["fd"] == 3
+        assert results["read"] == 4096
+        assert results["write"] == 512
+        assert results["close"] == 0
+
+    def test_fd_removed_after_close(self, machine):
+        def app():
+            fd = yield Sys("open", path="/x")
+            yield Sys("close", fd=fd)
+
+        task = run_app(machine, app)
+        assert task.fd_table == {}
+
+    def test_proc_vs_ext4_kinds(self, machine):
+        kinds = {}
+
+        def app():
+            a = yield Sys("open", path="/proc/stat")
+            b = yield Sys("open", path="/etc/passwd")
+            c = yield Sys("open", path="/dev/tty1")
+            table = machine.runtime.current.fd_table
+            kinds["a"] = table[a].kind
+            kinds["b"] = table[b].kind
+            kinds["c"] = table[c].kind
+            yield Sys("getpid")
+
+        run_app(machine, app)
+        assert kinds == {"a": "proc", "b": "ext4", "c": "tty"}
+
+    def test_lseek_stat_getdents(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("open", path="/var/log/syslog")
+            results["stat"] = yield Sys("stat", path="/var/log/syslog")
+            results["fstat"] = yield Sys("fstat", fd=fd)
+            results["lseek"] = yield Sys("lseek", fd=fd, offset=4096)
+            d = yield Sys("open", path="/var/log")
+            results["dents"] = yield Sys("getdents", fd=d)
+
+        run_app(machine, app)
+        assert results["lseek"] == 4096
+
+    def test_fsync_touches_journal(self, machine):
+        def app():
+            fd = yield Sys("open", path="/data/db")
+            yield Sys("write", fd=fd, count=4096)
+            yield Sys("fsync", fd=fd)
+
+        before = machine.runtime.fs.block_ios
+        run_app(machine, app)
+        assert machine.runtime.fs.block_ios > before
+
+
+class TestPipes:
+    def test_producer_consumer(self, machine):
+        results = {}
+
+        def consumer(h):
+            def child():
+                yield Sys("close", fd=h[1])
+                total = 0
+                while True:
+                    n = yield Sys("read", fd=h[0], count=256)
+                    if n <= 0:
+                        break
+                    total += n
+                results["total"] = total
+            return child
+
+        def producer():
+            r, w = yield Sys("pipe")
+            pid = yield Sys("fork", child=consumer([r, w]), comm="consumer")
+            for _ in range(4):
+                yield Sys("write", fd=w, count=256)
+            yield Sys("close", fd=w)
+            results["reaped"] = yield Sys("waitpid", pid=pid)
+
+        run_app(machine, producer)
+        assert results["total"] == 1024
+        assert results["reaped"] == 2
+
+    def test_pipe_blocks_until_data(self, machine):
+        order = []
+
+        def reader(h):
+            def child():
+                yield Sys("close", fd=h[1])
+                n = yield Sys("read", fd=h[0], count=64)
+                order.append(("read", n))
+            return child
+
+        def writer():
+            r, w = yield Sys("pipe")
+            pid = yield Sys("fork", child=reader([r, w]), comm="r")
+            yield Compute(400_000)  # let the reader block first
+            order.append(("write",))
+            yield Sys("write", fd=w, count=64)
+            yield Sys("close", fd=w)
+            yield Sys("waitpid", pid=pid)
+
+        run_app(machine, writer)
+        assert order == [("write",), ("read", 64)]
+
+
+class TestProcesses:
+    def test_fork_returns_child_pid_and_zero(self, machine):
+        results = {}
+
+        def child_factory():
+            def child():
+                results["child_pid"] = yield Sys("getpid")
+            return child
+
+        def parent():
+            pid = yield Sys("fork", child=child_factory(), comm="kid")
+            results["fork_ret"] = pid
+            yield Sys("waitpid", pid=pid)
+
+        run_app(machine, parent)
+        assert results["fork_ret"] == results["child_pid"]
+
+    def test_execve_replaces_driver(self, machine):
+        results = {}
+
+        def new_program():
+            results["exec"] = yield Sys("getpid")
+
+        def app():
+            yield Sys("execve", comm="newprog", driver=new_program)
+
+        task = run_app(machine, app)
+        assert "exec" in results
+        assert task.comm == "newprog"
+
+    def test_waitpid_reaps_zombie(self, machine):
+        def noop():
+            def child():
+                yield Sys("getpid")
+            return child
+
+        def parent():
+            pid = yield Sys("fork", child=noop(), comm="kid")
+            got = yield Sys("waitpid", pid=pid)
+            assert got == pid
+
+        run_app(machine, parent)
+        # the zombie is gone from the task table
+        comms = [t.comm for t in machine.runtime.tasks.values()]
+        assert "kid" not in comms
+
+    def test_waitpid_without_children(self, machine):
+        results = {}
+
+        def app():
+            results["ret"] = yield Sys("waitpid", pid=12345)
+
+        run_app(machine, app)
+        assert results["ret"] == -10  # -ECHILD
+
+    def test_sched_yield_and_identity(self, machine):
+        results = {}
+
+        def app():
+            results["yield"] = yield Sys("sched_yield")
+            results["uid"] = yield Sys("getuid")
+            results["ppid"] = yield Sys("getppid")
+
+        run_app(machine, app)
+        assert results["uid"] == 1000
+
+    def test_futex_wait_wake(self, machine):
+        results = {}
+
+        def waiter():
+            def child():
+                results["woke"] = yield Sys("futex", op="wait", key="k")
+            return child
+
+        def app():
+            pid = yield Sys("fork", child=waiter(), comm="w")
+            yield Compute(400_000)
+            results["wake"] = yield Sys("futex", op="wake", key="k")
+            yield Sys("waitpid", pid=pid)
+
+        run_app(machine, app)
+        assert results["wake"] == 1
+
+
+class TestSignals:
+    def test_handler_runs_on_alarm(self, machine):
+        results = {"count": 0}
+
+        def handler():
+            results["count"] += 1
+            yield Sys("getpid")
+
+        def app():
+            yield Sys("rt_sigaction", signum=14, handler=handler)
+            yield Sys("alarm", delay=150_000)
+            while results["count"] < 1:
+                yield Compute(250_000)
+
+        run_app(machine, app)
+        assert results["count"] == 1
+
+    def test_itimer_fires_repeatedly(self, machine):
+        results = {"count": 0}
+
+        def handler():
+            results["count"] += 1
+            yield Sys("getpid")
+
+        def app():
+            yield Sys("rt_sigaction", signum=14, handler=handler)
+            yield Sys("setitimer", interval=300_000)
+            while results["count"] < 3:
+                yield Compute(200_000)
+            yield Sys("setitimer", interval=0)
+
+        run_app(machine, app)
+        assert results["count"] >= 3
+
+    def test_kill_delivers_between_processes(self, machine):
+        results = {}
+
+        def handler():
+            results["handled"] = True
+            yield Sys("getpid")
+
+        def victim():
+            def child():
+                yield Sys("rt_sigaction", signum=15, handler=handler)
+                while "handled" not in results:
+                    yield Sys("nanosleep", cycles=100_000)
+            return child
+
+        def app():
+            pid = yield Sys("fork", child=victim(), comm="victim")
+            yield Compute(500_000)
+            yield Sys("kill", pid=pid, signum=15)
+            yield Sys("waitpid", pid=pid)
+
+        run_app(machine, app)
+        assert results.get("handled")
+
+    def test_unhandled_sigterm_kills(self, machine):
+        def victim():
+            def child():
+                while True:
+                    yield Sys("nanosleep", cycles=200_000)
+            return child
+
+        def app():
+            pid = yield Sys("fork", child=victim(), comm="victim")
+            yield Compute(400_000)
+            yield Sys("kill", pid=pid, signum=15)
+            got = yield Sys("waitpid", pid=pid)
+            assert got == pid
+
+        run_app(machine, app)
+
+
+class TestSockets:
+    def test_udp_bind_and_receive(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("socket", family="inet", stype="dgram")
+            results["bind"] = yield Sys("bind", fd=fd, port=9000)
+            results["recv"] = yield Sys("recvfrom", fd=fd, count=2048)
+
+        task = machine.spawn("udp", app)
+        machine.inject_packet(9000, 777, delay=300_000)
+        machine.run(until=lambda: task.finished, max_cycles=2_000_000_000)
+        assert results["bind"] == 0
+        assert results["recv"] == 777
+
+    def test_tcp_accept_recv_send(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("socket", family="inet", stype="stream")
+            yield Sys("bind", fd=fd, port=8080)
+            yield Sys("listen", fd=fd)
+            conn = yield Sys("accept", fd=fd)
+            results["conn"] = conn
+            results["recv"] = yield Sys("recv", fd=conn, count=4096)
+            results["send"] = yield Sys("send", fd=conn, count=100)
+
+        task = machine.spawn("tcp", app)
+        machine.inject_packet(8080, 0, delay=200_000, kind="syn", conn_id=1)
+        machine.inject_packet(8080, 555, delay=400_000, kind="data", conn_id=1)
+        machine.run(until=lambda: task.finished, max_cycles=4_000_000_000)
+        assert task.finished
+        assert results["conn"] > 0
+        assert results["recv"] == 555
+        assert results["send"] == 100
+
+    def test_nonblocking_accept_returns_eagain(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys(
+                "socket", family="inet", stype="stream", nonblocking=True
+            )
+            yield Sys("bind", fd=fd, port=8081)
+            yield Sys("listen", fd=fd)
+            results["accept"] = yield Sys("accept", fd=fd)
+
+        run_app(machine, app)
+        assert results["accept"] == -11  # -EAGAIN
+
+    def test_udp_client_autobinds(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("socket", family="inet", stype="dgram")
+            yield Sys("sendto", fd=fd, count=64, port=53)
+            sock = machine.runtime.current.fd_table[fd].obj
+            results["port"] = sock.bound_port
+            yield Sys("getpid")
+
+        run_app(machine, app)
+        assert results["port"] is not None
+
+    def test_packet_socket_taps_traffic(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("socket", family="packet", stype="dgram")
+            yield Sys("bind", fd=fd, port=0)
+            results["got"] = yield Sys("recvfrom", fd=fd, count=4096)
+
+        task = machine.spawn("sniffer", app)
+        machine.inject_packet(9999, 333, delay=300_000)  # not our port
+        machine.run(until=lambda: task.finished, max_cycles=2_000_000_000)
+        assert task.finished
+        assert results["got"] == 333
+
+    def test_unix_socket_connect_send(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("socket", family="unix", stype="stream")
+            results["conn"] = yield Sys("connect", fd=fd, port=6000)
+            results["sent"] = yield Sys("send", fd=fd, count=256)
+
+        run_app(machine, app)
+        assert results["conn"] == 0
+        assert results["sent"] == 256
+
+
+class TestTty:
+    def test_read_blocks_for_keystrokes(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("open", path="/dev/tty1")
+            results["n"] = yield Sys("read", fd=fd, count=64)
+
+        task = machine.spawn("sh", app)
+        machine.inject_keystrokes(7, delay=400_000)
+        machine.run(until=lambda: task.finished, max_cycles=4_000_000_000)
+        assert task.finished
+        assert results["n"] == 7
+
+    def test_write_counts_output(self, machine):
+        def app():
+            fd = yield Sys("open", path="/dev/tty1")
+            yield Sys("write", fd=fd, count=123)
+
+        run_app(machine, app)
+        assert machine.runtime.tty.output_bytes == 123
+
+
+class TestPollSelect:
+    def test_poll_pipe_becomes_ready(self, machine):
+        results = {}
+
+        def filler(h):
+            def child():
+                yield Compute(400_000)
+                yield Sys("write", fd=h[1], count=64)
+            return child
+
+        def app():
+            r, w = yield Sys("pipe")
+            pid = yield Sys("fork", child=filler([r, w]), comm="f")
+            results["poll"] = yield Sys("poll", fds=[r], timeout_cycles=3_000_000)
+            results["read"] = yield Sys("read", fd=r, count=64)
+            yield Sys("waitpid", pid=pid)
+
+        run_app(machine, app)
+        assert results["poll"] == 1
+        assert results["read"] == 64
+
+    def test_poll_timeout_returns_zero(self, machine):
+        results = {}
+
+        def app():
+            r, w = yield Sys("pipe")
+            results["poll"] = yield Sys("poll", fds=[r], timeout_cycles=300_000)
+
+        run_app(machine, app)
+        assert results["poll"] == 0
+
+    def test_select_on_regular_file_is_ready(self, machine):
+        results = {}
+
+        def app():
+            fd = yield Sys("open", path="/etc/hosts")
+            results["sel"] = yield Sys("select", fds=[fd], timeout_cycles=100_000)
+
+        run_app(machine, app)
+        assert results["sel"] >= 1
+
+
+class TestMemoryAndTime:
+    def test_brk_mmap_munmap(self, machine):
+        def app():
+            yield Sys("brk", count=8192)
+            yield Sys("mmap", count=1 << 20)
+            yield Sys("munmap", count=1 << 20)
+
+        run_app(machine, app)
+
+    def test_nanosleep_advances_time(self, machine):
+        def app():
+            yield Sys("nanosleep", cycles=500_000)
+
+        start = machine.cycles
+        run_app(machine, app)
+        assert machine.cycles - start >= 500_000
+
+    def test_gettimeofday_runs(self, machine):
+        def app():
+            yield Sys("gettimeofday")
+            yield Sys("time")
+            yield Sys("clock_gettime")
+
+        run_app(machine, app)
+
+    def test_unknown_syscall_returns_enosys(self, machine):
+        results = {}
+
+        def app():
+            results["ret"] = yield Sys("frobnicate")
+
+        run_app(machine, app)
+        assert results["ret"] == -38
+
+
+class TestScheduling:
+    def test_preemption_between_cpu_hogs(self, machine):
+        """Two compute-bound tasks interleave via timer preemption."""
+        trace = []
+
+        def hog(tag):
+            def driver():
+                for _ in range(6):
+                    yield Compute(250_000)
+                    trace.append(tag)
+            return driver
+
+        a = machine.spawn("hog-a", hog("a"))
+        b = machine.spawn("hog-b", hog("b"))
+        machine.run(
+            until=lambda: a.finished and b.finished,
+            max_cycles=40_000_000_000,
+        )
+        assert a.finished and b.finished
+        # both made progress before either finished (interleaving)
+        first_half = trace[: len(trace) // 2]
+        assert "a" in first_half and "b" in first_half
+
+    def test_context_switches_counted(self, machine):
+        def app():
+            for _ in range(3):
+                yield Sys("nanosleep", cycles=300_000)
+
+        before = machine.runtime.sched.context_switches
+        run_app(machine, app)
+        assert machine.runtime.sched.context_switches > before

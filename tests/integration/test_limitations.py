@@ -1,0 +1,108 @@
+"""Reproducing the paper's *stated limitations* (Section V).
+
+A faithful reproduction detects what the paper detects -- and misses
+what the paper admits to missing:
+
+* §V-A: an attack that only uses kernel code **inside** the host's own
+  kernel view triggers no recovery and stays invisible;
+* §V-B: a DKOM-style rootkit that only manipulates kernel **data**
+  (never executing new kernel code) is not detected, though the
+  hidden-code scanner extension and VMI cross-checks narrow the gap.
+"""
+
+import pytest
+
+from repro.analysis.detection import evaluate_attack
+from repro.apps.base import Env
+from repro.apps.catalog import APP_CATALOG
+from repro.core.facechange import FaceChange
+from repro.core.provenance import DEFAULT_BENIGN_RECOVERIES
+from repro.core.scanner import HiddenCodeScanner
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import Syscall
+from repro.kernel.runtime import Platform
+from repro.malware.base import Attack, infected_online
+
+Sys = Syscall
+
+
+def in_view_payload(env: Env, scale: int):
+    """§V-A: a parasite C&C *server* reusing only the host's kernel code.
+
+    The paper's own example: "suppose a web server is compromised and a
+    parasite command-and-control server is installed" using only kernel
+    functionality within the web server's view.  Every path below --
+    TCP socket creation, bind/listen/accept, recv/send, serving a file --
+    is code Apache itself was profiled using.
+    """
+    sock = yield Sys("socket", family="inet", stype="stream")
+    yield Sys("setsockopt", fd=sock)
+    yield Sys("bind", fd=sock, port=8443)
+    yield Sys("listen", fd=sock)
+    env.inject_packet(8443, 0, delay=80_000, kind="syn", conn_id=66600)
+    env.inject_packet(8443, 128, delay=160_000, kind="data", conn_id=66600)
+    conn = yield Sys("accept", fd=sock)
+    yield Sys("recv", fd=conn, count=1024)  # C&C command
+    fd = yield Sys("open", path="/var/www/secrets.txt")
+    yield Sys("fstat", fd=fd)
+    yield Sys("sendfile", fd=conn, count=4096)  # exfiltrate
+    yield Sys("close", fd=fd)
+    yield Sys("close", fd=conn)
+    yield Sys("close", fd=sock)
+
+
+IN_VIEW_ATTACK = Attack(
+    name="InViewC2",
+    infection_method="online infection: parasite C&C in web server",
+    payload="exfiltration using only in-view kernel code",
+    host_app="apache",
+    build=infected_online("apache", in_view_payload),
+)
+
+
+def test_section5a_in_view_attack_not_detected(app_configs):
+    """The paper: 'it would be impossible for us to detect its existence
+    in this case.'"""
+    result = evaluate_attack(IN_VIEW_ATTACK, app_configs, scale=3)
+    assert not result.detected_per_app
+    assert not result.detected_union
+    assert result.evidence == []
+
+
+def dkom_hider(machine):
+    """§V-B: a DKOM 'attack' -- manipulate kernel data only.
+
+    Simulated as directly unlinking a module descriptor from the guest
+    module list (what a DKOM rootkit does to `struct module` entries),
+    executing no new kernel code at all.
+    """
+    machine.image.hide_module("e1000")
+
+
+def test_section5b_dkom_not_detected_by_view_switching(app_configs):
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs["top"], comm="top")
+    # the DKOM manipulation happens while the system runs
+    dkom_hider(machine)
+    env = Env(machine)
+    task = machine.spawn("top", APP_CATALOG["top"](env, 3))
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+    anomalous = fc.log.anomalous(benign=DEFAULT_BENIGN_RECOVERIES)
+    # FACE-CHANGE sees nothing: only kernel *data* changed
+    assert anomalous == []
+
+
+def test_hidden_code_scanner_narrows_the_dkom_gap():
+    """The §V integration sketch: data-integrity-style cross-checks can
+    catch DKOM hiding of *code-bearing* objects.  Hiding a module via
+    DKOM leaves orphaned code the scanner attributes."""
+    machine = boot_machine(platform=Platform.KVM)
+    assert HiddenCodeScanner(machine).scan() == []
+    dkom_hider(machine)
+    regions = HiddenCodeScanner(machine).scan()
+    assert len(regions) == 1
+    module = machine.image.modules["e1000"]
+    assert regions[0].start == module.base

@@ -1,0 +1,40 @@
+"""The robustness goal (II-B), checked for every Table I application.
+
+"If an application is running under the same workload and same usage
+scenario as during profiling, the behavior of this application running
+with a customized kernel view should be no different than with a full
+kernel view."  Each app is profiled, then re-run under its own view; it
+must complete, and every recovery must be benign (interrupt-context or
+the kvm-clock chain) -- nothing anomalous.
+"""
+
+import pytest
+
+from repro.apps.base import launch
+from repro.apps.catalog import APP_CATALOG
+from repro.core.facechange import FaceChange
+from repro.core.provenance import DEFAULT_BENIGN_RECOVERIES
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+
+
+@pytest.mark.parametrize("name", sorted(APP_CATALOG))
+def test_app_runs_identically_under_its_view(name, app_configs):
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs[name], comm=name)
+    handle = launch(machine, name, APP_CATALOG[name], scale=4)
+    machine.run(
+        until=lambda: handle.finished,
+        max_cycles=400_000_000_000,
+        step_budget=50_000,
+    )
+    assert handle.finished, name
+    # no silent corruption, ever
+    assert machine.vcpu.corruption_executed == 0
+    # recoveries, if any, are benign: interrupt context or kvm-clock
+    anomalous = fc.log.anomalous(benign=DEFAULT_BENIGN_RECOVERIES)
+    assert anomalous == [], (name, [e.function_name for e in anomalous])
+    # and the view actually confined the app (it was switched in)
+    assert fc.stats.view_switches > 0

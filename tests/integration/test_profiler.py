@@ -1,0 +1,142 @@
+"""Profiling-phase integration tests (Section III-A)."""
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.core.rangelist import BASE_KERNEL
+from repro.kernel.objects import Compute, Syscall
+
+Sys = Syscall
+
+
+def proc_reader(iters=8):
+    def driver():
+        for _ in range(iters):
+            fd = yield Sys("open", path="/proc/stat")
+            yield Sys("read", fd=fd, count=1024)
+            yield Sys("close", fd=fd)
+            yield Compute(300_000)
+    return driver
+
+
+def file_writer(iters=8):
+    def driver():
+        fd = yield Sys("open", path="/data/x")
+        for _ in range(iters):
+            yield Sys("write", fd=fd, count=1024)
+        yield Sys("fsync", fd=fd)
+        yield Sys("close", fd=fd)
+    return driver
+
+
+def run(machine, comm, factory):
+    task = machine.spawn(comm, factory)
+    machine.run(until=lambda: task.finished, max_cycles=8_000_000_000)
+    assert task.finished
+
+
+def test_profiler_records_kernel_blocks(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "reader", proc_reader())
+    assert prof.blocks_recorded > 0
+    config = prof.export("reader")
+    assert config.size > 0
+    assert BASE_KERNEL in config.profile.segments
+
+
+def test_profile_contains_executed_functions(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "reader", proc_reader())
+    config = prof.export("reader")
+    image = qemu_machine.image
+    for fn in ("sys_open", "proc_reg_read", "seq_read", "syscall_call"):
+        addr = image.address_of(fn)
+        assert config.profile.contains(BASE_KERNEL, addr), fn
+
+
+def test_profile_excludes_unexecuted_functions(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "reader", proc_reader())
+    config = prof.export("reader", include_interrupts=False)
+    image = qemu_machine.image
+    for fn in ("inet_create", "sys_bind", "udp_recvmsg", "sys_fork"):
+        addr = image.address_of(fn)
+        assert not config.profile.contains(BASE_KERNEL, addr), fn
+
+
+def test_untracked_process_not_profiled(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "other", file_writer())
+    assert "other" not in prof.profiles
+    with pytest.raises(KeyError):
+        prof.export("other")
+
+
+def test_track_all_mode(qemu_machine):
+    prof = Profiler(qemu_machine, track_all=True)
+    prof.install()
+    run(qemu_machine, "anything", proc_reader(4))
+    assert "anything" in prof.profiles
+
+
+def test_interrupt_context_separated_and_merged(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "reader", proc_reader())
+    # the timer path was recorded as interrupt context, not per-app
+    assert prof.interrupt_profile.size > 0
+    image = qemu_machine.image
+    addr = image.address_of("timer_interrupt")
+    without = prof.export("reader", include_interrupts=False)
+    with_ints = prof.export("reader", include_interrupts=True)
+    assert with_ints.size >= without.size
+    assert with_ints.profile.contains(BASE_KERNEL, addr)
+
+
+def test_qemu_platform_profiles_tsc_not_kvmclock(qemu_machine):
+    """The root cause of the paper's III-B3 benign recoveries."""
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    run(qemu_machine, "reader", proc_reader())
+    config = prof.export("reader")
+    image = qemu_machine.image
+    assert config.profile.contains(BASE_KERNEL, image.address_of("read_tsc"))
+    assert not config.profile.contains(
+        BASE_KERNEL, image.address_of("kvm_clock_get_cycles")
+    )
+
+
+def test_module_code_recorded_relative(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("writer")
+    prof.install()
+    run(qemu_machine, "writer", file_writer())
+    config = prof.export("writer")
+    assert "ext4" in config.profile.segments
+    module = qemu_machine.image.modules["ext4"]
+    rel = (
+        qemu_machine.image.address_of("ext4_file_write") - module.base
+    )
+    assert config.profile.contains("ext4", rel)
+    # relative ranges stay within the module
+    for begin, end in config.profile.segments["ext4"]:
+        assert 0 <= begin < end <= module.size
+
+
+def test_uninstall_stops_recording(qemu_machine):
+    prof = Profiler(qemu_machine)
+    prof.track("reader")
+    prof.install()
+    prof.uninstall()
+    run(qemu_machine, "reader", proc_reader(2))
+    assert prof.blocks_recorded == 0

@@ -1,0 +1,166 @@
+"""Failure-injection and robustness tests for FACE-CHANGE.
+
+The paper's flexibility/robustness goals (Section II-B): loading,
+unloading and switching views at any time must never jeopardize the
+running application or the system.
+"""
+
+import pytest
+
+from repro.core.facechange import FaceChange
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.rangelist import KernelProfile
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import Compute, Syscall, TaskState
+from repro.kernel.runtime import Platform
+from repro.malware.rootkits import SEBEK_SPEC
+
+Sys = Syscall
+
+
+def long_runner(progress, iters=20):
+    def driver():
+        tty = yield Sys("open", path="/dev/tty1")
+        for _ in range(iters):
+            fd = yield Sys("open", path="/proc/stat")
+            yield Sys("read", fd=fd, count=1024)
+            yield Sys("close", fd=fd)
+            yield Sys("write", fd=tty, count=256)
+            yield Sys("nanosleep", cycles=150_000)
+            progress["n"] = progress.get("n", 0) + 1
+    return driver
+
+
+def test_empty_view_recovers_everything(app_configs):
+    """Worst-case profiling (an empty view): the app still runs, with
+    every touched function recovered on demand -- the robustness goal."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    empty = KernelViewConfig(app="top", profile=KernelProfile())
+    fc.load_view(empty, comm="top")
+    progress = {}
+    task = machine.spawn("top", long_runner(progress, iters=6))
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+    assert progress["n"] == 6
+    assert fc.recovery.recoveries > 20
+    assert machine.vcpu.corruption_executed == 0
+
+
+def test_repeated_load_unload_cycles(app_configs):
+    """Hot plug/unplug the view many times while the app runs."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    progress = {}
+    task = machine.spawn("top", long_runner(progress, iters=18))
+    for _ in range(5):
+        index = fc.load_view(app_configs["top"], comm="top")
+        machine.run(
+            until=lambda: task.finished,
+            max_cycles=machine.cycles + 3_000_000,
+            step_budget=20_000,
+        )
+        fc.unload_view(index)
+        if task.finished:
+            break
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+    assert progress["n"] == 18
+
+
+def test_enable_disable_cycles(app_configs):
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    progress = {}
+    task = machine.spawn("top", long_runner(progress, iters=12))
+    for _ in range(3):
+        fc.enable()
+        fc.load_view(app_configs["top"], comm="top")
+        machine.run(
+            until=lambda: task.finished,
+            max_cycles=machine.cycles + 3_000_000,
+            step_budget=20_000,
+        )
+        for view in list(fc.loaded_views):
+            fc.unload_view(view.index)
+        fc.disable()
+        if task.finished:
+            break
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+    assert machine.ept.overridden_gpfns() == []
+
+
+def test_module_load_during_enforcement(app_configs):
+    """insmod while a view is live: the view is extended, the module's
+    first execution recovers, the app keeps running."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs["bash"], comm="bash")
+    progress = {}
+
+    def bash_like():
+        tty = yield Sys("open", path="/dev/tty1")
+        for i in range(10):
+            if i == 3:
+                yield Sys("init_module", module_spec=SEBEK_SPEC)
+            fd = yield Sys("open", path="/etc/x")
+            yield Sys("read", fd=fd, count=256)
+            yield Sys("close", fd=fd)
+            progress["n"] = progress.get("n", 0) + 1
+
+    task = machine.spawn("bash", bash_like)
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+    assert progress["n"] == 10
+    # the view covers the newly loaded (visible) module
+    view = fc.view_for("bash")
+    module = machine.image.modules["sebek"]
+    assert view.region_of(module.base) is not None
+    # and its hooked-read code got recovered when bash read
+    assert "sebek_sys_read" in fc.log.recovered_functions()
+
+
+def test_task_killed_while_under_view(app_configs):
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs["top"], comm="top")
+
+    def victim():
+        def child():
+            while True:
+                fd = yield Sys("open", path="/proc/stat")
+                yield Sys("read", fd=fd, count=512)
+                yield Sys("close", fd=fd)
+                yield Sys("nanosleep", cycles=150_000)
+        return child
+
+    def killer():
+        pid = yield Sys("fork", child=victim(), comm="top")
+        yield Compute(2_000_000)
+        yield Sys("kill", pid=pid, signum=9)
+        got = yield Sys("waitpid", pid=pid)
+        assert got == pid
+
+    task = machine.spawn("killer", killer)
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+
+
+def test_view_for_exited_process_is_harmless(app_configs):
+    """The selector keeps naming an app that no longer runs; later
+    processes with other names still get the full view."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs["gzip"], comm="gzip")
+    progress = {}
+    first = machine.spawn("gzip", long_runner(progress, iters=2))
+    machine.run(until=lambda: first.finished, max_cycles=400_000_000_000)
+    second = machine.spawn("other", long_runner({}, iters=2))
+    machine.run(until=lambda: second.finished, max_cycles=400_000_000_000)
+    assert second.finished

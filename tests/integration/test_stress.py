@@ -1,0 +1,74 @@
+"""System-level stress: many processes, many views, mixed workloads."""
+
+import pytest
+
+from repro.apps.base import Env, launch
+from repro.apps.catalog import APP_CATALOG
+from repro.core.facechange import FaceChange
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import TaskState
+from repro.kernel.runtime import Platform
+
+
+@pytest.mark.parametrize("vcpus", [1, 2])
+def test_mixed_multiprogramming_under_views(app_configs, vcpus):
+    """Six applications with six different views running concurrently --
+    the paper's runtime-phase picture (Figure 1) at full width."""
+    machine = boot_machine(platform=Platform.KVM, vcpu_count=vcpus)
+    fc = FaceChange(machine)
+    fc.enable()
+    apps = ("top", "gzip", "bash", "apache", "tcpdump", "eog")
+    for comm in apps:
+        fc.load_view(app_configs[comm], comm=comm)
+    env = Env(machine)
+    handles = [
+        launch(machine, comm, APP_CATALOG[comm], scale=2, env=env)
+        for comm in apps
+    ]
+    machine.run(
+        until=lambda: all(h.finished for h in handles),
+        max_cycles=2_000_000_000_000,
+        step_budget=100_000,
+        max_steps=400_000,
+    )
+    assert all(h.finished for h in handles)
+    # every view actually got switched in at least once
+    assert fc.stats.view_switches >= len(apps)
+    # and the machine is left healthy
+    for vcpu in machine.vcpus:
+        assert vcpu.corruption_executed == 0
+
+
+def test_many_sequential_generations(app_configs):
+    """Processes come and go for many generations (pid/kstack recycling)."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(app_configs["gzip"], comm="gzip")
+    from repro.kernel.objects import Syscall
+
+    def spawner(generations):
+        def worker():
+            def child():
+                fd = yield Syscall("open", path="/data/g")
+                yield Syscall("read", fd=fd, count=512)
+                yield Syscall("close", fd=fd)
+            return child
+
+        def driver():
+            for _ in range(generations):
+                pid = yield Syscall("fork", child=worker(), comm="gzip")
+                yield Syscall("waitpid", pid=pid)
+        return driver
+
+    task = machine.spawn("spawner", spawner(30))
+    machine.run(
+        until=lambda: task.finished,
+        max_cycles=1_000_000_000_000,
+        max_steps=400_000,
+    )
+    assert task.finished
+    # reaped tasks are gone and their kernel stacks were recycled
+    live = [t for t in machine.runtime.tasks.values() if not t.is_idle]
+    assert len(live) <= 2
+    assert len(machine.runtime._kstack_free) > 0

@@ -1,0 +1,114 @@
+"""Property-based tests for the assembler and decoder (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import (
+    Act,
+    Assembler,
+    Call,
+    Cond,
+    Dispatch,
+    FunctionBody,
+    NameRegistry,
+    While,
+    Work,
+)
+from repro.isa.decoder import decode
+from repro.isa.opcodes import Op
+
+names = st.text(
+    alphabet="abcdefghijklmnop_", min_size=1, max_size=12
+)
+
+simple_stmt = st.one_of(
+    st.integers(min_value=0, max_value=600).map(Work),
+    names.map(Call),
+    names.map(lambda n: Dispatch(f"slot.{n}")),
+    names.map(lambda n: Act(f"act.{n}")),
+)
+
+stmt = st.recursive(
+    simple_stmt,
+    lambda inner: st.one_of(
+        st.tuples(names, st.lists(inner, max_size=4)).map(
+            lambda t: Cond(f"p.{t[0]}", t[1])
+        ),
+        st.tuples(names, st.lists(inner, max_size=4)).map(
+            lambda t: While(f"w.{t[0]}", t[1])
+        ),
+    ),
+    max_leaves=12,
+)
+
+bodies = st.tuples(names, st.lists(stmt, max_size=10)).map(
+    lambda t: FunctionBody(t[0], t[1])
+)
+
+
+def walk(data: bytes):
+    out = []
+    pos = 0
+    while pos < len(data):
+        instr = decode(data, pos)
+        assert instr.op is not Op.INVALID, (pos, data[pos])
+        out.append((pos, instr))
+        pos += instr.length
+    assert pos == len(data)
+    return out
+
+
+@given(bodies)
+@settings(max_examples=60)
+def test_assembled_functions_decode_exactly(body):
+    """Every assembled function is a seamless instruction stream."""
+    assembled = Assembler(NameRegistry()).assemble(body)
+    instrs = walk(bytes(assembled.data))
+    # frame: first is push ebp, last is ret
+    assert instrs[0][1].op is Op.PUSH_EBP
+    assert instrs[-1][1].op is Op.RET
+
+
+@given(st.integers(min_value=0, max_value=5000), names)
+@settings(max_examples=80)
+def test_work_size_exact(nbytes, name):
+    body = FunctionBody(name, [Work(nbytes)], frame=False)
+    assembled = Assembler(NameRegistry()).assemble(body)
+    assert assembled.size == nbytes
+    for _pos, instr in walk(bytes(assembled.data)):
+        assert instr.op is Op.FILL
+
+
+@given(bodies)
+@settings(max_examples=40)
+def test_relocation_offsets_in_bounds(body):
+    assembled = Assembler(NameRegistry()).assemble(body)
+    for reloc in assembled.relocations:
+        assert 0 < reloc.offset < assembled.size
+        assert reloc.offset + 4 <= assembled.size
+        assert reloc.insn_end == reloc.offset + 4
+
+
+@given(bodies)
+@settings(max_examples=40)
+def test_assembly_is_deterministic(body):
+    a = Assembler(NameRegistry()).assemble(body)
+    b = Assembler(NameRegistry()).assemble(body)
+    assert bytes(a.data) == bytes(b.data)
+
+
+@given(st.lists(st.tuples(names, st.booleans()), min_size=1, max_size=30))
+def test_name_registry_bijective(entries):
+    registry = NameRegistry()
+    seen = {}
+    for name, is_pred in entries:
+        ident = registry.pred_id(name) if is_pred else registry.act_id(name)
+        key = (name, is_pred)
+        if key in seen:
+            assert seen[key] == ident
+        seen[key] = ident
+    for (name, is_pred), ident in seen.items():
+        back = (
+            registry.pred_name(ident) if is_pred else registry.act_name(ident)
+        )
+        assert back == name

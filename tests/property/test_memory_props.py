@@ -1,0 +1,59 @@
+"""Property-based tests for physical memory and the UD2 fill invariant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.decoder import decode
+from repro.isa.opcodes import Op, UD2_BYTES
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.physmem import PhysicalMemory
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+        st.binary(min_size=1, max_size=64),
+    ),
+    max_size=20,
+)
+
+
+@given(writes)
+@settings(max_examples=60)
+def test_memory_behaves_like_byte_array(ops):
+    mem = PhysicalMemory()
+    shadow = bytearray(4 * PAGE_SIZE)
+    for addr, data in ops:
+        mem.write(addr, data)
+        shadow[addr : addr + len(data)] = data
+    assert mem.read(0, len(shadow)) == bytes(shadow)
+
+
+@given(writes)
+@settings(max_examples=40)
+def test_versions_monotonic(ops):
+    mem = PhysicalMemory()
+    last = {}
+    for addr, data in ops:
+        touched = {
+            hpfn
+            for hpfn in range(addr >> 12, (addr + len(data) - 1 >> 12) + 1)
+        }
+        before = {h: mem.version(h) for h in touched}
+        mem.write(addr, data)
+        for h in touched:
+            assert mem.version(h) > before[h]
+
+
+@given(
+    st.integers(min_value=0, max_value=PAGE_SIZE // 2 - 8).map(lambda x: x * 2),
+    st.integers(min_value=1, max_value=PAGE_SIZE // 2 - 8).map(lambda x: x * 2 + 1),
+)
+def test_ud2_fill_parity_invariant(even_off, odd_off):
+    """Anywhere inside a page-aligned UD2 fill: even offsets trap, odd
+    offsets misdecode silently -- the invariant lazy/instant recovery is
+    built on."""
+    mem = PhysicalMemory()
+    mem.fill(0x10000, PAGE_SIZE, UD2_BYTES)
+    page = mem.read(0x10000, PAGE_SIZE)
+    assert decode(page, even_off).op is Op.UD2
+    assert decode(page, odd_off).op is Op.OR_MIS

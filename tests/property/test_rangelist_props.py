@@ -1,0 +1,132 @@
+"""Property-based tests for the K[app] range-list algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rangelist import KernelProfile, RangeList, similarity_index
+
+ranges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=1, max_value=4096),
+    ).map(lambda t: (t[0], t[0] + t[1])),
+    max_size=40,
+)
+
+
+def as_set(rl: RangeList) -> set:
+    out = set()
+    for begin, end in rl:
+        out.update(range(begin, min(end, begin + 8192)))
+    return out
+
+
+@given(ranges)
+def test_invariant_sorted_disjoint(pairs):
+    rl = RangeList(pairs)
+    spans = list(rl)
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 < b0  # strictly disjoint and non-adjacent after merging
+    for begin, end in spans:
+        assert begin < end
+
+
+@given(ranges)
+def test_size_equals_covered_bytes(pairs):
+    rl = RangeList(pairs)
+    covered = set()
+    for begin, end in pairs:
+        covered.update(range(begin, end))
+    assert rl.size == len(covered)
+
+
+@given(ranges)
+def test_contains_matches_membership(pairs):
+    rl = RangeList(pairs)
+    covered = set()
+    for begin, end in pairs:
+        covered.update(range(begin, end))
+    probes = {p for begin, end in pairs for p in (begin, end - 1, end)}
+    probes |= {0, 1 << 21}
+    for p in probes:
+        assert rl.contains(p) == (p in covered)
+
+
+@given(ranges, ranges)
+def test_intersection_is_commutative(a_pairs, b_pairs):
+    a, b = RangeList(a_pairs), RangeList(b_pairs)
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(ranges, ranges)
+def test_intersection_bounded_by_operands(a_pairs, b_pairs):
+    a, b = RangeList(a_pairs), RangeList(b_pairs)
+    inter = a.intersect(b)
+    assert inter.size <= min(a.size, b.size)
+    for begin, end in inter:
+        assert a.contains(begin) and b.contains(begin)
+        assert a.contains(end - 1) and b.contains(end - 1)
+
+
+@given(ranges)
+def test_self_intersection_is_identity(pairs):
+    rl = RangeList(pairs)
+    assert rl.intersect(rl) == rl
+
+
+@given(ranges, ranges)
+def test_update_is_union(a_pairs, b_pairs):
+    a = RangeList(a_pairs)
+    b = RangeList(b_pairs)
+    u = a.copy()
+    u.update(b)
+    covered = set()
+    for begin, end in a_pairs + b_pairs:
+        covered.update(range(begin, end))
+    assert u.size == len(covered)
+
+
+@given(ranges, st.lists(st.tuples(
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=1, max_value=4096),
+).map(lambda t: (t[0], t[0] + t[1])), max_size=10))
+def test_add_is_idempotent(pairs, extra):
+    rl = RangeList(pairs)
+    once = rl.copy()
+    for begin, end in extra:
+        once.add(begin, end)
+    twice = once.copy()
+    for begin, end in extra:
+        twice.add(begin, end)
+    assert once == twice
+
+
+@given(ranges, ranges)
+def test_similarity_symmetric_and_bounded(a_pairs, b_pairs):
+    a, b = KernelProfile(), KernelProfile()
+    for begin, end in a_pairs:
+        a.add("base kernel", begin, end)
+    for begin, end in b_pairs:
+        b.add("base kernel", begin, end)
+    s_ab = similarity_index(a, b)
+    s_ba = similarity_index(b, a)
+    assert s_ab == s_ba
+    assert 0.0 <= s_ab <= 1.0
+
+
+@given(ranges)
+def test_similarity_reflexive(pairs):
+    profile = KernelProfile()
+    for begin, end in pairs:
+        profile.add("base kernel", begin, end)
+    assert similarity_index(profile, profile) == 1.0
+
+
+@given(ranges)
+def test_profile_serialization_roundtrip(pairs):
+    profile = KernelProfile()
+    for i, (begin, end) in enumerate(pairs):
+        profile.add("base kernel" if i % 2 else "ext4", begin, end)
+    back = KernelProfile.from_dict(profile.to_dict())
+    assert back.to_dict() == profile.to_dict()
+    assert back.size == profile.size

@@ -1,0 +1,157 @@
+"""Assembler unit tests: lowering, sizes, relocations, determinism."""
+
+import pytest
+
+from repro.isa.assembler import (
+    Act,
+    Assembler,
+    Call,
+    Cond,
+    CtxSwitch,
+    Dispatch,
+    FunctionBody,
+    Halt,
+    Iret,
+    Jump,
+    NameRegistry,
+    Ret,
+    While,
+    Work,
+)
+from repro.isa.decoder import decode
+from repro.isa.opcodes import Op, PROLOGUE_SIGNATURE
+
+
+@pytest.fixture()
+def asm():
+    return Assembler(NameRegistry())
+
+
+def walk(data: bytes):
+    """Decode sequentially; return the list of decoded instructions."""
+    out = []
+    pos = 0
+    while pos < len(data):
+        instr = decode(data, pos)
+        out.append(instr)
+        pos += instr.length
+    assert pos == len(data)
+    return out
+
+
+def test_frame_prologue_and_epilogue(asm):
+    fn = asm.assemble(FunctionBody("f", [Work(8)]))
+    assert bytes(fn.data[:3]) == PROLOGUE_SIGNATURE
+    assert fn.data[-2] == 0xC9  # leave
+    assert fn.data[-1] == 0xC3  # ret
+
+
+def test_frameless_body(asm):
+    fn = asm.assemble(FunctionBody("f", [Iret()], frame=False))
+    assert bytes(fn.data) == b"\xcf"
+
+
+def test_work_emits_exact_bytes(asm):
+    for n in (0, 1, 2, 3, 7, 64, 255, 1000):
+        fn = asm.assemble(FunctionBody("g", [Work(n)], frame=False))
+        assert fn.size == n
+        for instr in walk(bytes(fn.data)):
+            assert instr.op is Op.FILL
+
+
+def test_work_is_deterministic_per_name(asm):
+    a = asm.assemble(FunctionBody("same", [Work(100)]))
+    b = asm.assemble(FunctionBody("same", [Work(100)]))
+    c = asm.assemble(FunctionBody("other", [Work(100)]))
+    assert bytes(a.data) == bytes(b.data)
+    assert bytes(a.data) != bytes(c.data)
+
+
+def test_call_emits_relocation(asm):
+    fn = asm.assemble(FunctionBody("f", [Call("target")], frame=False))
+    assert fn.size == 5
+    assert len(fn.relocations) == 1
+    reloc = fn.relocations[0]
+    assert reloc.target == "target"
+    assert reloc.kind == "call"
+    assert reloc.offset == 1
+    assert reloc.insn_end == 5
+
+
+def test_jump_emits_relocation(asm):
+    fn = asm.assemble(FunctionBody("f", [Jump("t")], frame=False))
+    assert fn.relocations[0].kind == "jmp"
+
+
+def test_dispatch_act_use_interned_ids(asm):
+    fn = asm.assemble(
+        FunctionBody("f", [Dispatch("slot.a"), Act("act.b")], frame=False)
+    )
+    instrs = walk(bytes(fn.data))
+    assert instrs[0].op is Op.DISPATCH
+    assert instrs[0].operand == asm.names.slot_id("slot.a")
+    assert instrs[1].op is Op.ACT
+    assert instrs[1].operand == asm.names.act_id("act.b")
+
+
+def test_cond_lowering_skips_body(asm):
+    fn = asm.assemble(
+        FunctionBody("f", [Cond("p", [Work(10)])], frame=False)
+    )
+    instrs = walk(bytes(fn.data))
+    assert instrs[0].op is Op.PRED
+    assert instrs[1].op is Op.JZ
+    assert instrs[1].operand == 10  # jump over the 10-byte body
+
+
+def test_while_loops_back(asm):
+    fn = asm.assemble(FunctionBody("f", [While("p", [Work(4)])], frame=False))
+    instrs = walk(bytes(fn.data))
+    # PRED, JZ(exit), 4 bytes of fill..., JMP(top)
+    assert instrs[0].op is Op.PRED
+    assert instrs[1].op is Op.JZ
+    jmp = instrs[-1]
+    assert jmp.op is Op.JMP
+    # JMP lands back exactly at the PRED
+    jmp_offset = fn.size - 5
+    assert jmp_offset + 5 + jmp.operand == 0
+
+
+def test_special_statements(asm):
+    fn = asm.assemble(
+        FunctionBody("f", [CtxSwitch(), Halt(), Ret()], frame=False)
+    )
+    instrs = walk(bytes(fn.data))
+    assert [i.op for i in instrs] == [Op.CTXSW, Op.HLT, Op.LEAVE, Op.RET]
+
+
+def test_name_registry_is_stable():
+    names = NameRegistry()
+    a = names.pred_id("x")
+    b = names.pred_id("y")
+    assert names.pred_id("x") == a
+    assert a != b
+    assert names.pred_name(a) == "x"
+    # separate namespaces
+    assert names.act_id("x") == 0
+    assert names.slot_id("x") == 0
+
+
+def test_whole_function_walkable(asm):
+    """A realistic body decodes cleanly from start to end."""
+    body = FunctionBody(
+        "realistic",
+        [
+            Work(40),
+            Call("a"),
+            Cond("p", [Call("b"), Work(12)]),
+            While("q", [Act("w"), Call("c")]),
+            Work(9),
+            Dispatch("d"),
+        ],
+    )
+    fn = asm.assemble(body)
+    instrs = walk(bytes(fn.data))
+    assert instrs[0].op is Op.PUSH_EBP
+    assert instrs[-1].op is Op.RET
+    assert sum(1 for i in instrs if i.op is Op.CALL) == 3

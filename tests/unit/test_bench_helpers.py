@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark harness building blocks."""
+
+import pytest
+
+from repro.bench.unixbench import (
+    RESIDENT_APPS,
+    UNIXBENCH_SUBTESTS,
+    UnixBenchResult,
+    _run_subtest,
+)
+from repro.bench.httperf import HttperfPoint
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+
+
+def test_subtest_roster_matches_unixbench():
+    names = [name for name, _, _ in UNIXBENCH_SUBTESTS]
+    assert "Dhrystone 2" in names
+    assert "Pipe-based Context Switching" in names
+    assert "System Call Overhead" in names
+    assert len(names) == len(set(names)) == 11
+
+
+def test_resident_apps_exclude_gzip():
+    """Paper footnote 5: gzip is not long-running enough to stay resident."""
+    assert "gzip" not in RESIDENT_APPS
+    assert len(RESIDENT_APPS) == 11
+
+
+@pytest.mark.parametrize(
+    "name,driver,iters",
+    [(n, d, i) for n, d, i in UNIXBENCH_SUBTESTS],
+    ids=[n for n, _, _ in UNIXBENCH_SUBTESTS],
+)
+def test_each_subtest_completes(name, driver, iters):
+    machine = boot_machine(platform=Platform.KVM)
+    score = _run_subtest(machine, driver, max(1, iters // 10), rounds=1)
+    assert score > 0
+
+
+def test_normalization_math():
+    base = UnixBenchResult(label="base", views_loaded=0,
+                           scores={"a": 10.0, "b": 20.0})
+    run = UnixBenchResult(label="x", views_loaded=1,
+                          scores={"a": 9.0, "b": 20.0})
+    normalized = run.normalized(base)
+    assert normalized["a"] == pytest.approx(0.9)
+    assert normalized["b"] == pytest.approx(1.0)
+    assert run.normalized_index(base) == pytest.approx((0.9 * 1.0) ** 0.5)
+    assert base.index == pytest.approx((10.0 * 20.0) ** 0.5)
+
+
+def test_httperf_point_ratio():
+    point = HttperfPoint(rate=30, baseline_throughput=30.0,
+                         facechange_throughput=28.5)
+    assert point.ratio == pytest.approx(0.95)
+    zero = HttperfPoint(rate=5, baseline_throughput=0.0,
+                        facechange_throughput=1.0)
+    assert zero.ratio == 0.0

@@ -1,0 +1,115 @@
+"""Catalog integrity: every reference in the kernel function graph resolves.
+
+These tests catch the class of bugs where a catalog body names a callee,
+predicate, action or dispatch slot that nothing defines -- which would
+otherwise only explode deep inside a workload run.
+"""
+
+from repro.isa.assembler import (
+    Act,
+    Assembler,
+    Call,
+    Cond,
+    Dispatch,
+    Jump,
+    NameRegistry,
+    While,
+)
+from repro.kernel.catalog import BASE_FUNCTIONS, MODULES
+from repro.kernel.registry import REGISTRY
+from repro.kernel.syscalls import SYSCALL_TABLE
+from repro.malware.rootkits import ADORE_FUNCTIONS, KBEAST_FUNCTIONS, SEBEK_FUNCTIONS
+
+ALL_BODIES = (
+    list(BASE_FUNCTIONS)
+    + [fn for fns in MODULES.values() for fn in fns]
+    + list(KBEAST_FUNCTIONS)
+    + list(SEBEK_FUNCTIONS)
+    + list(ADORE_FUNCTIONS)
+)
+
+
+def _walk(stmts):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (Cond, While)):
+            yield from _walk(stmt.body)
+
+
+def test_no_duplicate_function_names():
+    names = [b.name for b in ALL_BODIES]
+    assert len(names) == len(set(names))
+
+
+def test_every_call_target_defined():
+    defined = {b.name for b in ALL_BODIES}
+    for body in ALL_BODIES:
+        for stmt in _walk(body.stmts):
+            if isinstance(stmt, (Call, Jump)):
+                assert stmt.target in defined, (
+                    f"{body.name} references undefined {stmt.target!r}"
+                )
+
+
+def test_every_predicate_registered():
+    for body in ALL_BODIES:
+        for stmt in _walk(body.stmts):
+            if isinstance(stmt, (Cond, While)):
+                assert stmt.pred in REGISTRY.predicates, (
+                    f"{body.name} uses unregistered predicate {stmt.pred!r}"
+                )
+
+
+def test_every_action_registered():
+    for body in ALL_BODIES:
+        for stmt in _walk(body.stmts):
+            if isinstance(stmt, Act):
+                assert stmt.action in REGISTRY.actions, (
+                    f"{body.name} uses unregistered action {stmt.action!r}"
+                )
+
+
+def test_every_slot_registered():
+    for body in ALL_BODIES:
+        for stmt in _walk(body.stmts):
+            if isinstance(stmt, Dispatch):
+                assert stmt.slot in REGISTRY.slots, (
+                    f"{body.name} uses unregistered slot {stmt.slot!r}"
+                )
+
+
+def test_syscall_table_handlers_exist():
+    defined = {b.name for b in ALL_BODIES}
+    for name, handler in SYSCALL_TABLE.items():
+        assert handler in defined, f"syscall {name!r} -> missing {handler!r}"
+
+
+def test_all_functions_have_frames():
+    """The stack walker and the signature search assume framed functions."""
+    for body in ALL_BODIES:
+        assert body.frame, f"{body.name} lacks a frame"
+
+
+def test_module_functions_do_not_call_later_modules():
+    """Load order: jbd2 -> ext4 -> e1000; no forward references."""
+    order = {name: i for i, name in enumerate(MODULES)}
+    owner = {}
+    for name, fns in MODULES.items():
+        for fn in fns:
+            owner[fn.name] = name
+    base_names = {b.name for b in BASE_FUNCTIONS}
+    for name, fns in MODULES.items():
+        for body in fns:
+            for stmt in _walk(body.stmts):
+                if isinstance(stmt, (Call, Jump)):
+                    if stmt.target in base_names:
+                        continue
+                    target_mod = owner[stmt.target]
+                    assert order[target_mod] <= order[name]
+
+
+def test_catalog_assembles_cleanly():
+    asm = Assembler(NameRegistry())
+    for body in ALL_BODIES:
+        assembled = asm.assemble(body)
+        assert assembled.size > 0

@@ -1,0 +1,48 @@
+"""CLI smoke tests (small scales to keep them fast)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_profile_command(tmp_path, capsys):
+    out = tmp_path / "top.view.json"
+    assert main(["--scale", "2", "profile", "top", "-o", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "kernel view" in captured
+    assert out.exists()
+
+
+def test_similarity_subset(capsys):
+    assert main(["--scale", "2", "similarity", "top", "gzip"]) == 0
+    captured = capsys.readouterr().out
+    assert "top" in captured and "gzip" in captured
+    assert "min" in captured
+
+
+def test_unixbench_baseline(capsys):
+    assert main(["--scale", "2", "unixbench", "--views", "0"]) == 0
+    captured = capsys.readouterr().out
+    assert "Pipe-based Context Switching" in captured
+
+
+def test_security_single_attack(capsys):
+    assert main(["--scale", "2", "security", "--attack", "Injectso"]) == 0
+    captured = capsys.readouterr().out
+    assert "Injectso" in captured
+    assert "DETECTED" in captured
+
+
+def test_inspect_command(tmp_path, capsys):
+    out = tmp_path / "gzip.view.json"
+    main(["--scale", "2", "profile", "gzip", "-o", str(out)])
+    capsys.readouterr()
+    assert main(["inspect", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "app:   gzip" in captured
+    assert "base kernel" in captured
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

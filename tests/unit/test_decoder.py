@@ -1,0 +1,142 @@
+"""Decoder unit tests: every opcode, garbage bytes, the UD2 split."""
+
+import pytest
+
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.opcodes import Op, PROLOGUE_SIGNATURE, UD2_BYTES
+
+
+def test_nop_decodes_as_fill():
+    assert decode(b"\x90") == decode(b"\x90")
+    instr = decode(b"\x90")
+    assert instr.op is Op.FILL
+    assert instr.length == 1
+
+
+def test_inc_eax_is_one_byte_fill():
+    instr = decode(b"\x40")
+    assert instr.op is Op.FILL and instr.length == 1
+
+
+def test_xor_eax_is_two_byte_fill():
+    instr = decode(b"\x31\xc0")
+    assert instr.op is Op.FILL and instr.length == 2
+
+
+def test_add_imm8_is_three_byte_fill():
+    instr = decode(b"\x83\xc0\x7f")
+    assert instr.op is Op.FILL and instr.length == 3
+
+
+def test_mov_store_is_four_byte_fill():
+    instr = decode(b"\x89\x44\x24\x18")
+    assert instr.op is Op.FILL and instr.length == 4
+
+
+def test_prologue_bytes():
+    assert PROLOGUE_SIGNATURE == b"\x55\x89\xe5"
+    push = decode(PROLOGUE_SIGNATURE, 0)
+    assert push.op is Op.PUSH_EBP and push.length == 1
+    mov = decode(PROLOGUE_SIGNATURE, 1)
+    assert mov.op is Op.MOV_EBP_ESP and mov.length == 2
+
+
+def test_ud2_decodes_and_traps_shape():
+    assert UD2_BYTES == b"\x0f\x0b"
+    instr = decode(UD2_BYTES)
+    assert instr.op is Op.UD2 and instr.length == 2
+
+
+def test_split_ud2_decodes_as_silent_or():
+    """The paper's Figure 3 hazard: an odd return address reads 0b 0f."""
+    instr = decode(b"\x0b\x0f")
+    assert instr.op is Op.OR_MIS
+    assert instr.length == 2
+
+
+def test_ud2_fill_stream_alternates():
+    stream = UD2_BYTES * 8
+    even = decode(stream, 0)
+    odd = decode(stream, 1)
+    assert even.op is Op.UD2
+    assert odd.op is Op.OR_MIS
+
+
+def test_call_rel32():
+    instr = decode(b"\xe8\xfc\xff\xff\xff")
+    assert instr.op is Op.CALL
+    assert instr.length == 5
+    assert instr.operand == -4
+
+
+def test_jmp_rel32_positive():
+    instr = decode(b"\xe9\x10\x00\x00\x00")
+    assert instr.op is Op.JMP and instr.operand == 0x10
+
+
+def test_jz_near():
+    instr = decode(b"\x0f\x84\x08\x00\x00\x00")
+    assert instr.op is Op.JZ and instr.length == 6 and instr.operand == 8
+
+
+def test_pred_cmp_imm32():
+    instr = decode(b"\x3d\x2a\x00\x00\x00")
+    assert instr.op is Op.PRED and instr.length == 5 and instr.operand == 42
+
+
+def test_act_encoding():
+    instr = decode(b"\x0f\xae\x07\x00\x00\x00")
+    assert instr.op is Op.ACT and instr.length == 6 and instr.operand == 7
+
+
+def test_dispatch_encoding():
+    instr = decode(b"\xff\x14\x85\x03\x00\x00\x00")
+    assert instr.op is Op.DISPATCH and instr.length == 7 and instr.operand == 3
+
+
+def test_ret_leave_iret():
+    assert decode(b"\xc3").op is Op.RET
+    assert decode(b"\xc9").op is Op.LEAVE
+    assert decode(b"\xcf").op is Op.IRET
+
+
+def test_int_vector():
+    instr = decode(b"\xcd\x80")
+    assert instr.op is Op.INT and instr.operand == 0x80 and instr.length == 2
+
+
+def test_push_imm32():
+    instr = decode(b"\x68\x01\x02\x03\x04")
+    assert instr.op is Op.PUSH_IMM and instr.operand == 0x04030201
+
+
+def test_control_flags():
+    assert decode(b"\xfa").op is Op.CLI
+    assert decode(b"\xfb").op is Op.STI
+    assert decode(b"\xf4").op is Op.HLT
+    assert decode(b"\xf5").op is Op.CTXSW
+
+
+@pytest.mark.parametrize("byte", [0x00, 0x01, 0xFE, 0xD9, 0x66, 0xAA])
+def test_unknown_bytes_are_invalid(byte):
+    instr = decode(bytes([byte, 0x90]))
+    assert instr.op is Op.INVALID
+    assert instr.length == 1
+
+
+def test_truncated_two_byte_prefix_is_invalid():
+    assert decode(b"\x0f").op is Op.INVALID
+
+
+def test_truncated_imm32_raises():
+    with pytest.raises(DecodeError):
+        decode(b"\xe8\x01\x02")
+
+
+def test_decode_past_end_raises():
+    with pytest.raises(DecodeError):
+        decode(b"", 0)
+
+
+def test_unknown_0f_second_byte_is_invalid():
+    assert decode(b"\x0f\x77").op is Op.INVALID

@@ -1,0 +1,118 @@
+"""Hypervisor exit-dispatch unit tests."""
+
+import pytest
+
+from repro.hypervisor.kvm import GuestCrash, Hypervisor, VMEXIT_COST_CYCLES
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+CODE = 0x00010000
+#: park: hlt; jmp back to the hlt (keeps idle exits flowing until budget)
+PARK = b"\xf4\xe9\xfa\xff\xff\xff"
+
+
+class IdleBridge(SemanticsBridge):
+    def interrupt_pending(self, vcpu):
+        return False
+
+
+@pytest.fixture()
+def setup():
+    physmem = PhysicalMemory()
+    hv = Hypervisor(physmem)
+    ept = ExtendedPageTable()
+    pt = GuestPageTable()
+    pt.map_page(CODE, CODE)
+    pt.map_page(0x00020000, 0x00020000)
+    mmu = Mmu(physmem, ept)
+    mmu.set_cr3(pt)
+    vcpu = Vcpu(0, mmu, IdleBridge())
+    vcpu.eip = CODE
+    vcpu.esp = 0x00020FF0
+    hv.attach_vcpu(vcpu, ept)
+    return physmem, hv, vcpu
+
+
+def test_address_trap_dispatch(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x90" + PARK)
+    seen = []
+    hv.register_address_trap(CODE, lambda v, e: seen.append(e.rip))
+    hv.set_idle_handler(lambda v: None)
+    hv.run(vcpu, budget=50)
+    assert seen == [CODE]
+    assert hv.stats.address_traps == 1
+    assert hv.stats.per_trap_address[CODE] == 1
+
+
+def test_unhandled_trap_crashes(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x90" + PARK)
+    vcpu.arm_trap(CODE)  # armed on the vcpu but not registered with hv
+    with pytest.raises(GuestCrash):
+        hv.run(vcpu, budget=50)
+
+
+def test_invalid_opcode_handler_recovers(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x0f\x0b")
+
+    def fix(v, e):
+        physmem.write(CODE, b"\x90" + PARK)
+        return True
+
+    hv.set_invalid_opcode_handler(fix)
+    hv.set_idle_handler(lambda v: None)
+    hv.run(vcpu, budget=50)
+    assert hv.stats.invalid_opcode_traps == 1
+
+
+def test_invalid_opcode_unhandled_crashes(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x0f\x0b")
+    with pytest.raises(GuestCrash):
+        hv.run(vcpu, budget=50)
+
+
+def test_declined_recovery_crashes(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x0f\x0b")
+    hv.set_invalid_opcode_handler(lambda v, e: False)
+    with pytest.raises(GuestCrash):
+        hv.run(vcpu, budget=50)
+
+
+def test_hlt_without_idle_handler_crashes(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\xf4")
+    with pytest.raises(GuestCrash):
+        hv.run(vcpu, budget=50)
+
+
+def test_exit_charges_cycles(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, PARK)
+    ticks = []
+    hv.set_idle_handler(lambda v: ticks.append(v.cycles))
+    hv.run(vcpu, budget=2)
+    assert hv.overhead_cycles >= VMEXIT_COST_CYCLES
+    assert vcpu.cycles >= VMEXIT_COST_CYCLES
+
+
+def test_unregister_trap(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\x90" + PARK)
+    hv.register_address_trap(CODE, lambda v, e: None)
+    hv.unregister_address_trap(CODE)
+    hv.set_idle_handler(lambda v: None)
+    hv.run(vcpu, budget=20)
+    assert hv.stats.address_traps == 0
+
+
+def test_budget_returns_without_crash(setup):
+    physmem, hv, vcpu = setup
+    physmem.write(CODE, b"\xe9\xfb\xff\xff\xff")  # spin
+    hv.run(vcpu, budget=100)  # returns on budget

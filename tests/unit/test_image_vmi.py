@@ -1,0 +1,141 @@
+"""Kernel image layout and VMI unit tests (on a booted machine)."""
+
+import pytest
+
+from repro.kernel.catalog import BASE_FUNCTIONS, MODULES
+from repro.kernel.image import SymbolError
+from repro.memory.layout import KERNEL_TEXT_BASE, MODULE_SPACE_BASE
+from repro.isa.opcodes import PROLOGUE_SIGNATURE
+
+
+class TestImageLayout:
+    def test_text_starts_at_base(self, machine):
+        assert machine.image.text_start == KERNEL_TEXT_BASE
+        assert machine.image.text_end > machine.image.text_start
+
+    def test_all_functions_have_symbols(self, machine):
+        for body in BASE_FUNCTIONS:
+            symbol = machine.image.symbols[body.name]
+            assert symbol.module is None
+            assert symbol.size > 0
+
+    def test_functions_are_16_aligned(self, machine):
+        for body in BASE_FUNCTIONS:
+            assert machine.image.address_of(body.name) % 16 == 0
+
+    def test_every_function_starts_with_prologue(self, machine):
+        """The view builder's signature search relies on this."""
+        for body in BASE_FUNCTIONS:
+            addr = machine.image.address_of(body.name)
+            assert machine.image.read_guest(addr, 3) == PROLOGUE_SIGNATURE
+
+    def test_symbols_do_not_overlap(self, machine):
+        spans = sorted(
+            (s.address, s.address + s.size) for s in machine.image.symbols.values()
+        )
+        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_alignment_gaps_are_nops(self, machine):
+        spans = sorted(
+            (s.address, s.address + s.size)
+            for s in machine.image.symbols.values()
+            if s.module is None
+        )
+        (_, end), (nxt, _) = spans[0], spans[1]
+        if nxt > end:
+            gap = machine.image.read_guest(end, nxt - end)
+            assert set(gap) == {0x90}
+
+    def test_unknown_symbol_raises(self, machine):
+        with pytest.raises(SymbolError):
+            machine.image.address_of("sys_nonexistent")
+
+    def test_symbol_at_and_format(self, machine):
+        addr = machine.image.address_of("vfs_read")
+        assert machine.image.symbol_at(addr).name == "vfs_read"
+        assert machine.image.symbol_at(addr + 5).name == "vfs_read"
+        text = machine.image.format_address(addr + 5)
+        assert "<vfs_read+0x5>" in text
+
+    def test_format_unmapped_address_unknown(self, machine):
+        assert "UNKNOWN" in machine.image.format_address(0xDEAD0000)
+
+    def test_function_range(self, machine):
+        start, end = machine.image.function_range("schedule")
+        assert end - start == machine.image.symbols["schedule"].size
+
+    def test_call_targets_resolve_at_build(self, machine):
+        """build_base/load_module would have raised otherwise; spot-check
+        one known relocation actually lands on the callee."""
+        from repro.isa.decoder import decode
+
+        addr = machine.image.address_of("snprintf")
+        size = machine.image.symbols["snprintf"].size
+        data = machine.image.read_guest(addr, size)
+        pos = 0
+        targets = []
+        while pos < len(data):
+            instr = decode(data, pos)
+            if instr.op.value == "call":
+                targets.append(addr + pos + 5 + instr.operand)
+            pos += instr.length
+        assert machine.image.address_of("vsnprintf") in targets
+
+
+class TestModules:
+    def test_boot_modules_loaded(self, machine):
+        for name in MODULES:
+            module = machine.image.modules[name]
+            assert module.base >= MODULE_SPACE_BASE
+            assert module.size > 0
+
+    def test_module_symbols_tagged(self, machine):
+        assert machine.image.symbols["ext4_file_write"].module == "ext4"
+        assert machine.image.symbols["jbd2_journal_start"].module == "jbd2"
+
+    def test_vmi_module_list_complete(self, machine):
+        names = [m.name for m in machine.introspector.read_module_list()]
+        assert names == list(MODULES)
+
+    def test_vmi_module_bases_match_image(self, machine):
+        for mod in machine.introspector.read_module_list():
+            assert machine.image.modules[mod.name].base == mod.base
+            assert machine.image.modules[mod.name].size == mod.size
+
+    def test_hide_module_unlinks_from_vmi(self, machine):
+        machine.image.hide_module("e1000")
+        names = [m.name for m in machine.introspector.read_module_list()]
+        assert "e1000" not in names
+        assert set(names) == set(MODULES) - {"e1000"}
+
+    def test_hidden_module_formats_as_unknown(self, machine):
+        addr = machine.image.address_of("e1000_intr")
+        assert "e1000_intr" in machine.image.format_address(addr)
+        machine.image.hide_module("e1000")
+        assert "UNKNOWN" in machine.image.format_address(addr)
+
+    def test_duplicate_module_rejected(self, machine):
+        from repro.kernel.catalog import e1000
+
+        with pytest.raises(SymbolError):
+            machine.image.load_module("e1000", e1000.FUNCTIONS)
+
+
+class TestVmiProcessInfo:
+    def test_boot_publishes_idle(self, machine):
+        info = machine.introspector.read_current_process()
+        assert info.pid == 0
+        assert info.comm == "swapper"
+
+    def test_spawn_updates_on_schedule(self, machine):
+        from repro.kernel.objects import Syscall
+
+        def app():
+            yield Syscall("getpid")
+
+        task = machine.spawn("myapp", app)
+        machine.run(until=lambda: task.finished, max_cycles=100_000_000)
+        # after the app exits the record points at whoever ran last
+        info = machine.introspector.read_current_process()
+        assert info.comm in ("myapp", "swapper")

@@ -1,0 +1,53 @@
+"""Kernel view configuration file tests (save/load, union views)."""
+
+from repro.core.kernel_view import KernelViewConfig, union_view
+from repro.core.rangelist import BASE_KERNEL, KernelProfile
+
+
+def make_config(app, ranges):
+    profile = KernelProfile()
+    for segment, begin, end in ranges:
+        profile.add(segment, begin, end)
+    return KernelViewConfig(app=app, profile=profile)
+
+
+def test_size_matches_profile():
+    config = make_config("top", [(BASE_KERNEL, 0, 128), ("ext4", 0, 64)])
+    assert config.size == 192
+
+
+def test_save_load_roundtrip(tmp_path):
+    config = make_config("apache", [(BASE_KERNEL, 0x100, 0x400), ("e1000", 0, 80)])
+    config.notes = "profiled with httperf"
+    path = tmp_path / "apache.view.json"
+    config.save(path)
+    back = KernelViewConfig.load(path)
+    assert back.app == "apache"
+    assert back.notes == "profiled with httperf"
+    assert back.profile.to_dict() == config.profile.to_dict()
+
+
+def test_union_view_covers_all():
+    a = make_config("a", [(BASE_KERNEL, 0, 100)])
+    b = make_config("b", [(BASE_KERNEL, 50, 200), ("ext4", 0, 10)])
+    union = union_view([a, b])
+    assert union.app == "union"
+    assert union.profile.segments[BASE_KERNEL].size == 200
+    assert union.profile.segments["ext4"].size == 10
+    # inputs unchanged
+    assert a.profile.size == 100
+
+
+def test_union_of_nothing_is_empty():
+    union = union_view([])
+    assert union.size == 0
+
+
+def test_profiled_configs_serialize(tmp_path, app_configs):
+    """Real profiled configs survive a disk roundtrip bit-exactly."""
+    config = app_configs["top"]
+    path = tmp_path / "top.json"
+    config.save(path)
+    back = KernelViewConfig.load(path)
+    assert back.size == config.size
+    assert back.profile.to_dict() == config.profile.to_dict()

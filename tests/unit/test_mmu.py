@@ -1,0 +1,79 @@
+"""Software MMU unit tests: two-stage translation and cache coherence."""
+
+import pytest
+
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.mmu import Mmu, TranslationError
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+
+@pytest.fixture()
+def world():
+    physmem = PhysicalMemory()
+    ept = ExtendedPageTable()
+    pt = GuestPageTable()
+    pt.map_page(0x1000, 0x5000)
+    pt.map_page(0x2000, 0x6000)
+    mmu = Mmu(physmem, ept)
+    mmu.set_cr3(pt)
+    return physmem, ept, pt, mmu
+
+
+def test_two_stage_translation(world):
+    physmem, ept, pt, mmu = world
+    assert mmu.translate(0x1010) == 0x5010
+    ept.map_frame(0x5, 0x99)
+    assert mmu.translate(0x1010) == 0x99010
+
+
+def test_read_write_through(world):
+    physmem, ept, pt, mmu = world
+    mmu.write(0x1FF0, b"0123456789abcdef" * 2)  # crosses into 0x2000 page
+    assert mmu.read(0x1FF0, 32) == b"0123456789abcdef" * 2
+    assert physmem.read(0x5FF0, 16) == b"0123456789abcdef"
+    assert physmem.read(0x6000, 16) == b"0123456789abcdef"
+
+
+def test_u32_helpers(world):
+    _, _, _, mmu = world
+    mmu.write_u32(0x1004, 0xDEADBEEF)
+    assert mmu.read_u32(0x1004) == 0xDEADBEEF
+
+
+def test_unmapped_raises_translation_error(world):
+    _, _, _, mmu = world
+    with pytest.raises(TranslationError):
+        mmu.read(0xF0000000, 1)
+
+
+def test_cache_invalidated_on_pt_change(world):
+    _, _, pt, mmu = world
+    assert mmu.translate(0x1000) == 0x5000
+    pt.map_page(0x1000, 0x7000)
+    assert mmu.translate(0x1000) == 0x7000
+
+
+def test_cache_invalidated_on_ept_change(world):
+    _, ept, _, mmu = world
+    assert mmu.translate(0x2000) == 0x6000
+    ept.map_frame(0x6, 0x42)
+    assert mmu.translate(0x2000) == 0x42000
+
+
+def test_cr3_switch_changes_address_space(world):
+    physmem, ept, pt, mmu = world
+    other = GuestPageTable()
+    other.map_page(0x1000, 0x8000)
+    mmu.set_cr3(other)
+    assert mmu.translate(0x1000) == 0x8000
+    mmu.set_cr3(pt)
+    assert mmu.translate(0x1000) == 0x5000
+
+
+def test_write_bumps_frame_version(world):
+    physmem, _, _, mmu = world
+    v0 = physmem.version(0x5)
+    mmu.write(0x1000, b"zz")
+    assert physmem.version(0x5) > v0

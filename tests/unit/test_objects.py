@@ -1,0 +1,73 @@
+"""Kernel object model unit tests."""
+
+import pytest
+
+from repro.kernel.objects import (
+    File,
+    Pipe,
+    Socket,
+    Syscall,
+    Task,
+    TaskState,
+    WaitQueue,
+)
+from repro.memory.paging import GuestPageTable
+
+
+def make_task(pid=1, comm="t"):
+    return Task(pid, comm, GuestPageTable(), kstack_top=0xC8002000)
+
+
+def test_syscall_kwargs():
+    req = Syscall("open", path="/etc/passwd", count=3)
+    assert req.name == "open"
+    assert req.args == {"path": "/etc/passwd", "count": 3}
+
+
+def test_file_kind_validated():
+    with pytest.raises(ValueError):
+        File("floppy", "/dev/fd0")
+
+
+def test_file_refcount_starts_at_one():
+    assert File("ext4", "/etc/passwd").refcount == 1
+
+
+def test_task_fd_allocation_monotonic():
+    task = make_task()
+    fd1 = task.alloc_fd(File("ext4", "a"))
+    fd2 = task.alloc_fd(File("ext4", "b"))
+    assert (fd1, fd2) == (3, 4)
+    assert task.fd_table[fd1].name == "a"
+
+
+def test_wait_queue_dedup():
+    queue = WaitQueue("q")
+    task = make_task()
+    queue.add(task)
+    queue.add(task)
+    assert len(queue) == 1
+    queue.remove(task)
+    assert len(queue) == 0
+    queue.remove(task)  # idempotent
+
+
+def test_pipe_initial_state():
+    pipe = Pipe(1)
+    assert pipe.count == 0
+    assert pipe.readers == 1 and pipe.writers == 1
+
+
+def test_socket_queues():
+    sock = Socket(1, "inet", "stream")
+    assert sock.accept_queue == []
+    assert not sock.listening
+    assert sock.bound_port is None
+
+
+def test_new_task_state():
+    task = make_task()
+    assert task.state is TaskState.RUNNABLE
+    assert task.driver is None
+    assert not task.finished
+    assert task.irq_frames == []

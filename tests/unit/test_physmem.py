@@ -1,0 +1,86 @@
+"""Physical memory unit tests: frames, spans, versions, UD2 fill."""
+
+import pytest
+
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.physmem import PhysicalMemory
+
+
+@pytest.fixture()
+def mem():
+    return PhysicalMemory()
+
+
+def test_read_unwritten_is_zero(mem):
+    assert mem.read(0x1234, 8) == b"\x00" * 8
+
+
+def test_write_read_roundtrip(mem):
+    mem.write(0x2000, b"hello world")
+    assert mem.read(0x2000, 11) == b"hello world"
+
+
+def test_write_spanning_pages(mem):
+    addr = PAGE_SIZE - 3
+    mem.write(addr, b"abcdef")
+    assert mem.read(addr, 6) == b"abcdef"
+    assert mem.read(PAGE_SIZE, 3) == b"def"
+
+
+def test_versions_bump_on_write(mem):
+    hpfn = 5
+    v0 = mem.version(hpfn)
+    mem.write(hpfn * PAGE_SIZE + 10, b"x")
+    assert mem.version(hpfn) == v0 + 1
+
+
+def test_cross_page_write_bumps_both(mem):
+    mem.write(PAGE_SIZE - 1, b"ab")
+    assert mem.version(0) == 1
+    assert mem.version(1) == 1
+
+
+def test_manual_version_bump(mem):
+    mem.bump_version(9)
+    assert mem.version(9) == 1
+
+
+def test_allocate_frames_are_hypervisor_owned(mem):
+    frames = mem.allocate_frames(4)
+    assert len(frames) == 4
+    assert all(f >= mem.guest_frames for f in frames)
+    again = mem.allocate_frames(2)
+    assert set(frames).isdisjoint(again)
+
+
+def test_free_frames_releases_storage(mem):
+    frames = mem.allocate_frames(2)
+    for f in frames:
+        mem.frame(f)
+    count = mem.allocated_frame_count()
+    mem.free_frames(frames)
+    assert mem.allocated_frame_count() == count - 2
+
+
+def test_fill_pattern_alignment(mem):
+    """UD2 fill keeps 0f on even offsets when written at a page base."""
+    mem.fill(0x4000, PAGE_SIZE, b"\x0f\x0b")
+    data = mem.read(0x4000, 16)
+    assert data == b"\x0f\x0b" * 8
+    # an odd offset into the fill reads the split pattern
+    assert mem.read(0x4001, 2) == b"\x0b\x0f"
+
+
+def test_fill_odd_length(mem):
+    mem.fill(0x5000, 5, b"\x0f\x0b")
+    assert mem.read(0x5000, 5) == b"\x0f\x0b\x0f\x0b\x0f"
+
+
+def test_fill_empty_pattern_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.fill(0, 10, b"")
+
+
+def test_negative_read_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.read(0, -1)

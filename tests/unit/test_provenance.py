@@ -1,0 +1,84 @@
+"""Recovery log / provenance unit tests."""
+
+from repro.core.provenance import (
+    BacktraceFrame,
+    DEFAULT_BENIGN_RECOVERIES,
+    RecoveryEvent,
+    RecoveryLog,
+)
+
+
+def make_event(fn="inet_create", app="top", interrupt=False, frames=()):
+    return RecoveryEvent(
+        cycles=1000,
+        rip=0xC0200000,
+        recovered=f"<{fn}+0x0>",
+        function_start=0xC0200000,
+        function_end=0xC0200100,
+        pid=7,
+        comm=app,
+        view_app=app,
+        backtrace=tuple(frames),
+        in_interrupt=interrupt,
+    )
+
+
+def test_function_name_strips_decoration():
+    assert make_event("sys_bind").function_name == "sys_bind"
+
+
+def test_unknown_frames_detected():
+    frame = BacktraceFrame(0xF8078BBE, "<UNKNOWN>")
+    event = make_event(frames=[frame])
+    assert event.has_unknown_frames
+    assert frame.is_unknown
+
+
+def test_known_frames_not_unknown():
+    frame = BacktraceFrame(0xC021A526, "<do_sys_poll+0x136>")
+    assert not frame.is_unknown
+    assert not make_event(frames=[frame]).has_unknown_frames
+
+
+def test_format_matches_paper_layout():
+    frame = BacktraceFrame(0xC021A526, "<do_sys_poll+0x136>")
+    text = make_event("pipe_poll", frames=[frame]).format()
+    assert text.startswith("Recover 0xc0200000 <pipe_poll+0x0> for kernel[top]")
+    assert "|-- 0xc021a526 <do_sys_poll+0x136>" in text
+
+
+def test_log_queries():
+    log = RecoveryLog()
+    log.append(make_event("a", app="top"))
+    log.append(make_event("b", app="apache"))
+    log.append(make_event("c", app="top", interrupt=True))
+    assert len(log) == 3
+    assert [e.function_name for e in log.for_app("top")] == ["a", "c"]
+    assert log.recovered_functions("apache") == ["b"]
+
+
+def test_anomalous_excludes_interrupt_and_benign():
+    log = RecoveryLog()
+    log.append(make_event("kvm_clock_read"))
+    log.append(make_event("timer_tick_thing", interrupt=True))
+    log.append(make_event("inet_create"))
+    anomalous = log.anomalous(benign=DEFAULT_BENIGN_RECOVERIES)
+    assert [e.function_name for e in anomalous] == ["inet_create"]
+
+
+def test_kvm_clock_chain_is_default_benign():
+    for fn in (
+        "kvm_clock_get_cycles",
+        "kvm_clock_read",
+        "pvclock_clocksource_read",
+        "native_read_tsc",
+    ):
+        assert fn in DEFAULT_BENIGN_RECOVERIES
+
+
+def test_report_and_clear():
+    log = RecoveryLog()
+    log.append(make_event("x"))
+    assert "Recover" in log.report()
+    log.clear()
+    assert len(log) == 0

@@ -1,0 +1,155 @@
+"""Range list / K[app] unit tests (the paper's Section II operators)."""
+
+import pytest
+
+from repro.core.rangelist import (
+    BASE_KERNEL,
+    KernelProfile,
+    RangeList,
+    similarity_index,
+)
+
+
+class TestRangeList:
+    def test_empty(self):
+        rl = RangeList()
+        assert len(rl) == 0
+        assert rl.size == 0
+
+    def test_add_single(self):
+        rl = RangeList([(10, 20)])
+        assert list(rl) == [(10, 20)]
+        assert rl.size == 10
+        assert len(rl) == 1
+
+    def test_degenerate_range_ignored(self):
+        rl = RangeList([(5, 5), (9, 3)])
+        assert len(rl) == 0
+
+    def test_merge_adjacent(self):
+        rl = RangeList([(0, 10), (10, 20)])
+        assert list(rl) == [(0, 20)]
+
+    def test_merge_overlapping(self):
+        rl = RangeList([(0, 15), (10, 30), (25, 40)])
+        assert list(rl) == [(0, 40)]
+
+    def test_disjoint_stay_separate(self):
+        rl = RangeList([(0, 5), (10, 15)])
+        assert list(rl) == [(0, 5), (10, 15)]
+        assert rl.size == 10
+
+    def test_insert_between(self):
+        rl = RangeList([(0, 5), (20, 25)])
+        rl.add(10, 12)
+        assert list(rl) == [(0, 5), (10, 12), (20, 25)]
+
+    def test_bridging_add_merges_both_sides(self):
+        rl = RangeList([(0, 5), (10, 15)])
+        rl.add(5, 10)
+        assert list(rl) == [(0, 15)]
+
+    def test_contains(self):
+        rl = RangeList([(10, 20), (30, 40)])
+        assert rl.contains(10)
+        assert rl.contains(19)
+        assert not rl.contains(20)
+        assert rl.contains(35)
+        assert not rl.contains(25)
+        assert not rl.contains(9)
+
+    def test_intersect_basic(self):
+        a = RangeList([(0, 10), (20, 30)])
+        b = RangeList([(5, 25)])
+        both = a.intersect(b)
+        assert list(both) == [(5, 10), (20, 25)]
+
+    def test_intersect_disjoint_is_empty(self):
+        a = RangeList([(0, 10)])
+        b = RangeList([(10, 20)])
+        assert len(a.intersect(b)) == 0
+
+    def test_intersect_self_is_identity(self):
+        a = RangeList([(3, 9), (100, 200)])
+        assert a.intersect(a) == a
+
+    def test_update_unions(self):
+        a = RangeList([(0, 10)])
+        a.update(RangeList([(5, 20), (30, 35)]))
+        assert list(a) == [(0, 20), (30, 35)]
+
+    def test_copy_is_independent(self):
+        a = RangeList([(0, 10)])
+        b = a.copy()
+        b.add(20, 30)
+        assert len(a) == 1
+        assert len(b) == 2
+
+
+class TestKernelProfile:
+    def make(self, base=((0, 100),), ext4=((0, 50),)):
+        profile = KernelProfile()
+        for b, e in base:
+            profile.add(BASE_KERNEL, b, e)
+        for b, e in ext4:
+            profile.add("ext4", b, e)
+        return profile
+
+    def test_size_sums_segments(self):
+        assert self.make().size == 150
+
+    def test_len_counts_elements(self):
+        assert len(self.make(base=((0, 10), (20, 30)))) == 3
+
+    def test_intersect_per_segment(self):
+        a = self.make(base=((0, 100),), ext4=((0, 50),))
+        b = self.make(base=((50, 150),), ext4=((100, 200),))
+        both = a.intersect(b)
+        assert both.segments[BASE_KERNEL].size == 50
+        assert "ext4" not in both.segments
+
+    def test_contains_by_segment(self):
+        profile = self.make()
+        assert profile.contains(BASE_KERNEL, 50)
+        assert not profile.contains(BASE_KERNEL, 100)
+        assert profile.contains("ext4", 10)
+        assert not profile.contains("jbd2", 10)
+
+    def test_serialization_roundtrip(self):
+        profile = self.make(base=((0, 10), (32, 64)))
+        data = profile.to_dict()
+        back = KernelProfile.from_dict(data)
+        assert back.to_dict() == data
+        assert back.size == profile.size
+
+
+class TestSimilarityIndex:
+    def test_equation_one(self):
+        a = KernelProfile()
+        a.add(BASE_KERNEL, 0, 100)
+        b = KernelProfile()
+        b.add(BASE_KERNEL, 50, 250)
+        # overlap 50, max size 200 -> 0.25
+        assert similarity_index(a, b) == pytest.approx(0.25)
+
+    def test_symmetric(self):
+        a = KernelProfile()
+        a.add(BASE_KERNEL, 0, 77)
+        b = KernelProfile()
+        b.add(BASE_KERNEL, 30, 130)
+        assert similarity_index(a, b) == similarity_index(b, a)
+
+    def test_identical_profiles_score_one(self):
+        a = KernelProfile()
+        a.add(BASE_KERNEL, 0, 10)
+        assert similarity_index(a, a) == 1.0
+
+    def test_disjoint_profiles_score_zero(self):
+        a = KernelProfile()
+        a.add(BASE_KERNEL, 0, 10)
+        b = KernelProfile()
+        b.add(BASE_KERNEL, 10, 20)
+        assert similarity_index(a, b) == 0.0
+
+    def test_empty_profiles(self):
+        assert similarity_index(KernelProfile(), KernelProfile()) == 1.0

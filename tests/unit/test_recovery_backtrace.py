@@ -1,0 +1,123 @@
+"""RecoveryEngine backtrace unit tests on hand-built stack frames."""
+
+import struct
+
+import pytest
+
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.provenance import RecoveryLog
+from repro.core.rangelist import KernelProfile
+from repro.core.recovery import MAX_BACKTRACE_DEPTH, RecoveryEngine, SPLIT_UD2
+from repro.core.view_manager import ViewBuilder
+from repro.guest.machine import boot_machine
+from repro.memory.layout import KERNEL_STACK_BASE
+
+
+@pytest.fixture()
+def world():
+    machine = boot_machine()
+    engine = RecoveryEngine(machine, RecoveryLog())
+    view = ViewBuilder(machine).build(0, KernelViewConfig("t", KernelProfile()))
+    vcpu = machine.vcpu
+    vcpu.mmu.set_cr3(machine.kernel_page_table)
+    return machine, engine, view, vcpu
+
+
+def build_stack(machine, frames):
+    """Write an ebp chain: [(return_address, ...)] newest-first.
+
+    Returns the ebp the walker should start from.
+    """
+    mmu = machine.vcpu.mmu
+    base = KERNEL_STACK_BASE + 0x10000
+    # lay frames from the bottom (oldest) upwards
+    addrs = []
+    cursor = base + 0x800
+    prev_ebp = 0
+    for ret in reversed(frames):
+        frame_at = cursor
+        mmu.write_u32(frame_at, prev_ebp)  # saved ebp
+        mmu.write_u32(frame_at + 4, ret)  # return address
+        prev_ebp = frame_at
+        cursor -= 0x40
+        addrs.append(frame_at)
+    return prev_ebp
+
+
+def test_backtrace_symbolizes_chain(world):
+    machine, engine, view, vcpu = world
+    image = machine.image
+    rets = [
+        image.address_of("do_sys_poll") + 8,
+        image.address_of("sys_poll") + 8,
+        image.address_of("syscall_call") + 7,
+    ]
+    vcpu.ebp = build_stack(machine, rets)
+    frames, instant = engine.back_trace(vcpu, view)
+    symbols = [f.symbol for f in frames]
+    assert "do_sys_poll" in symbols[0]
+    assert "sys_poll" in symbols[1]
+    assert "syscall_call" in symbols[2]
+
+
+def test_backtrace_stops_at_sentinel(world):
+    machine, engine, view, vcpu = world
+    rets = [machine.image.address_of("vfs_read") + 4]
+    vcpu.ebp = build_stack(machine, rets)
+    frames, _ = engine.back_trace(vcpu, view)
+    assert len(frames) == 1
+
+
+def test_backtrace_stops_on_non_kernel_rip(world):
+    machine, engine, view, vcpu = world
+    mmu = vcpu.mmu
+    frame_at = KERNEL_STACK_BASE + 0x12000
+    mmu.write_u32(frame_at, 0)
+    mmu.write_u32(frame_at + 4, 0x08048000)  # user-space address
+    vcpu.ebp = frame_at
+    frames, _ = engine.back_trace(vcpu, view)
+    assert frames == []
+
+
+def test_backtrace_depth_bounded(world):
+    """A self-referential ebp chain cannot loop the walker forever."""
+    machine, engine, view, vcpu = world
+    mmu = vcpu.mmu
+    frame_at = KERNEL_STACK_BASE + 0x13000
+    mmu.write_u32(frame_at, frame_at)  # ebp points at itself
+    mmu.write_u32(frame_at + 4, machine.image.address_of("schedule") + 4)
+    vcpu.ebp = frame_at
+    frames, _ = engine.back_trace(vcpu, view)
+    assert len(frames) == MAX_BACKTRACE_DEPTH
+
+
+def test_instant_recovery_on_split_ud2_target(world):
+    """A return address reading 0b 0f inside the view is recovered."""
+    machine, engine, view, vcpu = world
+    view.install(machine.ept)
+    try:
+        start, _end = machine.image.function_range("vfs_write")
+        odd_ret = start + 9  # odd offset into the UD2-filled function
+        assert odd_ret % 2 == 1
+        assert vcpu.mmu.read(odd_ret, 2) == SPLIT_UD2
+        vcpu.ebp = build_stack(machine, [odd_ret])
+        frames, instant = engine.back_trace(vcpu, view)
+        assert len(frames) == 1
+        assert any("vfs_write" in name for name in instant)
+        # the function is now real code in the view
+        assert vcpu.mmu.read(start, 3) == b"\x55\x89\xe5"
+    finally:
+        view.uninstall(machine.ept)
+
+
+def test_instant_recovery_respects_disable_flag(world):
+    machine, engine, view, vcpu = world
+    engine.instant_recovery_enabled = False
+    view.install(machine.ept)
+    try:
+        start, _ = machine.image.function_range("vfs_write")
+        vcpu.ebp = build_stack(machine, [start + 9])
+        _frames, instant = engine.back_trace(vcpu, view)
+        assert instant == []
+    finally:
+        view.uninstall(machine.ept)

@@ -1,0 +1,125 @@
+"""Kernel runtime internals: driver protocol, compute chunking, per-CPU."""
+
+import pytest
+
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import Compute, Syscall, TaskState
+from repro.kernel.runtime import TIMER_PERIOD_CYCLES, Platform
+
+Sys = Syscall
+
+
+def test_driver_receives_return_values(machine):
+    seen = []
+
+    def app():
+        fd = yield Sys("open", path="/a")
+        seen.append(fd)
+        n = yield Sys("read", fd=fd, count=77)
+        seen.append(n)
+
+    task = machine.spawn("t", app)
+    machine.run(until=lambda: task.finished, max_cycles=8_000_000_000)
+    assert seen == [3, 77]
+
+
+def test_compute_advances_virtual_time(machine):
+    def app():
+        yield Compute(1_234_567)
+
+    task = machine.spawn("t", app)
+    start = machine.cycles
+    machine.run(until=lambda: task.finished, max_cycles=80_000_000_000)
+    assert machine.cycles - start >= 1_234_567
+
+
+def test_compute_does_not_starve_timer(machine):
+    """Ticks land inside a long compute burst (chunked consumption)."""
+    def app():
+        yield Compute(TIMER_PERIOD_CYCLES * 5)
+
+    ticks_before = machine.runtime.timer_interrupts
+    task = machine.spawn("t", app)
+    machine.run(until=lambda: task.finished, max_cycles=80_000_000_000)
+    assert machine.runtime.timer_interrupts - ticks_before >= 4
+
+
+def test_driver_exhaustion_becomes_exit(machine):
+    def app():
+        yield Sys("getpid")
+
+    task = machine.spawn("t", app)
+    machine.run(until=lambda: task.finished, max_cycles=8_000_000_000)
+    assert task.state is TaskState.ZOMBIE
+    assert task.finished
+    assert task.fd_table == {}  # exit closed everything
+
+
+def test_signal_handler_driver_stack(machine):
+    order = []
+
+    def handler():
+        order.append("handler")
+        yield Sys("getpid")
+
+    def app():
+        yield Sys("rt_sigaction", signum=14, handler=handler)
+        yield Sys("alarm", delay=100_000)
+        while "handler" not in order:
+            yield Compute(150_000)
+        order.append("main")
+        yield Sys("getpid")
+
+    task = machine.spawn("t", app)
+    machine.run(until=lambda: task.finished, max_cycles=80_000_000_000)
+    assert order == ["handler", "main"]
+    assert len(task.drivers) == 1  # handler driver was popped
+
+
+def test_syscall_counts_accumulate(machine):
+    def app():
+        for _ in range(5):
+            yield Sys("getpid")
+
+    task = machine.spawn("t", app)
+    machine.run(until=lambda: task.finished, max_cycles=8_000_000_000)
+    # 5 getpid + the implicit exit
+    assert task.syscall_count == 6
+
+
+def test_publish_current_task_truncates_comm(machine):
+    task = machine.spawn("a-very-long-process-name", lambda: iter(()))
+    machine.runtime.publish_current_task(task, 0)
+    info = machine.introspector.read_current_process(0)
+    assert info.comm == "a-very-long-pro"  # 15 chars + NUL
+    assert info.pid == task.pid
+
+
+def test_kstack_allocation_unique_until_recycled(machine):
+    rt = machine.runtime
+    tops = {rt._alloc_kstack() for _ in range(10)}
+    assert len(tops) == 10
+    recycled = tops.pop()
+    rt.release_kstack(recycled)
+    assert rt._alloc_kstack() == recycled
+
+
+def test_unknown_action_name_fails_loudly(machine):
+    from repro.hypervisor.vcpu import VcpuError
+
+    rt = machine.runtime
+    ident = rt.names.act_id("no.such.action")
+    with pytest.raises(VcpuError):
+        rt.do_act(ident)
+
+
+def test_platform_selects_clocksource():
+    qemu = boot_machine(platform=Platform.QEMU)
+    kvm = boot_machine(platform=Platform.KVM)
+    from repro.kernel.registry import REGISTRY
+
+    assert REGISTRY.slots["time.clocksource_read"](qemu.runtime) == "read_tsc"
+    assert (
+        REGISTRY.slots["time.clocksource_read"](kvm.runtime)
+        == "kvm_clock_get_cycles"
+    )

@@ -1,0 +1,53 @@
+"""Additional edge cases for the hidden-code scanner and symbolization."""
+
+from repro.core.scanner import HiddenCodeScanner
+from repro.kernel.subsys import ModuleSpec
+from repro.kernel.catalog._dsl import W, kfunc
+from repro.malware.rootkits import ADORE_SPEC, KBEAST_SPEC
+
+
+def test_two_hidden_modules_all_code_attributed(machine):
+    """Two adjacent hidden modules: the scanner reports all their code
+    (adjacent pages may coalesce into one region -- the scanner groups by
+    contiguity, since ownership is exactly what hiding destroyed)."""
+    machine.image.load_module("kbeast", KBEAST_SPEC.functions)
+    machine.image.load_module("adore-ng", ADORE_SPEC.functions)
+    machine.image.hide_module("kbeast")
+    machine.image.hide_module("adore-ng")
+    regions = HiddenCodeScanner(machine).scan()
+    assert regions
+    covered = lambda addr: any(r.start <= addr < r.end for r in regions)
+    assert covered(machine.image.modules["kbeast"].base)
+    assert covered(machine.image.modules["adore-ng"].base)
+    total = sum(r.functions for r in regions)
+    assert total == len(KBEAST_SPEC.functions) + len(ADORE_SPEC.functions)
+
+
+def test_unhide_like_state_after_visible_reload(machine):
+    """Hiding then 'reappearing' (rewriting the list) clears the finding."""
+    machine.image.load_module("kbeast", KBEAST_SPEC.functions)
+    machine.image.hide_module("kbeast")
+    assert HiddenCodeScanner(machine).scan()
+    machine.image.modules["kbeast"].hidden = False
+    machine.image._rewrite_module_list()
+    assert HiddenCodeScanner(machine).scan() == []
+
+
+def test_scan_span_bounds_work(machine):
+    machine.image.load_module("kbeast", KBEAST_SPEC.functions)
+    machine.image.hide_module("kbeast")
+    base = machine.image.modules["kbeast"].base
+    # a span too small to reach the hidden module finds nothing
+    from repro.memory.layout import MODULE_SPACE_BASE
+
+    short = base - MODULE_SPACE_BASE - 0x1000
+    assert HiddenCodeScanner(machine).scan(span=max(0x1000, short)) == []
+
+
+def test_region_str_and_size(machine):
+    machine.image.load_module("kbeast", KBEAST_SPEC.functions)
+    machine.image.hide_module("kbeast")
+    region = HiddenCodeScanner(machine).scan()[0]
+    assert region.size == region.end - region.start
+    text = str(region)
+    assert "hidden code" in text and "functions" in text

@@ -1,0 +1,105 @@
+"""ViewSwitcher decision-table unit tests (Algorithm 1 + safety rule)."""
+
+import pytest
+
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.rangelist import BASE_KERNEL, KernelProfile
+from repro.core.switching import FULL_KERNEL_VIEW_INDEX, ViewSwitcher
+from repro.core.view_manager import ViewBuilder
+from repro.guest.machine import boot_machine
+from repro.hypervisor.vmexit import VmExit, VmExitReason
+
+
+def small_config(app):
+    profile = KernelProfile()
+    profile.add(BASE_KERNEL, 0xC0100000, 0xC0100400)
+    return KernelViewConfig(app=app, profile=profile)
+
+
+@pytest.fixture()
+def world(machine):
+    selector_map = {}
+    switcher = ViewSwitcher(machine, lambda comm: selector_map.get(
+        comm, FULL_KERNEL_VIEW_INDEX))
+    builder = ViewBuilder(machine)
+    for index, app in enumerate(("alpha", "beta")):
+        view = builder.build(index, small_config(app))
+        switcher.register_view(view)
+        selector_map[app] = index
+    return machine, switcher, selector_map
+
+
+def fake_exit(machine):
+    return VmExit(reason=VmExitReason.ADDRESS_TRAP, rip=0)
+
+
+def trap_for(machine, switcher, comm):
+    machine.runtime.publish_current_task(
+        type("T", (), {"comm": comm, "pid": 42})(), 0
+    )
+    switcher.handle_context_switch_trap(machine.vcpu, fake_exit(machine))
+
+
+class TestDecisionTable:
+    def test_full_to_custom_defers(self, world):
+        machine, switcher, _ = world
+        trap_for(machine, switcher, "alpha")
+        assert switcher._resume_armed[0]
+        assert switcher.current_index[0] == FULL_KERNEL_VIEW_INDEX
+        # the deferred switch lands at the resume trap
+        switcher.handle_resume_userspace_trap(machine.vcpu, fake_exit(machine))
+        assert switcher.current_index[0] == 0
+        assert not switcher._resume_armed[0]
+
+    def test_custom_to_full_switches_immediately(self, world):
+        machine, switcher, _ = world
+        switcher.switch_kernel_view(0, 0)
+        trap_for(machine, switcher, "unknown-process")
+        assert switcher.current_index[0] == FULL_KERNEL_VIEW_INDEX
+        assert not switcher._resume_armed[0]
+
+    def test_custom_to_different_custom_switches_immediately(self, world):
+        """The safety refinement: no deferral across foreign views."""
+        machine, switcher, _ = world
+        switcher.switch_kernel_view(0, 0)
+        trap_for(machine, switcher, "beta")
+        assert switcher.current_index[0] == 1
+        assert not switcher._resume_armed[0]
+
+    def test_custom_to_same_custom_defers_and_skips(self, world):
+        """Algorithm 1 pays the resume trap; the EPT work is skipped."""
+        machine, switcher, _ = world
+        switcher.switch_kernel_view(0, 0)
+        trap_for(machine, switcher, "alpha")
+        assert switcher._resume_armed[0]
+        skipped_before = switcher.skipped_switches
+        switcher.handle_resume_userspace_trap(machine.vcpu, fake_exit(machine))
+        assert switcher.current_index[0] == 0
+        assert switcher.skipped_switches == skipped_before + 1
+
+    def test_eager_mode_never_arms_resume(self, world):
+        machine, switcher, _ = world
+        switcher.defer_to_resume = False
+        trap_for(machine, switcher, "alpha")
+        assert not switcher._resume_armed[0]
+        assert switcher.current_index[0] == 0
+
+    def test_remove_live_view_falls_back_to_full(self, world):
+        machine, switcher, _ = world
+        switcher.switch_kernel_view(1, 0)
+        switcher.remove_view(1)
+        assert switcher.current_index[0] == FULL_KERNEL_VIEW_INDEX
+        assert 1 not in switcher.views
+
+    def test_resume_trap_without_arming_is_noop(self, world):
+        machine, switcher, _ = world
+        before = switcher.resume_traps
+        switcher.handle_resume_userspace_trap(machine.vcpu, fake_exit(machine))
+        assert switcher.resume_traps == before
+
+    def test_ept_restored_after_full_switch(self, world):
+        machine, switcher, _ = world
+        switcher.switch_kernel_view(0, 0)
+        assert machine.ept.overridden_gpfns() != []
+        switcher.switch_kernel_view(FULL_KERNEL_VIEW_INDEX, 0)
+        assert machine.ept.overridden_gpfns() == []

@@ -1,0 +1,242 @@
+"""Virtual CPU unit tests on hand-assembled micro-programs."""
+
+import struct
+
+import pytest
+
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu
+from repro.hypervisor.vmexit import VmExitReason
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+CODE_BASE = 0x00010000
+STACK_TOP = 0x00020FF0
+
+
+class ScriptBridge(SemanticsBridge):
+    """Records semantic callbacks; predicates/slots come from tables."""
+
+    def __init__(self):
+        self.preds = {}
+        self.slots = {}
+        self.acts = []
+        self.ctxsw_count = 0
+        self.irets = 0
+
+    def eval_pred(self, pred_id):
+        return self.preds.get(pred_id, False)
+
+    def do_act(self, act_id):
+        self.acts.append(act_id)
+
+    def resolve_slot(self, slot_id):
+        return self.slots[slot_id]
+
+    def on_ctxsw(self, vcpu):
+        self.ctxsw_count += 1
+
+    def on_iret(self, vcpu):
+        self.irets += 1
+        vcpu.eip = CODE_BASE + 0x800  # park on a hlt
+
+    def interrupt_pending(self, vcpu):
+        return False
+
+
+@pytest.fixture()
+def world():
+    physmem = PhysicalMemory()
+    ept = ExtendedPageTable()
+    pt = GuestPageTable()
+    for page in range(0x10000, 0x22000, PAGE_SIZE):
+        pt.map_page(page, page)
+    mmu = Mmu(physmem, ept)
+    mmu.set_cr3(pt)
+    bridge = ScriptBridge()
+    vcpu = Vcpu(0, mmu, bridge)
+    vcpu.esp = STACK_TOP
+    vcpu.eip = CODE_BASE
+    physmem.write(CODE_BASE + 0x800, b"\xf4")  # parking hlt
+    return physmem, vcpu, bridge
+
+
+def run_to_exit(vcpu, reason=VmExitReason.HLT):
+    exit_ = vcpu.run(budget=10_000)
+    assert exit_.reason is reason, exit_
+    return exit_
+
+
+def test_fill_and_hlt(world):
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x90" * 10 + b"\xf4")
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == CODE_BASE + 11
+    assert vcpu.instructions == 11
+
+
+def test_call_and_ret(world):
+    physmem, vcpu, _ = world
+    # call +3 (to CODE_BASE+8); hlt; pad; target: ret -> back to hlt
+    program = b"\xe8\x03\x00\x00\x00" + b"\xf4" + b"\x90\x90" + b"\xc3"
+    physmem.write(CODE_BASE, program)
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == CODE_BASE + 6
+    assert vcpu.esp == STACK_TOP  # balanced
+
+
+def test_frame_push_leave(world):
+    physmem, vcpu, _ = world
+    vcpu.ebp = 0x1111
+    physmem.write(CODE_BASE, b"\x55\x89\xe5\xc9\xf4")
+    run_to_exit(vcpu)
+    assert vcpu.ebp == 0x1111
+    assert vcpu.esp == STACK_TOP
+
+
+def test_pred_and_jz_taken(world):
+    physmem, vcpu, bridge = world
+    bridge.preds[7] = False  # predicate false -> ZF set -> JZ jumps
+    program = (
+        b"\x3d\x07\x00\x00\x00"  # pred 7
+        + b"\x0f\x84\x01\x00\x00\x00"  # jz +1 (over the int3-ish byte)
+        + b"\x90"
+        + b"\xf4"
+    )
+    physmem.write(CODE_BASE, program)
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == CODE_BASE + len(program)
+
+
+def test_pred_true_falls_through(world):
+    physmem, vcpu, bridge = world
+    bridge.preds[7] = True
+    program = (
+        b"\x3d\x07\x00\x00\x00"
+        + b"\x0f\x84\x01\x00\x00\x00"
+        + b"\xf4"  # reached only when predicate true
+        + b"\x90\xf4"
+    )
+    physmem.write(CODE_BASE, program)
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == CODE_BASE + 12
+
+
+def test_act_reaches_bridge(world):
+    physmem, vcpu, bridge = world
+    physmem.write(CODE_BASE, b"\x0f\xae\x2a\x00\x00\x00\xf4")
+    run_to_exit(vcpu)
+    assert bridge.acts == [42]
+
+
+def test_dispatch_calls_resolved_target(world):
+    physmem, vcpu, bridge = world
+    bridge.slots[3] = CODE_BASE + 0x100
+    physmem.write(CODE_BASE, b"\xff\x14\x85\x03\x00\x00\x00\xf4")
+    physmem.write(CODE_BASE + 0x100, b"\xc3")
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == CODE_BASE + 8
+    assert vcpu.esp == STACK_TOP
+
+
+def test_ud2_exits_with_rip_at_fault(world):
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x90\x0f\x0b")
+    exit_ = run_to_exit(vcpu, VmExitReason.INVALID_OPCODE)
+    assert exit_.rip == CODE_BASE + 1
+
+
+def test_invalid_byte_exits(world):
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x00")
+    exit_ = run_to_exit(vcpu, VmExitReason.INVALID_OPCODE)
+    assert exit_.rip == CODE_BASE
+
+
+def test_split_ud2_executes_silently(world):
+    """Odd entry into a UD2 fill misdecodes as OR -- the Figure 3 hazard."""
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x0b\x0f" * 3 + b"\xf4")
+    run_to_exit(vcpu)
+    assert vcpu.corruption_executed == 3
+
+
+def test_address_trap_fires_and_resumes(world):
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x90\x90\xf4")
+    trap_at = CODE_BASE + 1
+    vcpu.arm_trap(trap_at)
+    exit_ = vcpu.run(budget=100)
+    assert exit_.reason is VmExitReason.ADDRESS_TRAP
+    assert exit_.rip == trap_at
+    vcpu.resume_past_trap()
+    run_to_exit(vcpu)
+
+
+def test_trap_disarm(world):
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x90\x90\xf4")
+    vcpu.arm_trap(CODE_BASE + 1)
+    vcpu.disarm_trap(CODE_BASE + 1)
+    run_to_exit(vcpu)
+
+
+def test_budget_exit(world):
+    physmem, vcpu, _ = world
+    # infinite loop: jmp -5
+    physmem.write(CODE_BASE, b"\xe9\xfb\xff\xff\xff")
+    exit_ = vcpu.run(budget=50)
+    assert exit_.reason is VmExitReason.BUDGET
+
+
+def test_block_cache_invalidated_by_code_write(world):
+    """Recovery writes into code pages must take effect on next fetch."""
+    physmem, vcpu, _ = world
+    physmem.write(CODE_BASE, b"\x0f\x0b\xf4")
+    exit_ = run_to_exit(vcpu, VmExitReason.INVALID_OPCODE)
+    assert exit_.rip == CODE_BASE
+    # "recover" the code: overwrite the UD2 with nops
+    physmem.write(CODE_BASE, b"\x90\x90")
+    run_to_exit(vcpu)
+    assert vcpu.eip == CODE_BASE + 3
+
+
+def test_translation_error_is_error_exit(world):
+    physmem, vcpu, _ = world
+    vcpu.eip = 0xDEAD0000
+    exit_ = vcpu.run(budget=10)
+    assert exit_.reason is VmExitReason.ERROR
+
+
+def test_cross_page_instruction(world):
+    """An instruction split across a page boundary still executes."""
+    physmem, vcpu, _ = world
+    # place a 5-byte call ending 2 bytes into the next page
+    addr = CODE_BASE + PAGE_SIZE - 3
+    target = CODE_BASE + PAGE_SIZE + 0x100
+    rel = target - (addr + 5)
+    physmem.write(addr, b"\xe8" + struct.pack("<i", rel))
+    physmem.write(target, b"\xf4")
+    vcpu.eip = addr
+    exit_ = run_to_exit(vcpu)
+    assert exit_.rip == target + 1
+
+
+def test_stack_cache_tracks_cr3(world):
+    physmem, vcpu, _ = world
+    vcpu.push(0x1234)
+    assert vcpu.pop() == 0x1234
+    # push/pop across a page boundary edge
+    vcpu.esp = 0x00021002
+    vcpu.push(0xCAFEBABE)
+    assert vcpu.pop() == 0xCAFEBABE
+
+
+def test_iret_and_ctxsw_delegate(world):
+    physmem, vcpu, bridge = world
+    physmem.write(CODE_BASE, b"\xf5\xcf")
+    run_to_exit(vcpu)
+    assert bridge.ctxsw_count == 1
+    assert bridge.irets == 1
