@@ -1,0 +1,116 @@
+"""Per-app event timelines over the telemetry trace (``repro.cli trace``).
+
+Renders the runtime-phase causal chain the paper describes only
+qualitatively: context-switch trap -> (deferred) resume trap -> EPT view
+flip -> ``#UD`` in a view hole -> code recovery with provenance.  Every
+recovery trace event is cross-referenced against the
+:class:`~repro.core.provenance.RecoveryLog` (both stamp the same vCPU
+cycle counter), so the timeline and the provenance log tell one story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.provenance import RecoveryEvent, RecoveryLog
+from repro.telemetry import Telemetry, TraceEvent, format_counters, format_timeline
+
+#: Event kinds rendered in a timeline (raw ``vmexit`` events are elided
+#: by default -- every trap below already implies one).
+TIMELINE_KINDS: Tuple[str, ...] = (
+    "ctxsw_trap",
+    "resume_trap",
+    "view_switch",
+    "view_skip",
+    "recovery",
+    "instant_recovery",
+    "misdecode",
+    "view_load",
+    "view_unload",
+    "module_load",
+)
+
+#: Fields that may attribute an event to an application.
+_APP_FIELDS = ("comm", "app", "view_app")
+
+
+def events_for_app(
+    telemetry: Telemetry, app: str, kinds: Optional[Iterable[str]] = None
+) -> List[TraceEvent]:
+    """Trace events attributable to ``app`` (by comm or view binding)."""
+    wanted = set(kinds) if kinds is not None else set(TIMELINE_KINDS)
+    return [
+        e
+        for e in telemetry.trace
+        if e.kind in wanted
+        and any(e.get(field) == app for field in _APP_FIELDS)
+    ]
+
+
+def correlate_recoveries(
+    telemetry: Telemetry, log: RecoveryLog
+) -> List[Tuple[TraceEvent, Optional[RecoveryEvent]]]:
+    """Match each ``recovery`` trace event to its provenance-log entry.
+
+    Both records stamp the faulting vCPU's cycle counter and rip, which
+    uniquely identify a recovery, so the join is exact.  An unmatched
+    event (``None`` partner) indicates the log was cleared or the ring
+    buffer wrapped -- worth surfacing, not hiding.
+    """
+    by_key: Dict[Tuple[int, int], RecoveryEvent] = {
+        (entry.cycles, entry.rip): entry for entry in log
+    }
+    return [
+        (event, by_key.get((event.cycles, event.get("rip"))))
+        for event in telemetry.events("recovery")
+    ]
+
+
+def format_trace_report(
+    telemetry: Telemetry,
+    log: Optional[RecoveryLog] = None,
+    app: Optional[str] = None,
+    limit: Optional[int] = 200,
+) -> str:
+    """The full ``repro trace`` rendering: counters, timeline, provenance."""
+    sections: List[str] = []
+
+    counters = format_counters(telemetry)
+    if counters:
+        sections.append("== counters ==\n" + counters)
+
+    if app is not None:
+        events: Iterable[TraceEvent] = events_for_app(telemetry, app)
+        header = f"== timeline ({app}) =="
+    else:
+        events = [e for e in telemetry.trace if e.kind in TIMELINE_KINDS]
+        header = "== timeline =="
+    timeline = format_timeline(events, limit=limit)
+    if telemetry.trace.dropped:
+        timeline = (
+            f"(ring buffer wrapped: {telemetry.trace.dropped} events dropped)\n"
+            + timeline
+        )
+    sections.append(header + "\n" + (timeline or "(no events recorded)"))
+
+    if log is not None:
+        pairs = correlate_recoveries(telemetry, log)
+        lines = []
+        for event, entry in pairs:
+            if entry is None:
+                lines.append(
+                    f"[{event.cycles:>12}] UNMATCHED trace recovery at "
+                    f"rip={event.get('rip'):#x}"
+                )
+            else:
+                lines.append(f"[{event.cycles:>12}] " + entry.format().replace(
+                    "\n", "\n" + " " * 15
+                ))
+        matched = sum(1 for _, entry in pairs if entry is not None)
+        sections.append(
+            "== recovery provenance "
+            f"({matched}/{len(pairs)} trace events matched to log) ==\n"
+            + ("\n".join(lines) or "(no recoveries)")
+        )
+
+    return "\n\n".join(sections)

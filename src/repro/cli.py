@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli unixbench --views 3   # one Figure 6 point
     python -m repro.cli httperf               # Figure 7 sweep
     python -m repro.cli profile top -o top.view.json
+    python -m repro.cli trace top             # telemetry event timeline
 """
 
 from __future__ import annotations
@@ -113,6 +114,46 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Quickstart run with tracing on, rendered as an event timeline."""
+    from repro.analysis.similarity import profile_applications
+    from repro.analysis.timeline import format_trace_report
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+    from repro.telemetry import to_json
+
+    if args.app not in APP_CATALOG:
+        print(f"unknown application {args.app!r} "
+              f"(choose from: {', '.join(APP_CATALOG)})")
+        return 1
+    print(f"profiling {args.app} (scale {args.scale})...")
+    config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
+    machine = boot_machine(platform=Platform.KVM)
+    machine.enable_tracing()
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(config, comm=args.app)
+    from repro.apps.base import launch
+
+    print(f"running {args.app} under its kernel view (tracing on)...")
+    handle = launch(machine, args.app, APP_CATALOG[args.app], scale=args.scale)
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    if not handle.finished:
+        print("warning: workload did not finish within the cycle budget")
+    print()
+    app_filter = args.app if args.app_only else None
+    print(format_trace_report(
+        machine.telemetry, fc.log, app=app_filter, limit=args.limit
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(to_json(machine.telemetry))
+        print(f"\nwrote telemetry snapshot to {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -164,13 +205,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(fn=_cmd_inspect)
 
     p = sub.add_parser(
+        "trace", help="run one app under its view with tracing, print timeline"
+    )
+    p.add_argument("app", nargs="?", default="top")
+    p.add_argument("-o", "--output", help="save the telemetry snapshot JSON")
+    p.add_argument(
+        "--limit", type=int, default=200, help="max timeline rows (default 200)"
+    )
+    p.add_argument(
+        "--app-only",
+        action="store_true",
+        help="only show events attributable to the traced application",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
         "report", help="run the full evaluation, emit a markdown report"
     )
     p.add_argument("-o", "--output", help="write the report to this file")
     p.add_argument(
         "--sections",
         nargs="*",
-        choices=["table1", "table2", "fig6", "fig7"],
+        choices=["table1", "table2", "fig6", "fig7", "trace"],
         help="subset of sections to run",
     )
     p.set_defaults(fn=_cmd_report)

@@ -17,7 +17,6 @@ recovery, and per-view EPT overrides.  The guest is never modified.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.kernel_view import KernelViewConfig
@@ -30,17 +29,44 @@ from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vmexit import VmExit
 
 
-@dataclass
 class FaceChangeStats:
-    """Aggregate counters for the performance evaluation."""
+    """Read-only aggregate view over the telemetry registry.
 
-    context_switch_traps: int
-    resume_traps: int
-    view_switches: int
-    skipped_switches: int
-    recoveries: int
-    instant_recoveries: int
-    loaded_views: int
+    Keeps the field names the performance evaluation has always used
+    while the actual accounting lives in ``machine.telemetry``.
+    """
+
+    def __init__(self, facechange: "FaceChange") -> None:
+        self._fc = facechange
+        self._telemetry = facechange.machine.telemetry
+
+    @property
+    def context_switch_traps(self) -> int:
+        return self._telemetry.counter("switch.context_switch_traps").value
+
+    @property
+    def resume_traps(self) -> int:
+        return self._telemetry.counter("switch.resume_traps").value
+
+    @property
+    def view_switches(self) -> int:
+        return self._telemetry.counter("switch.switches").value
+
+    @property
+    def skipped_switches(self) -> int:
+        return self._telemetry.counter("switch.skipped_switches").value
+
+    @property
+    def recoveries(self) -> int:
+        return self._telemetry.counter("recovery.recoveries").value
+
+    @property
+    def instant_recoveries(self) -> int:
+        return self._telemetry.counter("recovery.instant_recoveries").value
+
+    @property
+    def loaded_views(self) -> int:
+        return len(self._fc.switcher.views)
 
 
 class FaceChange:
@@ -50,6 +76,7 @@ class FaceChange:
         if machine.runtime is None:
             raise ValueError("machine must be booted")
         self.machine = machine
+        self.telemetry = machine.telemetry
         self.log = RecoveryLog()
         self.builder = ViewBuilder(machine, widen=widen_views)
         self.recovery = RecoveryEngine(machine, self.log)
@@ -57,6 +84,7 @@ class FaceChange:
         self.switcher = ViewSwitcher(machine, self._select_view)
         self._next_index = 0
         self.enabled = False
+        self._stats = FaceChangeStats(self)
         machine.runtime.module_load_listeners.append(self._on_module_loaded)
 
     # -- selector -----------------------------------------------------------------
@@ -84,7 +112,7 @@ class FaceChange:
             return
         for cpu in range(self.machine.vcpu_count):
             self.switcher.switch_kernel_view(FULL_KERNEL_VIEW_INDEX, cpu)
-        self.switcher._disarm_resume_trap()
+        self.switcher.disarm_resume_traps()
         hv = self.machine.hypervisor
         hv.unregister_address_trap(self.machine.image.address_of("context_switch"))
         hv.set_invalid_opcode_handler(None)
@@ -103,6 +131,14 @@ class FaceChange:
         view = self.builder.build(index, config)
         self.switcher.register_view(view)
         self._selector_map[comm if comm is not None else config.app] = index
+        if self.telemetry.tracing:
+            self.telemetry.emit(
+                "view_load",
+                cycles=self.machine.cycles,
+                view=index,
+                app=config.app,
+                loaded_bytes=view.loaded_bytes,
+            )
         return index
 
     def unload_view(self, index: int) -> None:
@@ -114,6 +150,13 @@ class FaceChange:
         for comm in [c for c, i in self._selector_map.items() if i == index]:
             del self._selector_map[comm]
         view.free()
+        if self.telemetry.tracing:
+            self.telemetry.emit(
+                "view_unload",
+                cycles=self.machine.cycles,
+                view=index,
+                app=view.config.app,
+            )
 
     def view_for(self, comm: str) -> Optional[KernelView]:
         index = self._selector_map.get(comm)
@@ -135,17 +178,16 @@ class FaceChange:
             self.builder.extend_for_module(view, name)
             for ept in list(view.installed_epts):
                 view.install(ept)  # map the new frames too
+        if self.telemetry.tracing:
+            self.telemetry.emit(
+                "module_load",
+                cycles=self.machine.cycles,
+                module=name,
+                views=len(self.switcher.views),
+            )
 
     # -- stats -----------------------------------------------------------------------
 
     @property
     def stats(self) -> FaceChangeStats:
-        return FaceChangeStats(
-            context_switch_traps=self.switcher.context_switch_traps,
-            resume_traps=self.switcher.resume_traps,
-            view_switches=self.switcher.switches,
-            skipped_switches=self.switcher.skipped_switches,
-            recoveries=self.recovery.recoveries,
-            instant_recoveries=self.recovery.instant_recoveries,
-            loaded_views=len(self.switcher.views),
-        )
+        return self._stats

@@ -41,14 +41,27 @@ class RecoveryEngine:
     def __init__(self, machine, log: RecoveryLog) -> None:
         self.machine = machine
         self.log = log
-        self.recoveries = 0
-        self.instant_recoveries = 0
+        self.telemetry = machine.hypervisor.telemetry
+        self._recoveries = self.telemetry.counter("recovery.recoveries")
+        self._instant = self.telemetry.counter("recovery.instant_recoveries")
+        self._bytes = self.telemetry.counter("recovery.recovered_bytes")
+        self._depth = self.telemetry.histogram("recovery.backtrace_depth")
         #: ablation switch: disabling instant recovery reproduces the
         #: cross-view corruption bug the paper describes (Figure 3)
         self.instant_recovery_enabled = True
         # no-progress guard: a rip that keeps faulting after recovery is
         # corrupted execution (e.g. a split-UD2 fragment), not a hole
         self._last_fault = (None, 0)
+
+    # -- legacy counter names (read-only views over the registry) -----------------
+
+    @property
+    def recoveries(self) -> int:
+        return self._recoveries.value
+
+    @property
+    def instant_recoveries(self) -> int:
+        return self._instant.value
 
     # -- helpers ---------------------------------------------------------------
 
@@ -105,7 +118,16 @@ class RecoveryEngine:
                 recovered = self._recover_function(view, prev_rip)
                 if recovered is not None:
                     instant.append(self._symbolize(recovered[0]))
-                    self.instant_recoveries += 1
+                    self._instant.value += 1
+                    if self.telemetry.tracing:
+                        self.telemetry.emit(
+                            "instant_recovery",
+                            cycles=vcpu.cycles,
+                            cpu=vcpu.cpu_id,
+                            rip=prev_rip,
+                            recovered=self._symbolize(recovered[0]),
+                            view_app=view.config.app,
+                        )
             iter_rbp = prev_rbp
         return frames, instant
 
@@ -147,7 +169,23 @@ class RecoveryEngine:
             instant_recoveries=tuple(instant),
         )
         self.log.append(event)
-        self.recoveries += 1
+        self._recoveries.value += 1
+        self._bytes.value += end - start
+        self._depth.observe(len(frames))
+        tel = self.telemetry
+        if tel.tracing:
+            tel.emit(
+                "recovery",
+                cycles=event.cycles,
+                cpu=vcpu.cpu_id,
+                rip=exit_.rip,
+                recovered=event.recovered,
+                pid=event.pid,
+                comm=event.comm,
+                view_app=event.view_app,
+                in_interrupt=event.in_interrupt,
+                instant=len(instant),
+            )
         self.machine.hypervisor.charge(vcpu, RECOVERY_COST_CYCLES)
         # the fill wrote through physmem, bumping the frame version, so
         # the VCPU's decoded-block cache re-translates on resume

@@ -49,14 +49,34 @@ class ViewSwitcher:
         self.current_index: List[int] = [FULL_KERNEL_VIEW_INDEX] * n
         self.last_index: List[int] = [FULL_KERNEL_VIEW_INDEX] * n
         self._resume_armed: List[bool] = [False] * n
-        # counters (aggregated over all CPUs)
-        self.context_switch_traps = 0
-        self.resume_traps = 0
-        self.switches = 0
-        self.skipped_switches = 0
+        # telemetry handles (aggregated over all CPUs)
+        self.telemetry = machine.hypervisor.telemetry
+        self._ctxsw_traps = self.telemetry.counter("switch.context_switch_traps")
+        self._resume_traps = self.telemetry.counter("switch.resume_traps")
+        self._switches = self.telemetry.counter("switch.switches")
+        self._skipped = self.telemetry.counter("switch.skipped_switches")
+        self._ept_cycles = self.telemetry.histogram("switch.ept_cycles")
         # ablation switches
         self.defer_to_resume = True
         self.skip_same_view = True
+
+    # -- legacy counter names (read-only views over the registry) -----------------
+
+    @property
+    def context_switch_traps(self) -> int:
+        return self._ctxsw_traps.value
+
+    @property
+    def resume_traps(self) -> int:
+        return self._resume_traps.value
+
+    @property
+    def switches(self) -> int:
+        return self._switches.value
+
+    @property
+    def skipped_switches(self) -> int:
+        return self._skipped.value
 
     # -- view registry ------------------------------------------------------------
 
@@ -83,11 +103,21 @@ class ViewSwitcher:
     # -- trap handlers (Algorithm 1) -----------------------------------------------
 
     def handle_context_switch_trap(self, vcpu: Vcpu, exit_: VmExit) -> None:
-        self.context_switch_traps += 1
+        self._ctxsw_traps.value += 1
         cpu = vcpu.cpu_id
         procinfo = self.machine.introspector.read_current_process(cpu)
         index = self.selector(procinfo.comm)
         current = self.current_index[cpu]
+        tel = self.telemetry
+        if tel.tracing:
+            tel.emit(
+                "ctxsw_trap",
+                cycles=vcpu.cycles,
+                cpu=cpu,
+                comm=procinfo.comm,
+                pid=procinfo.pid,
+                view=index,
+            )
         # Deferring the EPT update to resume_userspace is only safe when
         # the interim kernel execution cannot stray outside the *active*
         # view: that holds when the active view is the full kernel
@@ -121,19 +151,36 @@ class ViewSwitcher:
         cpu = vcpu.cpu_id
         if not self._resume_armed[cpu]:
             return
-        self.resume_traps += 1
+        self._resume_traps.value += 1
+        tel = self.telemetry
+        if tel.tracing:
+            tel.emit(
+                "resume_trap",
+                cycles=vcpu.cycles,
+                cpu=cpu,
+                view=self.last_index[cpu],
+            )
         self._disarm_resume_trap(cpu)
         self.switch_kernel_view(self.last_index[cpu], cpu)
 
     # -- the switch itself ------------------------------------------------------------
 
     def switch_kernel_view(self, index: int, cpu: int = 0) -> None:
-        if index == self.current_index[cpu] and self.skip_same_view:
-            self.skipped_switches += 1
+        tel = self.telemetry
+        previous = self.current_index[cpu]
+        if index == previous and self.skip_same_view:
+            self._skipped.value += 1
+            if tel.tracing:
+                tel.emit(
+                    "view_skip",
+                    cycles=self.machine.vcpus[cpu].cycles,
+                    cpu=cpu,
+                    view=index,
+                )
             return
         ept = self.machine.epts[cpu]
         vcpu = self.machine.vcpus[cpu]
-        current = self.views.get(self.current_index[cpu])
+        current = self.views.get(previous)
         if current is not None:
             current.uninstall(ept)
         target = self.views.get(index)
@@ -144,10 +191,30 @@ class ViewSwitcher:
         self.current_index[cpu] = (
             index if target is not None else FULL_KERNEL_VIEW_INDEX
         )
-        self.switches += 1
+        self._switches.value += 1
+        self._ept_cycles.observe(cost)
         self.machine.hypervisor.charge(vcpu, cost)
+        if tel.tracing:
+            tel.emit(
+                "view_switch",
+                cycles=vcpu.cycles,
+                cpu=cpu,
+                from_view=previous,
+                to_view=self.current_index[cpu],
+                app=target.config.app if target is not None else "<full>",
+                cost=cost,
+            )
 
     # -- resume trap management ----------------------------------------------------------
+
+    def disarm_resume_traps(self, cpu: Optional[int] = None) -> None:
+        """Cancel pending deferred switches (one CPU, or all of them).
+
+        Public API for lifecycle owners (e.g. ``FaceChange.disable``):
+        any armed ``resume_userspace`` trap is disarmed and the deferred
+        EPT update it carried is dropped.
+        """
+        self._disarm_resume_trap(cpu)
 
     def _resume_address(self) -> int:
         return self.machine.image.address_of("resume_userspace")

@@ -30,6 +30,7 @@ from repro.memory.layout import (
 from repro.memory.mmu import Mmu
 from repro.memory.paging import GuestPageTable
 from repro.memory.physmem import PhysicalMemory
+from repro.telemetry import Telemetry
 
 #: Guest-physical frame backing the shared user-mode stub page.
 _USER_STUB_GPA = 0x00090000
@@ -73,6 +74,18 @@ class Machine:
     def ept(self) -> ExtendedPageTable:
         """CPU 0's EPT (the only one on a uniprocessor guest)."""
         return self.epts[0]
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The machine-wide telemetry registry (owned by the hypervisor)."""
+        return self.hypervisor.telemetry
+
+    def enable_tracing(self) -> None:
+        """Start recording structured trace events (see ``repro.telemetry``)."""
+        self.telemetry.enable_tracing()
+
+    def disable_tracing(self) -> None:
+        self.telemetry.disable_tracing()
 
     @property
     def vcpu(self) -> Optional[Vcpu]:

@@ -2,19 +2,28 @@
 
 This is the component FACE-CHANGE's runtime phase plugs into (the paper
 implements it inside kvm-kmod).  It owns the physical memory and one EPT
-per VCPU, routes VM exits to registered handlers, and charges the
-world-switch cost that makes the performance evaluation meaningful.
+per VCPU, routes VM exits through a pluggable dispatch pipeline, and
+charges the world-switch cost that makes the performance evaluation
+meaningful.
+
+The exit loop is an ordered pipeline of :class:`ExitStage` objects, one
+per exit reason.  Every stage is instrumented through the machine's
+:class:`~repro.telemetry.Telemetry` registry: a per-reason exit counter
+(``hv.exits.<stage>``) and a charged-cycle histogram
+(``hv.exit_cycles.<stage>``) covering the world switch plus whatever the
+handler charged (EPT switches, code recovery).  ``ExitStats`` remains as
+a thin read-only view over those registry entries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vmexit import VmExit, VmExitReason
 from repro.memory.ept import ExtendedPageTable
 from repro.memory.physmem import PhysicalMemory
+from repro.telemetry import Telemetry
 
 #: Cycles charged to the guest for every VM exit (world switch + handler).
 VMEXIT_COST_CYCLES = 3500
@@ -34,36 +43,164 @@ class GuestCrash(Exception):
         self.exit = exit_
 
 
-@dataclass
-class ExitStats:
-    """Aggregate VM-exit accounting, consumed by the benchmarks."""
+class ExitStage:
+    """One stage of the exit dispatch pipeline (one exit reason).
 
-    address_traps: int = 0
-    invalid_opcode_traps: int = 0
-    hlt_exits: int = 0
-    per_trap_address: Dict[int, int] = field(default_factory=dict)
+    Subclasses set :attr:`reason`/:attr:`name` and implement
+    :meth:`handle`.  The hypervisor binds the stage's telemetry
+    instruments when the stage is added to the pipeline.
+    """
+
+    reason: VmExitReason
+    name: str
+
+    def __init__(self) -> None:
+        self.exits = None  # bound by Hypervisor.add_stage
+        self.charged_cycles = None
+
+    def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} reason={self.reason.name}>"
+
+
+class AddressTrapStage(ExitStage):
+    """Guest fetched a trapped address (context_switch/resume_userspace)."""
+
+    reason = VmExitReason.ADDRESS_TRAP
+    name = "address_trap"
+
+    def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
+        hv._per_trap_address.inc(exit_.rip)
+        handler = hv._trap_handlers.get(exit_.rip)
+        if handler is None:
+            raise GuestCrash(exit_)
+        handler(vcpu, exit_)
+        vcpu.resume_past_trap()
+
+
+class InvalidOpcodeStage(ExitStage):
+    """#UD exit: a UD2-filled hole in the active kernel view."""
+
+    reason = VmExitReason.INVALID_OPCODE
+    name = "invalid_opcode"
+
+    def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
+        handler = hv._invalid_opcode_handler
+        if handler is None or not handler(vcpu, exit_):
+            raise GuestCrash(exit_)
+
+
+class HltStage(ExitStage):
+    """The guest idled; hand control to the runtime's idle logic."""
+
+    reason = VmExitReason.HLT
+    name = "hlt"
+
+    def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
+        if hv._idle_handler is None:
+            raise GuestCrash(exit_)
+        hv._idle_handler(vcpu)
+
+
+class ErrorStage(ExitStage):
+    """Unrecoverable guest fault (translation failure etc.)."""
+
+    reason = VmExitReason.ERROR
+    name = "error"
+
+    def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
+        raise GuestCrash(exit_)
+
+
+class ExitStats:
+    """Read-only view of VM-exit accounting over the telemetry registry.
+
+    Kept for the benchmarks and older callers; new code should consume
+    the registry (``hv.telemetry``) directly.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+
+    @property
+    def address_traps(self) -> int:
+        return self._telemetry.counter("hv.exits.address_trap").value
+
+    @property
+    def invalid_opcode_traps(self) -> int:
+        return self._telemetry.counter("hv.exits.invalid_opcode").value
+
+    @property
+    def hlt_exits(self) -> int:
+        return self._telemetry.counter("hv.exits.hlt").value
+
+    @property
+    def per_trap_address(self) -> Dict[int, int]:
+        return self._telemetry.labelled_counter("hv.exits.per_trap_address").values
 
 
 class Hypervisor:
-    """KVM-like host side: owns memory, EPTs and the exit loop."""
+    """KVM-like host side: owns memory, EPTs and the exit pipeline."""
 
-    def __init__(self, physmem: Optional[PhysicalMemory] = None) -> None:
+    def __init__(
+        self,
+        physmem: Optional[PhysicalMemory] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.physmem = physmem if physmem is not None else PhysicalMemory()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.vcpus: List[Vcpu] = []
         self.epts: List[ExtendedPageTable] = []
         self._trap_handlers: Dict[int, TrapHandler] = {}
         self._trap_armed: Dict[int, set] = {}
         self._invalid_opcode_handler: Optional[InvalidOpcodeHandler] = None
         self._idle_handler: Optional[IdleHandler] = None
-        self.stats = ExitStats()
+        self._per_trap_address = self.telemetry.labelled_counter(
+            "hv.exits.per_trap_address"
+        )
+        self.stats = ExitStats(self.telemetry)
         #: cycles charged for hypervisor work, attributed to the guest
         self.overhead_cycles = 0
+        # the ordered dispatch pipeline (one stage per exit reason)
+        self.pipeline: List[ExitStage] = []
+        self._dispatch: Dict[VmExitReason, ExitStage] = {}
+        for stage in (
+            AddressTrapStage(),
+            InvalidOpcodeStage(),
+            HltStage(),
+            ErrorStage(),
+        ):
+            self.add_stage(stage)
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def add_stage(self, stage: ExitStage, index: Optional[int] = None) -> None:
+        """Plug ``stage`` into the pipeline (replacing any same-reason stage)."""
+        stage.exits = self.telemetry.counter(f"hv.exits.{stage.name}")
+        stage.charged_cycles = self.telemetry.histogram(
+            f"hv.exit_cycles.{stage.name}"
+        )
+        previous = self._dispatch.get(stage.reason)
+        if previous is not None:
+            position = self.pipeline.index(previous)
+            self.pipeline[position] = stage
+        elif index is None:
+            self.pipeline.append(stage)
+        else:
+            self.pipeline.insert(index, stage)
+        self._dispatch[stage.reason] = stage
+
+    def stage_for(self, reason: VmExitReason) -> Optional[ExitStage]:
+        return self._dispatch.get(reason)
 
     # -- wiring ----------------------------------------------------------------
 
     def attach_vcpu(self, vcpu: Vcpu, ept: ExtendedPageTable) -> None:
         self.vcpus.append(vcpu)
         self.epts.append(ept)
+        vcpu.attach_telemetry(self.telemetry)
         for address in self._trap_handlers:
             if None in self._trap_armed.get(address, set()):
                 vcpu.arm_trap(address)
@@ -88,14 +225,25 @@ class Hypervisor:
     def unregister_address_trap(
         self, address: int, vcpu: Optional[Vcpu] = None
     ) -> None:
-        armed = self._trap_armed.get(address, set())
+        """Remove one consumer's arming of ``address``.
+
+        Global arming (``vcpu=None``) and per-vCPU arming are tracked
+        independently: unregistering the global consumer keeps the trap
+        armed on vCPUs that armed it specifically, and vice versa.  The
+        handler entry is only dropped once no consumer remains.
+        """
+        armed = self._trap_armed.get(address)
+        if armed is None:
+            return
         if vcpu is None:
-            armed.clear()
+            armed.discard(None)
             for each in self.vcpus:
-                each.disarm_trap(address)
+                if each.cpu_id not in armed:
+                    each.disarm_trap(address)
         else:
             armed.discard(vcpu.cpu_id)
-            vcpu.disarm_trap(address)
+            if None not in armed:
+                vcpu.disarm_trap(address)
         if not armed:
             self._trap_handlers.pop(address, None)
             self._trap_armed.pop(address, None)
@@ -118,39 +266,33 @@ class Hypervisor:
     def run(self, vcpu: Vcpu, budget: int = 1_000_000) -> None:
         """Run ``vcpu`` until the instruction budget is consumed.
 
-        VM exits are dispatched transparently; only an unhandled fault
-        stops execution (raising :class:`GuestCrash`).
+        VM exits are dispatched through the stage pipeline; only an
+        unhandled fault stops execution (raising :class:`GuestCrash`).
         """
         start = vcpu.instructions
+        dispatch = self._dispatch
+        telemetry = self.telemetry
         while True:
             executed = vcpu.instructions - start
             if executed >= budget:
                 return
             exit_ = vcpu.run(budget=budget - executed)
-            if exit_.reason is VmExitReason.BUDGET:
+            reason = exit_.reason
+            if reason is VmExitReason.BUDGET:
                 return
-            self.charge(vcpu, VMEXIT_COST_CYCLES)
-            if exit_.reason is VmExitReason.ADDRESS_TRAP:
-                self.stats.address_traps += 1
-                self.stats.per_trap_address[exit_.rip] = (
-                    self.stats.per_trap_address.get(exit_.rip, 0) + 1
+            stage = dispatch.get(reason)
+            if stage is None:
+                raise GuestCrash(exit_)
+            if telemetry.tracing:
+                telemetry.emit(
+                    "vmexit",
+                    cycles=vcpu.cycles,
+                    cpu=vcpu.cpu_id,
+                    reason=reason.name,
+                    rip=exit_.rip,
                 )
-                handler = self._trap_handlers.get(exit_.rip)
-                if handler is None:
-                    raise GuestCrash(exit_)
-                handler(vcpu, exit_)
-                vcpu.resume_past_trap()
-            elif exit_.reason is VmExitReason.INVALID_OPCODE:
-                self.stats.invalid_opcode_traps += 1
-                handler = self._invalid_opcode_handler
-                if handler is None or not handler(vcpu, exit_):
-                    raise GuestCrash(exit_)
-            elif exit_.reason is VmExitReason.HLT:
-                self.stats.hlt_exits += 1
-                if self._idle_handler is None:
-                    raise GuestCrash(exit_)
-                self._idle_handler(vcpu)
-            elif exit_.reason is VmExitReason.ERROR:
-                raise GuestCrash(exit_)
-            else:  # pragma: no cover - exhaustive
-                raise GuestCrash(exit_)
+            before = vcpu.cycles
+            self.charge(vcpu, VMEXIT_COST_CYCLES)
+            stage.exits.inc()
+            stage.handle(self, vcpu, exit_)
+            stage.charged_cycles.observe(vcpu.cycles - before)

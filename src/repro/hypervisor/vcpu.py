@@ -26,6 +26,7 @@ from repro.isa.opcodes import Instr, Op
 from repro.memory.layout import PAGE_SIZE, is_kernel_address
 from repro.memory.mmu import Mmu, TranslationError
 from repro.hypervisor.vmexit import VmExit, VmExitReason
+from repro.telemetry import Counter, Telemetry
 
 #: Hard cap on instructions decoded into a single block.  Filler runs are
 #: fused into a single step at decode time, so a large cap keeps big
@@ -112,9 +113,13 @@ class Vcpu:
         # accounting
         self.cycles = 0
         self.instructions = 0
+        #: telemetry registry, bound when the hypervisor attaches us
+        self.telemetry: Optional[Telemetry] = None
         #: count of silently executed ``0b 0f`` misdecodes -- the corruption
         #: instant recovery exists to prevent; observable only by tests.
-        self.corruption_executed = 0
+        #: A standalone counter until :meth:`attach_telemetry` rebinds it
+        #: to the machine-wide registry.
+        self.misdecodes = Counter(f"vcpu.misdecode.cpu{cpu_id}")
         # hypervisor wiring
         self.trap_addresses: Set[int] = set()
         self._skip_trap_once: Optional[int] = None
@@ -176,6 +181,18 @@ class Vcpu:
     def read_stack_u32(self, addr: int) -> int:
         """Aligned stack read used by the hypervisor's backtracer."""
         return self.mmu.read_u32(addr)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Rebind this vCPU's instruments to the machine-wide registry."""
+        registered = telemetry.counter(self.misdecodes.name)
+        registered.value += self.misdecodes.value
+        self.misdecodes = registered
+        self.telemetry = telemetry
+
+    @property
+    def corruption_executed(self) -> int:
+        """Legacy name for the silent-misdecode tally."""
+        return self.misdecodes.value
 
     def snapshot_exit(self, reason: VmExitReason, detail: str = None) -> VmExit:
         return VmExit(
@@ -346,7 +363,12 @@ class Vcpu:
             self.ebp = self.pop()
         elif op is Op.OR_MIS:
             # The silent misdecode of a split UD2 stream.
-            self.corruption_executed += 1
+            self.misdecodes.value += 1
+            tel = self.telemetry
+            if tel is not None and tel.tracing:
+                tel.emit(
+                    "misdecode", cycles=self.cycles, cpu=self.cpu_id, rip=self.eip
+                )
         elif op is Op.CLI:
             self.if_enabled = False
         elif op is Op.STI:

@@ -1,0 +1,34 @@
+"""Structured telemetry: counters, histograms, trace events, exporters.
+
+The shared measurement substrate every layer emits through -- see
+:mod:`repro.telemetry.core` for the primitives and
+:mod:`repro.telemetry.export` for the JSON/text render paths.
+"""
+
+from repro.telemetry.core import (
+    Counter,
+    Histogram,
+    LabelledCounter,
+    Telemetry,
+    TraceBuffer,
+    TraceEvent,
+)
+from repro.telemetry.export import (
+    format_counters,
+    format_timeline,
+    snapshot,
+    to_json,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "LabelledCounter",
+    "Telemetry",
+    "TraceBuffer",
+    "TraceEvent",
+    "format_counters",
+    "format_timeline",
+    "snapshot",
+    "to_json",
+]

@@ -1,0 +1,258 @@
+"""Telemetry primitives: counters, histograms and the trace ring buffer.
+
+The paper's evaluation (Section IV, Figures 6-7, Table 2) attributes
+every cycle of overhead to a mechanism: VM exits, EPT view switches,
+code recoveries.  This module gives the whole stack one shared event
+model for that accounting instead of per-component counter bags:
+
+* :class:`Counter` / :class:`LabelledCounter` -- monotonic counts,
+  registry-owned so read-only views (``ExitStats``, ``FaceChangeStats``)
+  can be reconstructed from names;
+* :class:`Histogram` -- power-of-two bucketed cycle/latency
+  distributions (per-exit-reason charged cycles, EPT switch costs);
+* :class:`TraceBuffer` -- a bounded ring of structured
+  :class:`TraceEvent` records, the raw material for the per-app
+  timelines (``repro.cli trace``) the paper could only describe
+  qualitatively;
+* :class:`Telemetry` -- the per-machine registry tying it together.
+
+Tracing is **zero-cost when disabled**: hot paths guard every ``emit``
+behind the single ``tracing`` flag (``if tel.tracing: tel.emit(...)``),
+and counters are plain integer adds, so the Figure 6/7 virtual-cycle
+scores are unaffected either way (telemetry charges no guest cycles).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LabelledCounter:
+    """A counter family keyed by label (e.g. per trap address)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: Dict[Any, int] = {}
+
+    def inc(self, label: Any, n: int = 1) -> None:
+        self.values[label] = self.values.get(label, 0) + n
+
+    def get(self, label: Any) -> int:
+        return self.values.get(label, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values.values())
+
+    def reset(self) -> None:
+        self.values.clear()
+
+
+#: Number of power-of-two buckets: covers values up to 2**63.
+_HISTOGRAM_BUCKETS = 64
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative samples.
+
+    Bucket ``i`` counts samples with ``value.bit_length() == i`` (bucket
+    0 holds zeros), i.e. bucket boundaries at 1, 2, 4, 8, ... cycles.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: List[int] = [0] * _HISTOGRAM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            value = 0
+        self.buckets[value.bit_length()] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Upper bucket boundary containing the ``q``-quantile sample."""
+        if not self.count:
+            return 0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return (1 << i) - 1 if i else 0
+        return (1 << _HISTOGRAM_BUCKETS) - 1  # pragma: no cover
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """(upper_bound, count) for every populated bucket, ascending."""
+        return [
+            ((1 << i) - 1 if i else 0, n)
+            for i, n in enumerate(self.buckets)
+            if n
+        ]
+
+    def reset(self) -> None:
+        self.buckets = [0] * _HISTOGRAM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``cycles`` is the emitting vCPU's virtual clock, which is also what
+    :class:`~repro.core.provenance.RecoveryEvent` stamps -- so recovery
+    trace events and provenance-log entries correlate exactly.
+    """
+
+    seq: int
+    cycles: int
+    cpu: int
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def format(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.cycles:>12}] cpu{self.cpu} {self.kind:<22} {detail}"
+
+
+class TraceBuffer:
+    """A bounded ring buffer of trace events (oldest dropped first)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class Telemetry:
+    """The per-machine registry of counters, histograms and the trace.
+
+    One instance is shared by the hypervisor, the view switcher, the
+    recovery engine and the vCPUs of a machine; components hold direct
+    handles to their counters (one attribute load per increment) while
+    consumers enumerate the registry by name.
+    """
+
+    def __init__(self, trace_capacity: int = 65536) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.labelled: Dict[str, LabelledCounter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.trace = TraceBuffer(trace_capacity)
+        #: the single branch hot paths test before emitting a trace event
+        #: (``REPRO_TRACE=1`` turns tracing on for every new machine, so
+        #: benchmark drivers that boot their own machines can be traced)
+        self.tracing = os.environ.get("REPRO_TRACE", "") == "1"
+        self._seq = 0
+
+    # -- instrument registry (get-or-create) --------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def labelled_counter(self, name: str) -> LabelledCounter:
+        counter = self.labelled.get(name)
+        if counter is None:
+            counter = self.labelled[name] = LabelledCounter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        return hist
+
+    # -- tracing -------------------------------------------------------------
+
+    def enable_tracing(self) -> None:
+        self.tracing = True
+
+    def disable_tracing(self) -> None:
+        self.tracing = False
+
+    def emit(self, kind: str, cycles: int = 0, cpu: int = 0, **fields: Any) -> None:
+        """Record a trace event.  Callers guard with ``if tel.tracing``."""
+        if not self.tracing:
+            return
+        self._seq += 1
+        self.trace.append(TraceEvent(self._seq, cycles, cpu, kind, fields))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self.trace)
+        return [e for e in self.trace if e.kind == kind]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for counter in self.labelled.values():
+            counter.reset()
+        for hist in self.histograms.values():
+            hist.reset()
+        self.trace.clear()
+        self._seq = 0

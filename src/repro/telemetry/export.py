@@ -1,0 +1,106 @@
+"""Telemetry exporters: JSON snapshots and human-readable text.
+
+Two render targets:
+
+* :func:`snapshot` / :func:`to_json` -- a machine-readable dump of every
+  counter, histogram and trace event (the ``repro.cli trace -o`` file
+  format, also what ``BENCH_telemetry.json`` records);
+* :func:`format_counters` / :func:`format_timeline` -- the terminal
+  rendering used by the ``trace`` CLI verb and the evaluation report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Optional
+
+from repro.telemetry.core import Telemetry, TraceEvent
+
+
+def snapshot(telemetry: Telemetry, events: bool = True) -> Dict[str, Any]:
+    """A JSON-able dump of the registry (and, optionally, the trace)."""
+    data: Dict[str, Any] = {
+        "counters": {
+            name: counter.value
+            for name, counter in sorted(telemetry.counters.items())
+        },
+        "labelled_counters": {
+            name: {str(label): n for label, n in sorted(counter.values.items())}
+            for name, counter in sorted(telemetry.labelled.items())
+        },
+        "histograms": {
+            name: {
+                "count": hist.count,
+                "total": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+                "buckets": hist.nonzero_buckets(),
+            }
+            for name, hist in sorted(telemetry.histograms.items())
+        },
+    }
+    if events:
+        data["trace"] = {
+            "dropped": telemetry.trace.dropped,
+            "events": [
+                {
+                    "seq": e.seq,
+                    "cycles": e.cycles,
+                    "cpu": e.cpu,
+                    "kind": e.kind,
+                    **e.fields,
+                }
+                for e in telemetry.trace
+            ],
+        }
+    return data
+
+
+def to_json(telemetry: Telemetry, events: bool = True, indent: int = 2) -> str:
+    return json.dumps(snapshot(telemetry, events=events), indent=indent)
+
+
+def format_counters(telemetry: Telemetry) -> str:
+    """Render every non-zero instrument, one per line."""
+    lines = []
+    for name, counter in sorted(telemetry.counters.items()):
+        if counter.value:
+            lines.append(f"{name:<40} {counter.value:>12}")
+    for name, counter in sorted(telemetry.labelled.items()):
+        if counter.values:
+            lines.append(f"{name:<40} {counter.total:>12}")
+            for label, n in sorted(
+                counter.values.items(), key=lambda kv: -kv[1]
+            )[:8]:
+                lines.append(f"  {str(label):<38} {n:>12}")
+    for name, hist in sorted(telemetry.histograms.items()):
+        if hist.count:
+            lines.append(
+                f"{name:<40} {hist.count:>12}  "
+                f"mean {hist.mean:>10.1f}  p99 {hist.percentile(0.99):>8}  "
+                f"max {hist.max:>8}"
+            )
+    return "\n".join(lines)
+
+
+def format_timeline(
+    events: Iterable[TraceEvent],
+    limit: Optional[int] = None,
+    kinds: Optional[Iterable[str]] = None,
+) -> str:
+    """Render trace events as a chronological timeline."""
+    wanted = set(kinds) if kinds is not None else None
+    rows = [
+        e.format()
+        for e in events
+        if wanted is None or e.kind in wanted
+    ]
+    total = len(rows)
+    # limit=0 (or None) means unlimited; rows[-0:] would keep everything
+    # while still claiming events were omitted
+    if limit and total > limit:
+        omitted = total - limit
+        rows = rows[-limit:]
+        rows.insert(0, f"... ({omitted} earlier events omitted)")
+    return "\n".join(rows)

@@ -7,7 +7,6 @@ incoming task's stack unwound under the other app's view and odd return
 targets silently executed misdecoded split-UD2 bytes.
 """
 
-from repro.analysis.similarity import profile_applications
 from repro.core.facechange import FaceChange
 from repro.guest.machine import boot_machine
 from repro.kernel.objects import Syscall

@@ -17,8 +17,6 @@ return into ``sys_poll`` is even, giving one case of each (like the
 paper's example, with the roles swapped by layout).
 """
 
-import pytest
-
 from repro.core.facechange import FaceChange
 from repro.core.kernel_view import KernelViewConfig
 from repro.core.rangelist import BASE_KERNEL, KernelProfile

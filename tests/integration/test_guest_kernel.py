@@ -1,8 +1,6 @@
 """Guest kernel integration tests: whole syscall flows on real bytes."""
 
-import pytest
-
-from repro.kernel.objects import Compute, Syscall, TaskState
+from repro.kernel.objects import Compute, Syscall
 
 Sys = Syscall
 

@@ -10,8 +10,6 @@ what the paper admits to missing:
   hidden-code scanner extension and VMI cross-checks narrow the gap.
 """
 
-import pytest
-
 from repro.analysis.detection import evaluate_attack
 from repro.apps.base import Env
 from repro.apps.catalog import APP_CATALOG

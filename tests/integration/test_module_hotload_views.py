@@ -1,0 +1,113 @@
+"""Module hot-load under live views (FaceChange._on_module_loaded).
+
+When a module is loaded while kernel views are enforced, every existing
+view must grow UD2-filled shadow frames covering the module -- and,
+crucially, those frames must be *mapped into every EPT the view is
+currently installed in* (otherwise the live application would execute
+the module's original code outside its view, silently).
+"""
+
+from repro.core.facechange import FaceChange
+from repro.core.view_manager import gva_to_gpa
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import Syscall
+from repro.kernel.runtime import Platform
+from repro.malware.rootkits import SEBEK_SPEC
+from repro.memory.layout import PAGE_SIZE
+
+Sys = Syscall
+
+
+def _hotload_module(machine, spec=SEBEK_SPEC):
+    """Load a module the way sys_init_module does, synchronously."""
+    machine.image.load_module(spec.name, spec.functions)
+    machine.runtime.on_module_loaded(spec.name)
+    return machine.image.modules[spec.name]
+
+
+def _module_gpfns(module):
+    first = gva_to_gpa(module.base) >> 12
+    last = (gva_to_gpa(module.base + module.size) + PAGE_SIZE - 1) >> 12
+    return list(range(first, last))
+
+
+def test_hotloaded_module_mapped_into_every_live_views_epts(app_configs):
+    """SMP: two views live in two different EPTs; both must cover insmod."""
+    machine = boot_machine(platform=Platform.KVM, vcpu_count=2)
+    fc = FaceChange(machine)
+    fc.enable()
+    top = fc.load_view(app_configs["top"], comm="top")
+    bash = fc.load_view(app_configs["bash"], comm="bash")
+    fc.switcher.switch_kernel_view(top, cpu=0)
+    fc.switcher.switch_kernel_view(bash, cpu=1)
+
+    module = _hotload_module(machine)
+
+    for index in (top, bash):
+        view = fc.switcher.views[index]
+        # the view covers the new module region with shadow frames
+        assert view.region_of(module.base) is not None
+        gpfns = _module_gpfns(module)
+        assert all(gpfn in view.frames for gpfn in gpfns)
+        # and every EPT the view is installed in maps those frames
+        assert view.installed_epts
+        for ept in view.installed_epts:
+            for gpfn in gpfns:
+                assert ept.translate_frame(gpfn) == view.frames[gpfn]
+
+    # the two views keep distinct shadow frames (no accidental sharing)
+    top_frames = fc.switcher.views[top].frames
+    bash_frames = fc.switcher.views[bash].frames
+    for gpfn in _module_gpfns(module):
+        assert top_frames[gpfn] != bash_frames[gpfn]
+
+
+def test_hotloaded_module_covered_in_uninstalled_view_on_next_switch(
+    app_configs,
+):
+    """A view not currently installed still grows coverage; the mapping
+    appears when the view is next installed."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    index = fc.load_view(app_configs["top"], comm="top")
+    view = fc.switcher.views[index]
+    assert not view.installed_epts  # never switched to yet
+
+    module = _hotload_module(machine)
+    assert view.region_of(module.base) is not None
+
+    fc.switcher.switch_kernel_view(index, cpu=0)
+    for gpfn in _module_gpfns(module):
+        assert machine.ept.translate_frame(gpfn) == view.frames[gpfn]
+
+
+def test_hotload_during_execution_keeps_running(app_configs):
+    """End-to-end: insmod mid-workload, module frames land in the live EPT."""
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    index = fc.load_view(app_configs["top"], comm="top")
+
+    def top_like():
+        tty = yield Sys("open", path="/dev/tty1")
+        for i in range(6):
+            if i == 2:
+                yield Sys("init_module", module_spec=SEBEK_SPEC)
+            fd = yield Sys("open", path="/proc/stat")
+            yield Sys("read", fd=fd, count=1024)
+            yield Sys("close", fd=fd)
+            yield Sys("write", fd=tty, count=128)
+
+    task = machine.spawn("top", top_like)
+    machine.run(until=lambda: task.finished, max_cycles=400_000_000_000)
+    assert task.finished
+
+    view = fc.switcher.views[index]
+    module = machine.image.modules["sebek"]
+    assert view.region_of(module.base) is not None
+    for gpfn in _module_gpfns(module):
+        assert gpfn in view.frames
+    for ept in view.installed_epts:
+        for gpfn in _module_gpfns(module):
+            assert ept.translate_frame(gpfn) == view.frames[gpfn]

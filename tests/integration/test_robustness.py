@@ -5,13 +5,11 @@ unloading and switching views at any time must never jeopardize the
 running application or the system.
 """
 
-import pytest
-
 from repro.core.facechange import FaceChange
 from repro.core.kernel_view import KernelViewConfig
 from repro.core.rangelist import KernelProfile
 from repro.guest.machine import boot_machine
-from repro.kernel.objects import Compute, Syscall, TaskState
+from repro.kernel.objects import Compute, Syscall
 from repro.kernel.runtime import Platform
 from repro.malware.rootkits import SEBEK_SPEC
 

@@ -10,7 +10,6 @@ CPUs *simultaneously*.
 import pytest
 
 from repro.core.facechange import FaceChange
-from repro.core.switching import FULL_KERNEL_VIEW_INDEX
 from repro.guest.machine import boot_machine
 from repro.kernel.objects import Compute, Syscall
 from repro.kernel.runtime import Platform

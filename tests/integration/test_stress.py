@@ -6,7 +6,6 @@ from repro.apps.base import Env, launch
 from repro.apps.catalog import APP_CATALOG
 from repro.core.facechange import FaceChange
 from repro.guest.machine import boot_machine
-from repro.kernel.objects import TaskState
 from repro.kernel.runtime import Platform
 
 

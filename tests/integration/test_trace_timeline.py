@@ -1,0 +1,138 @@
+"""Telemetry tracing end-to-end: the quickstart run as an event timeline.
+
+The acceptance shape for the telemetry subsystem: one enforced run must
+produce a timeline containing at least a context-switch trap, a view
+switch and a code recovery -- and every recovery trace event must match
+a provenance-log entry exactly (same vCPU cycle stamp, same rip).
+"""
+
+from repro.analysis.timeline import (
+    correlate_recoveries,
+    events_for_app,
+    format_trace_report,
+)
+from repro.core.facechange import FaceChange
+from repro.guest.machine import boot_machine
+from repro.kernel.objects import Compute, Syscall
+from repro.kernel.runtime import Platform
+
+Sys = Syscall
+
+
+def top_workload(iters=8):
+    def driver():
+        tty = yield Sys("open", path="/dev/tty1")
+        for _ in range(iters):
+            fd = yield Sys("open", path="/proc/stat")
+            yield Sys("read", fd=fd, count=2048)
+            yield Sys("close", fd=fd)
+            yield Sys("write", fd=tty, count=512)
+            yield Compute(450_000)
+            yield Sys("nanosleep", cycles=100_000)
+    return driver
+
+
+def traced_run(top_config):
+    machine = boot_machine(platform=Platform.KVM)
+    machine.enable_tracing()
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(top_config, comm="top")
+    task = machine.spawn("top", top_workload())
+    machine.run(until=lambda: task.finished, max_cycles=80_000_000_000)
+    assert task.finished
+    return machine, fc
+
+
+def test_timeline_contains_the_causal_chain(top_config):
+    machine, fc = traced_run(top_config)
+    tel = machine.telemetry
+
+    ctxsw = tel.events("ctxsw_trap")
+    switches = tel.events("view_switch")
+    recoveries = tel.events("recovery")
+    assert ctxsw, "no context-switch trap event traced"
+    assert switches, "no view switch event traced"
+    assert recoveries, "no code-recovery event traced"
+
+    # the deferred-switch chain is causally ordered: the trap selecting
+    # the top view precedes the EPT flip that installs it
+    first_trap = next(e for e in ctxsw if e.get("comm") == "top")
+    first_install = next(e for e in switches if e.get("to_view") == 0)
+    assert first_trap.seq < first_install.seq
+    assert first_trap.cycles <= first_install.cycles
+
+    # view switches carry the charged EPT cost
+    assert all(e.get("cost", 0) > 0 for e in switches)
+
+
+def test_recovery_events_match_provenance_log(top_config):
+    machine, fc = traced_run(top_config)
+    pairs = correlate_recoveries(machine.telemetry, fc.log)
+    assert pairs
+    for event, entry in pairs:
+        assert entry is not None, f"unmatched recovery event {event}"
+        assert entry.rip == event.get("rip")
+        assert entry.cycles == event.cycles
+        assert entry.comm == event.get("comm")
+    assert len(pairs) == len(fc.log)
+
+
+def test_counters_agree_with_trace(top_config):
+    machine, fc = traced_run(top_config)
+    tel = machine.telemetry
+    # nothing wrapped in this short run, so events and counters agree
+    assert tel.trace.dropped == 0
+    assert len(tel.events("ctxsw_trap")) == fc.stats.context_switch_traps
+    assert len(tel.events("view_switch")) == fc.stats.view_switches
+    assert len(tel.events("recovery")) == fc.stats.recoveries
+    # every traced vmexit reason was counted by its pipeline stage
+    vmexits = tel.events("vmexit")
+    by_reason = {}
+    for e in vmexits:
+        by_reason[e.get("reason")] = by_reason.get(e.get("reason"), 0) + 1
+    assert by_reason.get("ADDRESS_TRAP", 0) == tel.counter(
+        "hv.exits.address_trap"
+    ).value
+    assert by_reason.get("INVALID_OPCODE", 0) == tel.counter(
+        "hv.exits.invalid_opcode"
+    ).value
+
+
+def test_per_app_timeline_filter(top_config):
+    machine, fc = traced_run(top_config)
+    events = events_for_app(machine.telemetry, "top")
+    assert events
+    kinds = {e.kind for e in events}
+    assert "ctxsw_trap" in kinds
+    assert "recovery" in kinds or "view_switch" in kinds
+    # idle task events are not attributed to top
+    assert all(
+        e.get("comm") != "swapper" for e in events if e.kind == "ctxsw_trap"
+    )
+
+
+def test_trace_report_renders_all_sections(top_config):
+    machine, fc = traced_run(top_config)
+    text = format_trace_report(machine.telemetry, fc.log)
+    assert "== counters ==" in text
+    assert "== timeline ==" in text
+    assert "== recovery provenance" in text
+    assert "ctxsw_trap" in text
+    assert "view_switch" in text
+    # every recovery matched its provenance entry
+    assert "UNMATCHED" not in text
+    assert "Recover 0x" in text
+
+
+def test_tracing_off_records_nothing_but_counters_still_work(top_config):
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(top_config, comm="top")
+    task = machine.spawn("top", top_workload(iters=3))
+    machine.run(until=lambda: task.finished, max_cycles=80_000_000_000)
+    assert task.finished
+    assert len(machine.telemetry.trace) == 0
+    assert fc.stats.context_switch_traps > 0
+    assert machine.telemetry.counter("hv.exits.address_trap").value > 0

@@ -1,6 +1,6 @@
 """Property-based tests for the K[app] range-list algebra (hypothesis)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.rangelist import KernelProfile, RangeList, similarity_index

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.guest.machine import boot_machine
-from repro.kernel.objects import Compute, Syscall
+from repro.kernel.objects import Syscall
 from repro.kernel.runtime import Platform
 
 Sys = Syscall

@@ -43,6 +43,21 @@ def test_inspect_command(tmp_path, capsys):
     assert "base kernel" in captured
 
 
+def test_trace_command(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["--scale", "2", "trace", "top", "-o", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "== timeline ==" in captured
+    assert "ctxsw_trap" in captured
+    assert "view_switch" in captured
+    assert out.exists()
+
+
+def test_trace_unknown_app(capsys):
+    assert main(["trace", "no-such-app"]) == 1
+    assert "unknown application" in capsys.readouterr().out
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

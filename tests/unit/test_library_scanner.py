@@ -8,7 +8,6 @@ from repro.core.library import ViewLibrary
 from repro.core.rangelist import BASE_KERNEL, KernelProfile
 from repro.core.scanner import HiddenCodeScanner
 from repro.guest.machine import boot_machine
-from repro.kernel.objects import Syscall
 from repro.kernel.runtime import Platform
 from repro.malware.rootkits import KBEAST_SPEC, SEBEK_SPEC
 

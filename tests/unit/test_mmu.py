@@ -3,7 +3,6 @@
 import pytest
 
 from repro.memory.ept import ExtendedPageTable
-from repro.memory.layout import PAGE_SIZE
 from repro.memory.mmu import Mmu, TranslationError
 from repro.memory.paging import GuestPageTable
 from repro.memory.physmem import PhysicalMemory

@@ -1,7 +1,5 @@
 """RecoveryEngine backtrace unit tests on hand-built stack frames."""
 
-import struct
-
 import pytest
 
 from repro.core.kernel_view import KernelViewConfig

@@ -1,8 +1,6 @@
 """Additional edge cases for the hidden-code scanner and symbolization."""
 
 from repro.core.scanner import HiddenCodeScanner
-from repro.kernel.subsys import ModuleSpec
-from repro.kernel.catalog._dsl import W, kfunc
 from repro.malware.rootkits import ADORE_SPEC, KBEAST_SPEC
 
 

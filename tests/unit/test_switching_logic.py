@@ -6,7 +6,6 @@ from repro.core.kernel_view import KernelViewConfig
 from repro.core.rangelist import BASE_KERNEL, KernelProfile
 from repro.core.switching import FULL_KERNEL_VIEW_INDEX, ViewSwitcher
 from repro.core.view_manager import ViewBuilder
-from repro.guest.machine import boot_machine
 from repro.hypervisor.vmexit import VmExit, VmExitReason
 
 
@@ -96,6 +95,19 @@ class TestDecisionTable:
         before = switcher.resume_traps
         switcher.handle_resume_userspace_trap(machine.vcpu, fake_exit(machine))
         assert switcher.resume_traps == before
+
+    def test_public_disarm_resume_traps(self, world):
+        """Lifecycle owners cancel deferred switches via the public API."""
+        machine, switcher, _ = world
+        trap_for(machine, switcher, "alpha")
+        assert switcher._resume_armed[0]
+        switcher.disarm_resume_traps()
+        assert not switcher._resume_armed[0]
+        # the deferred switch was dropped, not applied
+        assert switcher.current_index[0] == FULL_KERNEL_VIEW_INDEX
+        # resume trap no longer registered with the hypervisor
+        resume = machine.image.address_of("resume_userspace")
+        assert resume not in machine.vcpu.trap_addresses
 
     def test_ept_restored_after_full_switch(self, world):
         machine, switcher, _ = world

@@ -1,0 +1,174 @@
+"""Telemetry primitive unit tests: counters, histograms, ring, export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Histogram,
+    LabelledCounter,
+    Telemetry,
+    TraceBuffer,
+    TraceEvent,
+    format_counters,
+    format_timeline,
+    snapshot,
+    to_json,
+)
+
+
+class TestCounters:
+    def test_counter_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_labelled_counter(self):
+        c = LabelledCounter("per_addr")
+        c.inc(0xC0100000)
+        c.inc(0xC0100000)
+        c.inc(0xC0200000, 3)
+        assert c.get(0xC0100000) == 2
+        assert c.get(0xDEAD) == 0
+        assert c.total == 5
+        assert c.values == {0xC0100000: 2, 0xC0200000: 3}
+
+    def test_registry_get_or_create(self):
+        tel = Telemetry()
+        assert tel.counter("a") is tel.counter("a")
+        assert tel.histogram("h") is tel.histogram("h")
+        assert tel.labelled_counter("l") is tel.labelled_counter("l")
+        tel.counter("a").inc()
+        tel.reset()
+        assert tel.counter("a").value == 0
+
+
+class TestHistogram:
+    def test_observe_stats(self):
+        h = Histogram("cycles")
+        for v in (0, 1, 2, 900, 900, 15000):
+            h.observe(v)
+        assert h.count == 6
+        assert h.total == 16803
+        assert h.min == 0
+        assert h.max == 15000
+        assert h.mean == pytest.approx(16803 / 6)
+
+    def test_buckets_power_of_two(self):
+        h = Histogram("x")
+        h.observe(0)
+        h.observe(1)
+        h.observe(900)  # bit_length 10 -> bucket upper bound 1023
+        bounds = dict(h.nonzero_buckets())
+        assert bounds[0] == 1
+        assert bounds[1] == 1
+        assert bounds[1023] == 1
+
+    def test_percentile(self):
+        h = Histogram("x")
+        for _ in range(99):
+            h.observe(100)
+        h.observe(10_000)
+        assert h.percentile(0.5) == 127  # 100 falls in the 64..127 bucket
+        assert h.percentile(1.0) == 16383
+
+    def test_negative_clamped(self):
+        h = Histogram("x")
+        h.observe(-5)
+        assert h.min == 0
+
+
+class TestTraceBuffer:
+    def test_bounded_with_drop_accounting(self):
+        ring = TraceBuffer(capacity=4)
+        for i in range(10):
+            ring.append(TraceEvent(i, i, 0, "k"))
+        assert len(ring) == 4
+        assert ring.dropped == 6
+        assert [e.seq for e in ring] == [6, 7, 8, 9]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestTracing:
+    def test_repro_trace_env_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Telemetry().tracing is True
+        monkeypatch.delenv("REPRO_TRACE")
+        assert Telemetry().tracing is False
+
+    def test_disabled_emits_nothing(self):
+        tel = Telemetry()
+        tel.emit("x", cycles=1, cpu=0, a=1)
+        assert len(tel.trace) == 0
+
+    def test_enabled_emits_sequenced_events(self):
+        tel = Telemetry()
+        tel.enable_tracing()
+        tel.emit("a", cycles=5, cpu=0, rip=0x10)
+        tel.emit("b", cycles=9, cpu=1)
+        events = tel.events()
+        assert [e.kind for e in events] == ["a", "b"]
+        assert events[0].seq < events[1].seq
+        assert events[0].get("rip") == 0x10
+        assert tel.events("b")[0].cycles == 9
+
+    def test_disable_stops_recording(self):
+        tel = Telemetry()
+        tel.enable_tracing()
+        tel.emit("a")
+        tel.disable_tracing()
+        tel.emit("b")
+        assert [e.kind for e in tel.events()] == ["a"]
+
+
+class TestExport:
+    def _populated(self):
+        tel = Telemetry()
+        tel.counter("hits").inc(3)
+        tel.labelled_counter("per").inc("x", 2)
+        tel.histogram("lat").observe(100)
+        tel.enable_tracing()
+        tel.emit("recovery", cycles=42, cpu=0, rip=0xC0100000)
+        return tel
+
+    def test_snapshot_roundtrips_through_json(self):
+        tel = self._populated()
+        data = json.loads(to_json(tel))
+        assert data["counters"]["hits"] == 3
+        assert data["labelled_counters"]["per"]["x"] == 2
+        assert data["histograms"]["lat"]["count"] == 1
+        assert data["trace"]["events"][0]["kind"] == "recovery"
+        assert data["trace"]["events"][0]["cycles"] == 42
+
+    def test_snapshot_without_events(self):
+        tel = self._populated()
+        assert "trace" not in snapshot(tel, events=False)
+
+    def test_format_counters_skips_zeroes(self):
+        tel = self._populated()
+        tel.counter("silent")
+        text = format_counters(tel)
+        assert "hits" in text
+        assert "silent" not in text
+
+    def test_format_timeline_limit(self):
+        events = [TraceEvent(i, i, 0, "k", {"n": i}) for i in range(10)]
+        text = format_timeline(events, limit=3)
+        assert "7 earlier events omitted" in text
+        assert "n=9" in text
+        assert "n=2" not in text
+
+    def test_format_timeline_kind_filter(self):
+        events = [
+            TraceEvent(1, 1, 0, "keep"),
+            TraceEvent(2, 2, 0, "drop"),
+        ]
+        text = format_timeline(events, kinds=["keep"])
+        assert "keep" in text and "drop" not in text

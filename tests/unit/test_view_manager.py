@@ -1,7 +1,5 @@
 """Kernel view construction tests: UD2 fill, widening, EPT wiring."""
 
-import pytest
-
 from repro.core.kernel_view import KernelViewConfig
 from repro.core.rangelist import BASE_KERNEL, KernelProfile
 from repro.core.view_manager import FunctionBoundaryFinder, ViewBuilder, gva_to_gpa
