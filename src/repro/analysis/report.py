@@ -99,6 +99,40 @@ def _section_trace(out: io.StringIO, configs, scale: int) -> None:
     out.write("\n```\n\n")
 
 
+def _section_caches(out: io.StringIO, configs, scale: int) -> None:
+    """Hit/miss/eviction counters of the translation and decode caches."""
+    from repro.apps.base import launch
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+
+    app = "top"
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(configs[app], comm=app)
+    handle = launch(machine, app, APP_CATALOG[app], scale=scale)
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    out.write("## Caches — TLB / stack / decode counters\n\n")
+    out.write(f"(one enforced {app} run; counters from the telemetry "
+              "registry)\n\n")
+    out.write("| cache | hits | misses | evictions | hit rate |\n")
+    out.write("|---|---|---|---|---|\n")
+    for label, prefix in (
+        ("MMU TLB", "mmu.tlb"),
+        ("stack page", "vcpu.stack"),
+        ("decode", "decode"),
+    ):
+        hits = machine.telemetry.counter(f"{prefix}.hits").value
+        misses = machine.telemetry.counter(f"{prefix}.misses").value
+        evictions = machine.telemetry.counter(f"{prefix}.evictions").value
+        total = hits + misses
+        rate = f"{hits / total:.4f}" if total else "n/a"
+        out.write(f"| {label} | {hits} | {misses} | {evictions} | {rate} |\n")
+    out.write("\n(invalidation rules: docs/PERFORMANCE.md)\n\n")
+
+
 def _section_figure7(out: io.StringIO, configs, connections: int) -> None:
     out.write("## Figure 7 — Apache httperf throughput ratio\n\n")
     points = run_httperf_sweep(configs["apache"], connections=connections)
@@ -125,7 +159,11 @@ def generate_report(
     one enforced run (not part of the default set: it narrates mechanism
     rather than reproducing a paper figure).
     """
-    wanted = set(sections) if sections else {"table1", "table2", "fig6", "fig7"}
+    wanted = (
+        set(sections)
+        if sections
+        else {"table1", "table2", "fig6", "fig7", "caches"}
+    )
     out = io.StringIO()
     out.write("# FACE-CHANGE reproduction — evaluation report\n\n")
     out.write(f"(workload scale {scale})\n\n")
@@ -139,6 +177,8 @@ def generate_report(
         _section_figure6(out, configs, views)
     if "fig7" in wanted:
         _section_figure7(out, configs, connections)
+    if "caches" in wanted:
+        _section_caches(out, configs, scale)
     if "trace" in wanted:
         _section_trace(out, configs, scale)
     return out.getvalue()

@@ -226,7 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--sections",
         nargs="*",
-        choices=["table1", "table2", "fig6", "fig7", "trace"],
+        choices=["table1", "table2", "fig6", "fig7", "caches", "trace"],
         help="subset of sections to run",
     )
     p.set_defaults(fn=_cmd_report)

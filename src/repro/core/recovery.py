@@ -187,6 +187,8 @@ class RecoveryEngine:
                 instant=len(instant),
             )
         self.machine.hypervisor.charge(vcpu, RECOVERY_COST_CYCLES)
-        # the fill wrote through physmem, bumping the frame version, so
-        # the VCPU's decoded-block cache re-translates on resume
+        # the fill went through copy_original's CoW path: a shared page
+        # materialized a freshly-versioned private frame (or adopted the
+        # original) and the EPT remap bumped the covering epoch, so every
+        # vCPU re-translates and re-decodes on resume
         return True

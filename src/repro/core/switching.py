@@ -181,13 +181,21 @@ class ViewSwitcher:
         ept = self.machine.epts[cpu]
         vcpu = self.machine.vcpus[cpu]
         current = self.views.get(previous)
-        if current is not None:
-            current.uninstall(ept)
         target = self.views.get(index)
         cost = EPT_SWITCH_BASE_COST
         if target is not None:
-            target.install(ept)
+            # Delta switch: entries both views agree on (canonical UD2
+            # frame, adopted originals) are no-op remaps inside the EPT,
+            # preserving cached translations for untouched pages.  The
+            # charged cost model is unchanged -- the paper's pointer
+            # flip is what we're simulating either way.
+            if current is not None:
+                target.install_over(current, ept)
+            else:
+                target.install(ept)
             cost += EPT_SWITCH_MODULE_COST * max(0, len(target.regions) - 1)
+        elif current is not None:
+            current.uninstall(ept)
         self.current_index[cpu] = (
             index if target is not None else FULL_KERNEL_VIEW_INDEX
         )

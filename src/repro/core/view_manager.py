@@ -1,17 +1,22 @@
 """Kernel view construction (Section III-B1).
 
-A :class:`KernelView` is a set of hypervisor-owned host frames shadowing
-the guest's kernel code pages.  Frames start out filled with the ``UD2``
-pattern (``0f 0b`` repeated from the page base, so even offsets hold
-``0f``), then every profiled range -- widened to whole-function
-boundaries -- is copied in from the guest's original code pages.
+A :class:`KernelView` is a set of host frames shadowing the guest's
+kernel code pages.  Views are built copy-on-write: every covered page of
+a fresh view maps to the single machine-wide canonical ``UD2`` frame
+(``0f 0b`` repeated from the page base, so even offsets hold ``0f``);
+loading a fully-profiled page simply adopts the original guest frame;
+only pages that end up *partially* filled materialize a private frame.
+The refcounted bookkeeping and the write barrier that keeps this honest
+live in :class:`repro.memory.physmem.SharedFrameStore` -- view build is
+O(profiled bytes), not O(kernel size).
 
 Function widening follows the paper exactly: starting from a marked
 basic block, scan backwards and forwards for the function header
 signature ``push ebp; mov ebp, esp`` (``55 89 e5``) at power-of-two
 aligned addresses (the kernel is built with ``-falign-functions``).  The
-scan reads raw guest memory and crosses page boundaries, handling
-functions that straddle pages.
+prologue positions of each region are memoized (invalidated by writes to
+the region's frames via ``physmem.code_epoch``), so widening many ranges
+costs one linear scan per region plus a bisect per range.
 
 Installing a view re-points EPT entries for the covered guest-physical
 pages at the view's frames; uninstalling restores identity mappings.
@@ -19,7 +24,8 @@ pages at the view's frames; uninstalling restores identity mappings.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from bisect import bisect_right, insort
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.kernel_view import KernelViewConfig
 from repro.core.rangelist import BASE_KERNEL
@@ -37,16 +43,52 @@ def gva_to_gpa(gva: int) -> int:
 
 
 class FunctionBoundaryFinder:
-    """Signature-based function boundary search over original guest memory."""
+    """Signature-based function boundary search over original guest memory.
+
+    ``containing_function`` used to probe guest memory at every 16-byte
+    candidate for every profiled range; the finder now pre-scans each
+    region once into a sorted prologue list and answers queries with a
+    bisect.  The memo is invalidated when any frame feeding it is
+    written (``PhysicalMemory.code_epoch``).
+    """
 
     def __init__(self, physmem: PhysicalMemory) -> None:
         self.physmem = physmem
+        #: (region_start, region_end) -> (code_epoch, sorted prologue gvas)
+        self._prologues: Dict[Tuple[int, int], Tuple[int, List[int]]] = {}
 
     def _signature_at(self, gva: int) -> bool:
         return (
             self.physmem.read(gva_to_gpa(gva), len(PROLOGUE_SIGNATURE))
             == PROLOGUE_SIGNATURE
         )
+
+    def _prologue_index(self, region_start: int, region_end: int) -> List[int]:
+        if region_end <= region_start:
+            return []
+        key = (region_start, region_end)
+        epoch = self.physmem.code_epoch
+        cached = self._prologues.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        sig = PROLOGUE_SIGNATURE
+        gpa_start = gva_to_gpa(region_start)
+        # per-candidate probes read up to len(sig)-1 bytes past
+        # region_end; scan the same over-read so results match exactly
+        length = region_end - region_start + len(sig) - 1
+        self.physmem.watch_code_frames(
+            range(gpa_start >> 12, ((gpa_start + length - 1) >> 12) + 1)
+        )
+        epoch = self.physmem.code_epoch
+        data = self.physmem.read(gpa_start, length)
+        first = (region_start + FUNCTION_ALIGN - 1) & ~(FUNCTION_ALIGN - 1)
+        addrs = [
+            addr
+            for addr in range(first, region_end, FUNCTION_ALIGN)
+            if data[addr - region_start : addr - region_start + len(sig)] == sig
+        ]
+        self._prologues[key] = (epoch, addrs)
+        return addrs
 
     def containing_function(
         self, addr: int, region_start: int, region_end: int
@@ -58,42 +100,37 @@ class FunctionBoundaryFinder:
         region bounds when no signature is found).
         """
         addr = max(region_start, min(addr, region_end - 1))
-        # backwards: nearest aligned prologue at or before addr
-        start = region_start
-        candidate = addr & ~(FUNCTION_ALIGN - 1)
-        while candidate >= region_start:
-            if self._signature_at(candidate):
-                start = candidate
-                break
-            candidate -= FUNCTION_ALIGN
-        # forwards: next aligned prologue strictly after addr
-        end = region_end
-        candidate = (addr + FUNCTION_ALIGN) & ~(FUNCTION_ALIGN - 1)
-        while candidate < region_end:
-            if self._signature_at(candidate):
-                end = candidate
-                break
-            candidate += FUNCTION_ALIGN
+        index = self._prologue_index(region_start, region_end)
+        i = bisect_right(index, addr)
+        start = index[i - 1] if i > 0 else region_start
+        end = index[i] if i < len(index) else region_end
         return start, end
 
 
 class KernelView:
-    """One application's in-memory kernel view (UD2-filled shadow frames)."""
+    """One application's in-memory kernel view (UD2-filled shadow pages)."""
 
     def __init__(
         self,
         index: int,
         config: KernelViewConfig,
         physmem: PhysicalMemory,
+        finder: Optional[FunctionBoundaryFinder] = None,
     ) -> None:
         self.index = index
         self.config = config
         self.physmem = physmem
-        self.finder = FunctionBoundaryFinder(physmem)
-        #: gpfn -> shadow hpfn for every covered kernel-code page
+        self.finder = finder if finder is not None else FunctionBoundaryFinder(physmem)
+        #: gpfn -> hpfn for every covered kernel-code page.  The hpfn is
+        #: the canonical UD2 frame, the original guest frame (fully
+        #: loaded pages) or a private frame (partially filled pages).
         self.frames: Dict[int, int] = {}
+        #: gpfns backed by a private (exclusively owned) frame
+        self._private: Set[int] = set()
         #: (region_start, region_end) of every covered code region
         self.regions: List[Tuple[int, int]] = []
+        self._region_begins: List[int] = []
+        self._sorted_regions: List[Tuple[int, int]] = []
         self.loaded_bytes = 0
         self.recovered_ranges: List[Tuple[int, int]] = []
         #: EPTs this view is currently installed in (several, when
@@ -103,26 +140,65 @@ class KernelView:
     # -- construction -----------------------------------------------------------
 
     def add_region(self, region_start: int, region_end: int) -> None:
-        """Cover a guest code region with fresh UD2-filled shadow frames."""
+        """Cover a guest code region, CoW-shared with the canonical frame."""
         first = gva_to_gpa(region_start) >> 12
         last = (gva_to_gpa(region_end) + PAGE_SIZE - 1) >> 12
-        count = last - first
-        if count <= 0:
+        if last <= first:
             return
-        hpfns = self.physmem.allocate_frames(count)
-        for offset, hpfn in enumerate(hpfns):
-            self.frames[first + offset] = hpfn
-            self.physmem.fill(hpfn << 12, PAGE_SIZE, UD2_BYTES)
+        store = self.physmem.shared
+        canonical = store.canonical_ud2_frame(UD2_BYTES)
+        for gpfn in range(first, last):
+            self.frames[gpfn] = canonical
+            store.share(self, gpfn, canonical)
         self.regions.append((region_start, region_end))
+        insort(self._sorted_regions, (region_start, region_end))
+        self._region_begins = [begin for begin, _ in self._sorted_regions]
 
     def region_of(self, addr: int) -> Optional[Tuple[int, int]]:
-        for begin, end in self.regions:
+        i = bisect_right(self._region_begins, addr) - 1
+        if i >= 0:
+            begin, end = self._sorted_regions[i]
             if begin <= addr < end:
                 return begin, end
         return None
 
     def covers(self, addr: int) -> bool:
         return (gva_to_gpa(addr) >> 12) in self.frames
+
+    def materialize_page(self, gpfn: int) -> int:
+        """Break a shared page out into a private frame (CoW fault).
+
+        The private copy snapshots the shared frame's *current* bytes, so
+        it is written through :meth:`PhysicalMemory.write` -- bumping the
+        new frame's version so no vCPU keeps executing stale decoded
+        blocks -- and the view's installed EPTs are re-pointed (which
+        bumps the covering level-2 epoch, dropping cached translations).
+        """
+        shared_hpfn = self.frames[gpfn]
+        new = self.physmem.allocate_frames(1)[0]
+        self.physmem.write(new << 12, bytes(self.physmem.frame(shared_hpfn)))
+        self.frames[gpfn] = new
+        self._private.add(gpfn)
+        self.physmem.shared.unshare(self, gpfn, shared_hpfn)
+        for ept in self.installed_epts:
+            ept.map_frame(gpfn, new)
+        return new
+
+    def _adopt_original(self, gpfn: int) -> None:
+        """Map a fully-loaded page straight to the original guest frame."""
+        current = self.frames.get(gpfn)
+        if current == gpfn:
+            return
+        store = self.physmem.shared
+        if gpfn in self._private:
+            self._private.discard(gpfn)
+            self.physmem.free_frames([current])
+        else:
+            store.unshare(self, gpfn, current)
+        self.frames[gpfn] = gpfn
+        store.share(self, gpfn, gpfn)
+        for ept in self.installed_epts:
+            ept.map_frame(gpfn, gpfn)
 
     def load_function_ranges(
         self,
@@ -151,7 +227,11 @@ class KernelView:
             self.copy_original(fn_start, fn_end)
 
     def copy_original(self, start: int, end: int) -> None:
-        """Copy original guest bytes ``[start, end)`` into the view frames."""
+        """Load original guest bytes ``[start, end)`` into the view.
+
+        Whole pages adopt the original guest frame outright (no copy);
+        partial pages materialize a private frame on first touch.
+        """
         addr = start
         while addr < end:
             gpfn = gva_to_gpa(addr) >> 12
@@ -159,8 +239,18 @@ class KernelView:
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(PAGE_SIZE - offset, end - addr)
             if hpfn is not None:
-                data = self.physmem.read(gva_to_gpa(addr), chunk)
-                self.physmem.write((hpfn << 12) | offset, data)
+                if hpfn == gpfn:
+                    # already the original frame: bytes identical by
+                    # construction, and the CoW barrier snapshots the
+                    # page if the original is ever patched
+                    pass
+                elif chunk == PAGE_SIZE:
+                    self._adopt_original(gpfn)
+                else:
+                    if gpfn not in self._private:
+                        self.materialize_page(gpfn)
+                    data = self.physmem.read(gva_to_gpa(addr), chunk)
+                    self.physmem.write((self.frames[gpfn] << 12) | offset, data)
                 self.loaded_bytes += chunk
             addr += chunk
 
@@ -175,33 +265,73 @@ class KernelView:
         if ept not in self.installed_epts:
             self.installed_epts.append(ept)
 
+    def install_over(self, previous: "KernelView", ept: ExtendedPageTable) -> None:
+        """Switch ``ept`` from ``previous`` to this view as a delta.
+
+        Entries that already point at the right frame (most pages: both
+        views share the canonical UD2 frame or the original) are no-op
+        remaps skipped inside the EPT, so no epoch is bumped for them and
+        cached translations stay valid -- the pointer-flip cost model of
+        the paper's Section III-B2.  The final EPT state is identical to
+        ``previous.uninstall(ept); self.install(ept)``.
+        """
+        frames = self.frames
+        ept.map_frames(frames.items())
+        ept.unmap_frames(
+            gpfn for gpfn in previous.frames if gpfn not in frames
+        )
+        if ept in previous.installed_epts:
+            previous.installed_epts.remove(ept)
+        if ept not in self.installed_epts:
+            self.installed_epts.append(ept)
+
     def uninstall(self, ept: ExtendedPageTable) -> None:
         ept.unmap_frames(self.frames.keys())
         if ept in self.installed_epts:
             self.installed_epts.remove(ept)
 
     def free(self) -> None:
-        """Release the view's shadow frames (view unload, III-B4)."""
+        """Release the view's frames (view unload, III-B4).
+
+        Only private frames are returned to the allocator; shared
+        mappings (canonical UD2 frame, adopted originals) just drop one
+        reference so other views keep using them.
+        """
         for ept in list(self.installed_epts):
             self.uninstall(ept)
-        self.physmem.free_frames(list(self.frames.values()))
+        store = self.physmem.shared
+        private: List[int] = []
+        for gpfn, hpfn in self.frames.items():
+            if gpfn in self._private:
+                private.append(hpfn)
+            else:
+                store.unshare(self, gpfn, hpfn)
+        self.physmem.free_frames(private)
         self.frames.clear()
+        self._private.clear()
         self.regions.clear()
+        self._region_begins = []
+        self._sorted_regions = []
 
 
 class ViewBuilder:
     """Builds :class:`KernelView` objects from configs + guest state.
 
     ``widen=False`` disables the whole-function loading relaxation
-    (ablation of Section III-B1).
+    (ablation of Section III-B1).  One :class:`FunctionBoundaryFinder`
+    is shared across all views built by this builder, so prologue scans
+    are amortized machine-wide.
     """
 
     def __init__(self, machine, widen: bool = True) -> None:
         self.machine = machine
         self.widen = widen
+        self.finder = FunctionBoundaryFinder(machine.physmem)
 
     def build(self, index: int, config: KernelViewConfig) -> KernelView:
-        view = KernelView(index, config, self.machine.physmem)
+        view = KernelView(
+            index, config, self.machine.physmem, finder=self.finder
+        )
         image = self.machine.image
         # base kernel text
         base_region = (image.text_start, image.text_end)

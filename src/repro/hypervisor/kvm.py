@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.hypervisor.vcpu import Vcpu
+from repro.hypervisor.vcpu import DecodeCache, Vcpu
 from repro.hypervisor.vmexit import VmExit, VmExitReason
 from repro.memory.ept import ExtendedPageTable
 from repro.memory.physmem import PhysicalMemory
@@ -160,6 +160,11 @@ class Hypervisor:
         self._per_trap_address = self.telemetry.labelled_counter(
             "hv.exits.per_trap_address"
         )
+        #: machine-level decoded-block cache shared by all vCPUs: blocks
+        #: are keyed by host frame, so SMP vCPUs running the same
+        #: application reuse each other's decodes
+        self.decode_cache = DecodeCache()
+        self.decode_cache.attach_telemetry(self.telemetry)
         self.stats = ExitStats(self.telemetry)
         #: cycles charged for hypervisor work, attributed to the guest
         self.overhead_cycles = 0
@@ -201,6 +206,7 @@ class Hypervisor:
         self.vcpus.append(vcpu)
         self.epts.append(ept)
         vcpu.attach_telemetry(self.telemetry)
+        vcpu.use_block_cache(self.decode_cache)
         for address in self._trap_handlers:
             if None in self._trap_armed.get(address, set()):
                 vcpu.arm_trap(address)

@@ -19,6 +19,7 @@ in Python.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.isa.decoder import decode
@@ -90,6 +91,66 @@ class SemanticsBridge:
 #: Steps are ("fill", n_insns, n_bytes) fusions or plain Instr objects.
 _Block = Tuple[List[object], Optional[Instr], int]
 
+
+class DecodeCache:
+    """Machine-level decoded-block cache shared by all vCPUs.
+
+    Blocks are keyed ``(hpfn, frame version, offset, trap limit)`` --
+    host-frame based, so SMP vCPUs running the same application (or two
+    views sharing the canonical UD2 frame) reuse each other's decodes.
+    Cross-page instructions are cached too, keyed by both pages'
+    ``(hpfn, version)``.
+
+    Eviction is segmented LRU: entries are inserted into (or promoted
+    to) the ``hot`` dict; when ``hot`` reaches capacity it is demoted
+    wholesale to ``cold`` and the previous cold generation -- everything
+    not touched for a full generation -- is dropped.  Total residency is
+    bounded by ``2 * capacity`` entries.
+    """
+
+    __slots__ = ("hot", "cold", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 32768) -> None:
+        self.hot: Dict[tuple, object] = {}
+        self.cold: Dict[tuple, object] = {}
+        self.capacity = max(2, capacity)
+        self.hits = Counter("decode.hits")
+        self.misses = Counter("decode.misses")
+        self.evictions = Counter("decode.evictions")
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        for attr in ("hits", "misses", "evictions"):
+            standalone = getattr(self, attr)
+            registered = telemetry.counter(standalone.name)
+            if registered is not standalone:
+                registered.value += standalone.value
+                setattr(self, attr, registered)
+
+    def lookup(self, key: tuple):
+        block = self.hot.get(key)
+        if block is None:
+            cold = self.cold
+            block = cold.get(key)
+            if block is None:
+                self.misses.value += 1
+                return None
+            del cold[key]
+            self.hot[key] = block
+        self.hits.value += 1
+        return block
+
+    def insert(self, key: tuple, block: object) -> None:
+        hot = self.hot
+        if len(hot) >= self.capacity:
+            self.evictions.value += len(self.cold)
+            self.cold = hot
+            self.hot = hot = {}
+        hot[key] = block
+
+    def flush(self) -> None:
+        self.hot.clear()
+        self.cold.clear()
+
 #: Optional per-block execution tracer: (start_gva, end_gva) of the block
 #: about to execute.  Used by the profiling-phase component.
 BlockTracer = Callable[[int, int], None]
@@ -120,14 +181,23 @@ class Vcpu:
         #: A standalone counter until :meth:`attach_telemetry` rebinds it
         #: to the machine-wide registry.
         self.misdecodes = Counter(f"vcpu.misdecode.cpu{cpu_id}")
+        self._stack_hits = Counter("vcpu.stack.hits")
+        self._stack_misses = Counter("vcpu.stack.misses")
+        self._stack_evictions = Counter("vcpu.stack.evictions")
         # hypervisor wiring
         self.trap_addresses: Set[int] = set()
+        self._sorted_traps: List[int] = []
         self._skip_trap_once: Optional[int] = None
         self.block_tracer: Optional[BlockTracer] = None
-        # decoded-block cache
-        self._block_cache: Dict[Tuple[int, int, int], _Block] = {}
-        # one-entry stack page cache: (vfn, pt_gen, ept_gen, frame)
+        # decoded-block cache: private until the hypervisor swaps in the
+        # machine-level shared cache via use_block_cache()
+        self.block_cache = DecodeCache()
+        # one-entry stack page cache:
+        # (vfn, cr3, pt_gen, epoch cell, epoch, frame)
         self._stack_cache = None
+        # one-entry code page cache, same shape plus (hpfn, frame)
+        self._code_cache = None
+        self._frame_versions = mmu.physmem._versions
 
     # -- register/stack helpers ----------------------------------------------
     #
@@ -142,13 +212,23 @@ class Vcpu:
         if (
             cache is not None
             and cache[0] == vfn
-            and cache[1] == mmu.cr3.generation
-            and cache[2] == mmu.ept.generation
+            and cache[1] is mmu.cr3
+            and cache[2] == mmu.cr3.generation
+            and cache[3][0] == cache[4]
         ):
-            return cache[3]
-        _, frame = mmu.resolve_page(addr)
-        self._stack_cache = (vfn, mmu.cr3.generation, mmu.ept.generation, frame)
-        return frame
+            self._stack_hits.value += 1
+            return cache[5]
+        if cache is not None:
+            self._stack_evictions.value += 1
+        self._stack_misses.value += 1
+        entry = mmu.resolve_entry(addr)
+        # validated against the *scoped* EPT epoch of the stack page's
+        # level-2 table: kernel-view switches (which remap only the
+        # kernel-code range) no longer thrash this cache
+        self._stack_cache = (
+            vfn, mmu.cr3, mmu.cr3.generation, entry[2], entry[3], entry[1],
+        )
+        return entry[1]
 
     def push(self, value: int) -> None:
         esp = (self.esp - 4) & 0xFFFFFFFF
@@ -187,7 +267,19 @@ class Vcpu:
         registered = telemetry.counter(self.misdecodes.name)
         registered.value += self.misdecodes.value
         self.misdecodes = registered
+        for attr in ("_stack_hits", "_stack_misses", "_stack_evictions"):
+            standalone = getattr(self, attr)
+            shared = telemetry.counter(standalone.name)
+            if shared is not standalone:
+                shared.value += standalone.value
+                setattr(self, attr, shared)
+        self.mmu.attach_telemetry(telemetry)
         self.telemetry = telemetry
+
+    def use_block_cache(self, cache: DecodeCache) -> None:
+        """Adopt the machine-level shared decode cache."""
+        self.block_cache = cache
+        self._code_cache = None
 
     @property
     def corruption_executed(self) -> int:
@@ -201,17 +293,22 @@ class Vcpu:
 
     def arm_trap(self, address: int) -> None:
         """Register a fetch trap at ``address`` (hypervisor interception)."""
-        self.trap_addresses.add(address)
+        if address not in self.trap_addresses:
+            self.trap_addresses.add(address)
+            insort(self._sorted_traps, address)
 
     def disarm_trap(self, address: int) -> None:
-        self.trap_addresses.discard(address)
+        if address in self.trap_addresses:
+            self.trap_addresses.discard(address)
+            self._sorted_traps.remove(address)
 
     def resume_past_trap(self) -> None:
         """Resume after an ADDRESS_TRAP without immediately re-trapping."""
         self._skip_trap_once = self.eip
 
     def flush_block_cache(self) -> None:
-        self._block_cache.clear()
+        self.block_cache.flush()
+        self._code_cache = None
 
     # -- block decode ----------------------------------------------------------
 
@@ -262,32 +359,86 @@ class Vcpu:
 
     def _fetch_block(self) -> Tuple[_Block, bool]:
         """Return (block, is_kernel) for the current ``eip``."""
-        hpfn, frame = self.mmu.resolve_page(self.eip)
-        version = self.mmu.physmem.version(hpfn)
-        offset = self.eip & (PAGE_SIZE - 1)
+        eip = self.eip
+        mmu = self.mmu
+        vfn = eip >> 12
+        cache = self._code_cache
+        if (
+            cache is not None
+            and cache[0] == vfn
+            and cache[1] is mmu.cr3
+            and cache[2] == mmu.cr3.generation
+            and cache[3][0] == cache[4]
+        ):
+            hpfn = cache[5]
+            frame = cache[6]
+        else:
+            entry = mmu.resolve_entry(eip)
+            hpfn = entry[0]
+            frame = entry[1]
+            self._code_cache = (
+                vfn, mmu.cr3, mmu.cr3.generation, entry[2], entry[3],
+                hpfn, frame,
+            )
+        version = self._frame_versions.get(hpfn, 0)
+        offset = eip & (PAGE_SIZE - 1)
         # A block must end *before* any armed trap address so the trap
         # check at the next block boundary can fire mid-stream (the same
         # reason QEMU splits translation blocks at breakpoints).
         limit = None
-        if self.trap_addresses:
-            start = self.eip
-            for trap in self.trap_addresses:
-                if start < trap and (limit is None or trap - start < limit):
-                    if trap - start < PAGE_SIZE:
-                        limit = trap - start
+        traps = self._sorted_traps
+        if traps:
+            i = bisect_right(traps, eip)
+            if i < len(traps):
+                distance = traps[i] - eip
+                if distance < PAGE_SIZE:
+                    limit = distance
         key = (hpfn, version, offset, limit)
-        block = self._block_cache.get(key)
+        # inlined DecodeCache.lookup/insert -- this is the hottest path
+        shared = self.block_cache
+        block = shared.hot.get(key)
         if block is None:
-            block = self._decode_block(frame, offset, limit)
-            if len(self._block_cache) > 65536:
-                self._block_cache.clear()
-            self._block_cache[key] = block
-        return block, is_kernel_address(self.eip)
+            cold = shared.cold
+            block = cold.get(key)
+            if block is not None:
+                del cold[key]
+                shared.hot[key] = block
+                shared.hits.value += 1
+            else:
+                shared.misses.value += 1
+                block = self._decode_block(frame, offset, limit)
+                shared.insert(key, block)
+        else:
+            shared.hits.value += 1
+        return block, is_kernel_address(eip)
 
     def _fetch_cross_page(self) -> Instr:
-        """Slow path: decode one instruction that may span two pages."""
-        raw = self.mmu.read(self.eip, 8)
-        return decode(raw, 0)
+        """Slow path: decode one instruction that may span two pages.
+
+        Cached keyed by both pages' ``(hpfn, version)`` -- the key shape
+        (5-tuple) cannot collide with block keys (4-tuples).
+        """
+        eip = self.eip
+        mmu = self.mmu
+        offset = eip & (PAGE_SIZE - 1)
+        first = PAGE_SIZE - offset
+        if first >= 8:  # pragma: no cover - only reached on spanning fetches
+            return decode(mmu.read(eip, 8), 0)
+        entry1 = mmu.resolve_entry(eip)
+        entry2 = mmu.resolve_entry((eip + first) & 0xFFFFFFFF)
+        versions = self._frame_versions
+        key = (
+            entry1[0], versions.get(entry1[0], 0),
+            offset,
+            entry2[0], versions.get(entry2[0], 0),
+        )
+        shared = self.block_cache
+        instr = shared.lookup(key)
+        if instr is None:
+            raw = bytes(entry1[1][offset:]) + bytes(entry2[1][: 8 - first])
+            instr = decode(raw, 0)
+            shared.insert(key, instr)
+        return instr
 
     # -- execution --------------------------------------------------------------
 

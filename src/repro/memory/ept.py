@@ -23,6 +23,11 @@ _TABLE_BITS = 10
 _TABLE_SIZE = 1 << _TABLE_BITS
 _TABLE_MASK = _TABLE_SIZE - 1
 
+#: An epoch cell: a one-element list whose identity is stable for the
+#: lifetime of the EPT, so cached translations can validate with a single
+#: ``cell[0] == epoch`` comparison instead of a dict lookup.
+EpochCell = List[int]
+
 
 class EptViolation(Exception):
     """Guest-physical address with no EPT mapping."""
@@ -52,7 +57,35 @@ class ExtendedPageTable:
         self._directory: Dict[int, _EptLevel2] = {}
         #: gpfns below this translate identity unless overridden
         self.identity_limit_gpfn = identity_limit_gpfn
+        #: global mutation counter (kept for inspection/tests); cached
+        #: translations validate against the per-level-2-table epochs
+        #: below, so remapping the kernel-code range does not invalidate
+        #: cached user or stack translations.
         self.generation = 0
+        self._epoch_cells: Dict[int, EpochCell] = {}
+
+    # -- epochs --------------------------------------------------------------
+
+    def epoch_cell(self, gpfn: int) -> EpochCell:
+        """The epoch cell of the level-2 table covering ``gpfn``.
+
+        Callers snapshot ``cell[0]`` alongside a translation and later
+        compare it against the live cell: any remap of a gpfn sharing
+        this level-2 table invalidates the snapshot, while remaps of
+        other ranges leave it intact (selective TLB invalidation).
+        """
+        dir_index = gpfn >> _TABLE_BITS
+        cell = self._epoch_cells.get(dir_index)
+        if cell is None:
+            cell = self._epoch_cells[dir_index] = [0]
+        return cell
+
+    def _bump_epoch(self, dir_index: int) -> None:
+        cell = self._epoch_cells.get(dir_index)
+        if cell is None:
+            self._epoch_cells[dir_index] = [1]
+        else:
+            cell[0] += 1
 
     # -- entry management ----------------------------------------------------
 
@@ -62,8 +95,12 @@ class ExtendedPageTable:
         if table is None:
             table = _EptLevel2()
             self._directory[gpfn >> _TABLE_BITS] = table
-        table.entries[gpfn & _TABLE_MASK] = hpfn
+        index = gpfn & _TABLE_MASK
+        if table.entries.get(index) == hpfn:
+            return  # no-op remap: keep every cached translation valid
+        table.entries[index] = hpfn
         self.generation += 1
+        self._bump_epoch(gpfn >> _TABLE_BITS)
 
     def map_frames(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Batch variant of :meth:`map_frame` (one generation bump)."""
@@ -73,7 +110,11 @@ class ExtendedPageTable:
             if table is None:
                 table = _EptLevel2()
                 self._directory[gpfn >> _TABLE_BITS] = table
-            table.entries[gpfn & _TABLE_MASK] = hpfn
+            index = gpfn & _TABLE_MASK
+            if table.entries.get(index) == hpfn:
+                continue
+            table.entries[index] = hpfn
+            self._bump_epoch(gpfn >> _TABLE_BITS)
             touched = True
         if touched:
             self.generation += 1
@@ -81,9 +122,10 @@ class ExtendedPageTable:
     def unmap_frame(self, gpfn: int) -> None:
         """Remove an override, reverting ``gpfn`` to identity mapping."""
         table = self._directory.get(gpfn >> _TABLE_BITS)
-        if table is not None:
-            table.entries.pop(gpfn & _TABLE_MASK, None)
+        if table is not None and (gpfn & _TABLE_MASK) in table.entries:
+            del table.entries[gpfn & _TABLE_MASK]
             self.generation += 1
+            self._bump_epoch(gpfn >> _TABLE_BITS)
 
     def unmap_frames(self, gpfns: Iterable[int]) -> None:
         touched = False
@@ -91,6 +133,7 @@ class ExtendedPageTable:
             table = self._directory.get(gpfn >> _TABLE_BITS)
             if table is not None and (gpfn & _TABLE_MASK) in table.entries:
                 del table.entries[gpfn & _TABLE_MASK]
+                self._bump_epoch(gpfn >> _TABLE_BITS)
                 touched = True
         if touched:
             self.generation += 1

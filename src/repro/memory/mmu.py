@@ -1,22 +1,34 @@
 """Software MMU: combined GVA -> GPA -> HPA translation with caching.
 
-The cache maps a guest virtual frame number to the backing host frame and
-its bytearray, tagged with the generation counters of the active guest
-page table and the EPT (and the frame's write version for code fetches).
-Any remapping -- a guest ``mmap``, or FACE-CHANGE flipping EPT entries on
-a kernel-view switch -- bumps a generation and implicitly invalidates all
-cached translations, which is the software analogue of a TLB flush.
+The cache maps a guest virtual frame number to the backing host frame
+plus the *epoch cell* of the EPT level-2 table covering its guest frame.
+A guest page-table change still flushes the whole cache (the guest
+remapped its own address space), but EPT mutations -- FACE-CHANGE
+flipping kernel-code entries on a view switch -- invalidate only the
+entries whose level-2 table was touched: cached user and stack
+translations survive the switch, the software analogue of how real EPT
+switching needs no TLB flush for untouched ranges.
+
+Hit/miss/eviction counts are standalone until the owning vCPU is
+attached to the machine's telemetry registry, which rebinds them to the
+shared ``mmu.tlb.*`` counters.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.memory.ept import EptViolation, ExtendedPageTable
 from repro.memory.layout import PAGE_SHIFT, PAGE_SIZE
 from repro.memory.paging import GuestPageTable, PageFault
 from repro.memory.physmem import PhysicalMemory
+from repro.telemetry import Counter, Telemetry
+
+#: A cached translation: (hpfn, frame bytes, epoch cell, epoch snapshot,
+#: gpfn).  The entry is valid while ``cell[0] == epoch`` and the guest
+#: page table generation is unchanged.
+_Entry = Tuple[int, bytearray, List[int], int, int]
 
 
 class TranslationError(Exception):
@@ -39,60 +51,81 @@ class Mmu:
         self.physmem = physmem
         self.ept = ept
         self.cr3: Optional[GuestPageTable] = None
-        self._cache: Dict[int, Tuple[int, bytearray]] = {}
+        self._cache: Dict[int, _Entry] = {}
         self._cache_pt_gen = -1
-        self._cache_ept_gen = -1
+        self._shared_refs = physmem.shared.refs
+        self._tlb_hits = Counter("mmu.tlb.hits")
+        self._tlb_misses = Counter("mmu.tlb.misses")
+        self._tlb_evictions = Counter("mmu.tlb.evictions")
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Rebind the TLB counters to the machine-wide registry."""
+        for attr in ("_tlb_hits", "_tlb_misses", "_tlb_evictions"):
+            standalone = getattr(self, attr)
+            registered = telemetry.counter(standalone.name)
+            if registered is not standalone:
+                registered.value += standalone.value
+                setattr(self, attr, registered)
 
     def set_cr3(self, page_table: GuestPageTable) -> None:
         """Switch address space (guest context switch)."""
         if page_table is not self.cr3:
             self.cr3 = page_table
+            self._tlb_evictions.value += len(self._cache)
             self._cache.clear()
             self._cache_pt_gen = page_table.generation
-            self._cache_ept_gen = self.ept.generation
 
-    def _check_generations(self) -> None:
-        if self.cr3 is None:
+    def resolve_entry(self, gva: int) -> _Entry:
+        """The cached translation entry for the page containing ``gva``."""
+        cr3 = self.cr3
+        if cr3 is None:
             raise TranslationError(0, PageFault(0))
-        if (
-            self._cache_pt_gen != self.cr3.generation
-            or self._cache_ept_gen != self.ept.generation
-        ):
+        if self._cache_pt_gen != cr3.generation:
+            self._tlb_evictions.value += len(self._cache)
             self._cache.clear()
-            self._cache_pt_gen = self.cr3.generation
-            self._cache_ept_gen = self.ept.generation
-
-    def resolve_page(self, gva: int) -> Tuple[int, bytearray]:
-        """Return ``(hpfn, frame bytes)`` for the page containing ``gva``."""
-        self._check_generations()
+            self._cache_pt_gen = cr3.generation
         vfn = (gva & 0xFFFFFFFF) >> PAGE_SHIFT
-        cached = self._cache.get(vfn)
-        if cached is not None:
-            return cached
-        assert self.cr3 is not None
+        entry = self._cache.get(vfn)
+        if entry is not None:
+            if entry[2][0] == entry[3]:
+                self._tlb_hits.value += 1
+                return entry
+            self._tlb_evictions.value += 1
+        self._tlb_misses.value += 1
         try:
-            gpa = self.cr3.translate(vfn << PAGE_SHIFT)
-            hpfn = self.ept.translate_frame(gpa >> PAGE_SHIFT)
+            gpa = cr3.translate(vfn << PAGE_SHIFT)
+            gpfn = gpa >> PAGE_SHIFT
+            hpfn = self.ept.translate_frame(gpfn)
         except (PageFault, EptViolation) as exc:
             raise TranslationError(gva, exc) from exc
-        frame = self.physmem.frame(hpfn)
-        entry = (hpfn, frame)
+        cell = self.ept.epoch_cell(gpfn)
+        entry = (hpfn, self.physmem.frame(hpfn), cell, cell[0], gpfn)
         self._cache[vfn] = entry
         return entry
 
+    def resolve_page(self, gva: int) -> Tuple[int, bytearray]:
+        """Return ``(hpfn, frame bytes)`` for the page containing ``gva``."""
+        entry = self.resolve_entry(gva)
+        return entry[0], entry[1]
+
     def translate(self, gva: int) -> int:
         """Full GVA -> HPA translation of a single address."""
-        hpfn, _ = self.resolve_page(gva)
-        return (hpfn << PAGE_SHIFT) | (gva & (PAGE_SIZE - 1))
+        entry = self.resolve_entry(gva)
+        return (entry[0] << PAGE_SHIFT) | (gva & (PAGE_SIZE - 1))
 
     # -- guest-virtual byte access -------------------------------------------
 
     def read(self, gva: int, length: int) -> bytes:
+        offset = gva & (PAGE_SIZE - 1)
+        if offset + length <= PAGE_SIZE:
+            # fast path: the read stays within one page
+            frame = self.resolve_entry(gva)[1]
+            return bytes(frame[offset : offset + length])
         out = bytearray()
         addr = gva
         remaining = length
         while remaining > 0:
-            _, frame = self.resolve_page(addr)
+            frame = self.resolve_entry(addr)[1]
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(PAGE_SIZE - offset, remaining)
             out.extend(frame[offset : offset + chunk])
@@ -104,8 +137,21 @@ class Mmu:
         addr = gva
         pos = 0
         remaining = len(data)
+        shared_refs = self._shared_refs
         while remaining > 0:
-            hpfn, frame = self.resolve_page(addr)
+            entry = self.resolve_entry(addr)
+            hpfn = entry[0]
+            if shared_refs and hpfn in shared_refs:
+                # CoW barrier: the page is a shared view frame (or an
+                # original frame views still share) -- break the sharing
+                # before the bytes change.
+                redirect = self.physmem.shared.break_on_write(
+                    entry[4], hpfn, self.ept
+                )
+                if redirect is not None:
+                    entry = self.resolve_entry(addr)
+                    hpfn = entry[0]
+            frame = entry[1]
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(PAGE_SIZE - offset, remaining)
             frame[offset : offset + chunk] = data[pos : pos + chunk]
@@ -116,6 +162,16 @@ class Mmu:
             remaining -= chunk
 
     def read_u32(self, gva: int) -> int:
+        offset = gva & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 4:
+            # fast path: direct indexing, like Vcpu.pop
+            frame = self.resolve_entry(gva)[1]
+            return (
+                frame[offset]
+                | (frame[offset + 1] << 8)
+                | (frame[offset + 2] << 16)
+                | (frame[offset + 3] << 24)
+            )
         return struct.unpack("<I", self.read(gva, 4))[0]
 
     def write_u32(self, gva: int, value: int) -> None:

@@ -13,13 +13,102 @@ blocks for that page.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.memory.layout import PAGE_SIZE
 
 
 class PhysicalMemoryError(Exception):
     """Access to an unmapped host frame."""
+
+
+class SharedFrameStore:
+    """Refcounted frames shared copy-on-write between kernel views.
+
+    Fresh views do not copy anything: every unprofiled page maps to one
+    canonical all-UD2 frame, and every fully-loaded page maps straight to
+    the original guest frame.  A private frame is materialized only when
+    a partially-filled page is first written (``KernelView.copy_original``
+    or the recovery path), via the write barrier below.
+
+    The store tracks, per guest frame number, which views currently hold
+    a shared mapping so the barrier can find the view whose copy must be
+    broken out.  Reference counts decide when a hypervisor-owned shared
+    frame can really be freed; original guest frames are never freed.
+    """
+
+    def __init__(self, physmem: "PhysicalMemory") -> None:
+        self._physmem = physmem
+        #: hpfn -> number of shared mappings (CoW-protected frames)
+        self.refs: Dict[int, int] = {}
+        #: gpfn -> views holding a shared mapping for that page
+        self._owners: Dict[int, List[object]] = {}
+        self._canonical_ud2: Optional[int] = None
+
+    def canonical_ud2_frame(self, pattern: bytes) -> int:
+        """The single shared all-``pattern`` frame (allocated lazily)."""
+        if self._canonical_ud2 is None:
+            hpfn = self._physmem.allocate_frames(1)[0]
+            self._physmem.fill(hpfn << 12, PAGE_SIZE, pattern)
+            # the store's own permanent reference keeps it alive forever
+            self.refs[hpfn] = 1
+            self._canonical_ud2 = hpfn
+        return self._canonical_ud2
+
+    def is_shared(self, hpfn: int) -> bool:
+        return hpfn in self.refs
+
+    def refcount(self, hpfn: int) -> int:
+        return self.refs.get(hpfn, 0)
+
+    def share(self, view: object, gpfn: int, hpfn: int) -> None:
+        """Record that ``view`` maps ``gpfn`` to the shared ``hpfn``."""
+        self.refs[hpfn] = self.refs.get(hpfn, 0) + 1
+        self._owners.setdefault(gpfn, []).append(view)
+
+    def unshare(self, view: object, gpfn: int, hpfn: int) -> None:
+        """Drop one shared mapping; free the frame at zero references."""
+        owners = self._owners.get(gpfn)
+        if owners is not None:
+            try:
+                owners.remove(view)
+            except ValueError:
+                pass
+            if not owners:
+                del self._owners[gpfn]
+        count = self.refs.get(hpfn, 0) - 1
+        if count > 0:
+            self.refs[hpfn] = count
+        else:
+            self.refs.pop(hpfn, None)
+            if hpfn >= self._physmem.guest_frames:
+                self._physmem.free_frames([hpfn])
+
+    def break_on_write(self, gpfn: int, hpfn: int, ept: object = None) -> Optional[int]:
+        """CoW write barrier: called before a write through ``gpfn``/``hpfn``.
+
+        When the write arrives through an EPT with a view installed, that
+        view materializes a private copy and the returned replacement
+        hpfn receives the write.  When the write targets the *original*
+        guest frame (``hpfn == gpfn``, e.g. a rootkit patching resident
+        kernel text through the identity mapping), every view still
+        sharing that frame snapshots it first, and ``None`` is returned
+        so the write proceeds to the original.
+        """
+        owners = self._owners.get(gpfn)
+        if not owners:
+            return None
+        redirect = None
+        if ept is not None:
+            for view in list(owners):
+                if view.frames.get(gpfn) == hpfn and ept in view.installed_epts:
+                    redirect = view.materialize_page(gpfn)
+                    break
+        if redirect is None and hpfn == gpfn:
+            for view in list(owners):
+                if view.frames.get(gpfn) == hpfn:
+                    view.materialize_page(gpfn)
+        return redirect
 
 
 class PhysicalMemory:
@@ -31,6 +120,12 @@ class PhysicalMemory:
         self._frames: Dict[int, bytearray] = {}
         self._versions: Dict[int, int] = {}
         self._next_hypervisor_frame = guest_frames
+        #: copy-on-write bookkeeping for deduplicated kernel-view frames
+        self.shared = SharedFrameStore(self)
+        #: frames whose bytes feed the function-boundary prologue memo;
+        #: any write to one bumps ``code_epoch``, invalidating the memo
+        self._watched_code: Set[int] = set()
+        self.code_epoch = 0
 
     # -- frame management ---------------------------------------------------
 
@@ -50,6 +145,12 @@ class PhysicalMemory:
     def bump_version(self, hpfn: int) -> None:
         """Record an external in-place write to ``hpfn``'s bytearray."""
         self._versions[hpfn] = self._versions.get(hpfn, 0) + 1
+        if hpfn in self._watched_code:
+            self.code_epoch += 1
+
+    def watch_code_frames(self, hpfns: Iterable[int]) -> None:
+        """Mark frames whose writes must invalidate the prologue memo."""
+        self._watched_code.update(hpfns)
 
     def allocate_frames(self, count: int) -> List[int]:
         """Allocate ``count`` fresh hypervisor-owned frames."""
@@ -78,9 +179,16 @@ class PhysicalMemory:
     def write(self, hpa: int, data: bytes) -> None:
         """Write ``data`` at host-physical address ``hpa``."""
         pos = 0
+        shared_refs = self.shared.refs
         for hpfn, offset, chunk in self._spans(hpa, len(data)):
+            # CoW barrier: writing an original guest frame that views
+            # still share (hpa == gpa for guest RAM) snapshots it first.
+            if shared_refs and hpfn in shared_refs and hpfn < self.guest_frames:
+                self.shared.break_on_write(hpfn, hpfn)
             self.frame(hpfn)[offset : offset + chunk] = data[pos : pos + chunk]
             self._versions[hpfn] = self._versions.get(hpfn, 0) + 1
+            if hpfn in self._watched_code:
+                self.code_epoch += 1
             pos += chunk
 
     def fill(self, hpa: int, length: int, pattern: bytes) -> None:

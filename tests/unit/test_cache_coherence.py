@@ -1,0 +1,171 @@
+"""Cache-coherence edge cases for the PR's caching layer.
+
+Three invariants the selective-invalidation / CoW machinery must hold:
+
+* a view switch invalidates stale kernel-code translations on *every*
+  vCPU sharing the EPT range, while cached translations for untouched
+  ranges (user pages, kernel stacks) survive;
+* a CoW materialization redirects every installed EPT to a freshly
+  versioned frame, so no vCPU keeps executing stale decoded blocks;
+* ``free()`` of a view returns only private frames -- the canonical UD2
+  frame and adopted originals another view references stay allocated.
+"""
+
+from repro.core.kernel_view import KernelViewConfig
+from repro.core.rangelist import BASE_KERNEL, KernelProfile
+from repro.core.view_manager import ViewBuilder, gva_to_gpa
+from repro.isa.opcodes import UD2_BYTES
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import KERNEL_STACK_BASE, PAGE_SIZE
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+
+def build_view(machine, ranges, app="test", index=0):
+    profile = KernelProfile()
+    for segment, begin, end in ranges:
+        profile.add(segment, begin, end)
+    config = KernelViewConfig(app=app, profile=profile)
+    return ViewBuilder(machine).build(index, config)
+
+
+class TestSelectiveInvalidation:
+    def test_switch_invalidates_code_on_all_vcpus_keeps_other_ranges(self):
+        """Remapping the kernel-code range drops only code translations."""
+        physmem = PhysicalMemory()
+        ept = ExtendedPageTable()
+        pt = GuestPageTable()
+        code_gva, code_gpa = 0xC0100000, 0x100000
+        stack_gva = KERNEL_STACK_BASE
+        stack_gpa = 0x8000000
+        # a user page whose gpfn lives outside the kernel-code level-2
+        # table (gpfns sharing the code page's table are invalidated
+        # together -- that is the chosen epoch granularity)
+        user_gva, user_gpa = 0x08048000, 0x500000
+        for gva, gpa in (
+            (code_gva, code_gpa), (stack_gva, stack_gpa), (user_gva, user_gpa)
+        ):
+            pt.map_page(gva, gpa)
+        # two vCPUs sharing one EPT (the paper's same-app SMP case)
+        mmus = [Mmu(physmem, ept) for _ in range(2)]
+        for mmu in mmus:
+            mmu.set_cr3(pt)
+            assert mmu.translate(code_gva) == code_gpa
+            mmu.translate(stack_gva)
+            mmu.translate(user_gva)
+        hits_before = [mmu._tlb_hits.value for mmu in mmus]
+        # the view switch: re-point the kernel-code entry
+        shadow = physmem.allocate_frames(1)[0]
+        ept.map_frame(code_gpa >> 12, shadow)
+        for i, mmu in enumerate(mmus):
+            # stale code translation dropped on BOTH vCPUs
+            assert mmu.translate(code_gva) == shadow << 12
+            # stack and user translations survived (cache hits)
+            mmu.translate(stack_gva)
+            mmu.translate(user_gva)
+            assert mmu._tlb_hits.value == hits_before[i] + 2
+
+    def test_noop_remap_preserves_all_translations(self):
+        """Re-installing the same frame must not invalidate anything."""
+        physmem = PhysicalMemory()
+        ept = ExtendedPageTable()
+        pt = GuestPageTable()
+        pt.map_page(0x1000, 0x5000)
+        mmu = Mmu(physmem, ept)
+        mmu.set_cr3(pt)
+        ept.map_frame(0x5, 0x99)
+        assert mmu.translate(0x1000) == 0x99000
+        epoch = ept.epoch_cell(0x5)[0]
+        ept.map_frame(0x5, 0x99)  # same-view skip / delta install no-op
+        assert ept.epoch_cell(0x5)[0] == epoch
+        hits = mmu._tlb_hits.value
+        assert mmu.translate(0x1000) == 0x99000
+        assert mmu._tlb_hits.value == hits + 1
+
+
+class TestCowMaterialization:
+    def test_materialization_redirects_installed_epts_fresh_version(
+        self, machine
+    ):
+        image = machine.image
+        start, end = image.function_range("vfs_read")
+        view = build_view(machine, [])
+        other = build_view(machine, [], app="other", index=1)
+        ept = machine.ept
+        view.install(ept)
+        gpfn = gva_to_gpa(start) >> 12
+        canonical = view.frames[gpfn]
+        assert ept.translate_frame(gpfn) == canonical
+        epoch = ept.epoch_cell(gpfn)[0]
+        # recover a partial function into the shared page
+        view.copy_original(start + 8, start + 12)
+        private = view.frames[gpfn]
+        assert private != canonical
+        # the installed EPT was re-pointed and the covering epoch bumped,
+        # so every vCPU re-translates instead of executing stale blocks
+        assert ept.translate_frame(gpfn) == private
+        assert ept.epoch_cell(gpfn)[0] > epoch
+        # the private frame's bytes were written through physmem, giving
+        # it a non-zero version (fresh hpfn + fresh version => no decode
+        # cache key can alias a previously executed block)
+        assert machine.physmem.version(private) > 0
+        # the other view still shares the untouched canonical frame
+        assert other.frames[gpfn] == canonical
+        assert bytes(machine.physmem.frame(canonical)) == UD2_BYTES * (
+            PAGE_SIZE // 2
+        )
+
+    def test_write_to_shared_original_snapshots_sharing_views(self, machine):
+        """A rootkit patching resident kernel text must not leak into
+        views that adopted the original frame (build-time content wins)."""
+        image = machine.image
+        # profile the whole base kernel: interior pages load whole and
+        # adopt the original guest frames instead of copying
+        view = build_view(
+            machine, [(BASE_KERNEL, image.text_start, image.text_end)]
+        )
+        adopted = [
+            gpfn for gpfn, hpfn in view.frames.items() if hpfn == gpfn
+        ]
+        assert adopted, "whole-page loads should adopt original frames"
+        gpfn = adopted[0]
+        before = bytes(machine.physmem.frame(gpfn))
+        machine.physmem.write(gpfn << 12, b"\xcc\xcc\xcc\xcc")
+        # the view broke out a private snapshot of the pre-write bytes
+        assert view.frames[gpfn] != gpfn
+        assert bytes(machine.physmem.frame(view.frames[gpfn])) == before
+        assert machine.physmem.frame(gpfn)[:4] == b"\xcc\xcc\xcc\xcc"
+
+
+class TestSharedFrameLifetime:
+    def test_free_keeps_frames_other_views_reference(self, machine):
+        view = build_view(machine, [])
+        other = build_view(machine, [], app="other", index=1)
+        canonical = machine.physmem.shared.canonical_ud2_frame(UD2_BYTES)
+        assert canonical in set(view.frames.values())
+        refs = machine.physmem.shared.refcount(canonical)
+        view.free()
+        # the canonical frame lost exactly this view's references and is
+        # still alive and all-UD2 for the surviving view
+        assert machine.physmem.shared.refcount(canonical) < refs
+        assert machine.physmem.shared.refcount(canonical) > 0
+        gpfn = next(iter(other.frames))
+        assert other.frames[gpfn] == canonical
+        assert bytes(machine.physmem.frame(canonical)) == UD2_BYTES * (
+            PAGE_SIZE // 2
+        )
+
+    def test_free_never_releases_original_guest_frames(self, machine):
+        image = machine.image
+        view = build_view(
+            machine, [(BASE_KERNEL, image.text_start, image.text_end)]
+        )
+        adopted = [
+            gpfn for gpfn, hpfn in view.frames.items() if hpfn == gpfn
+        ]
+        assert adopted
+        original = bytes(machine.physmem.frame(adopted[0]))
+        view.free()
+        # the guest's own code page is untouched by the unload
+        assert bytes(machine.physmem.frame(adopted[0])) == original

@@ -116,10 +116,28 @@ class TestKernelView:
         view.copy_original(start, end)
         assert view.loaded_bytes == before + (end - start)
 
-    def test_free_releases_frames(self, machine):
-        view = build_view(machine, [])
+    def test_free_releases_private_frames_only(self, machine):
+        image = machine.image
+        start, end = image.function_range("vfs_read")
+        # a partial-function load forces at least one private CoW frame
+        view = build_view(machine, [(BASE_KERNEL, start + 8, start + 12)])
+        private = [
+            hpfn
+            for gpfn, hpfn in view.frames.items()
+            if hpfn != gpfn and not machine.physmem.shared.is_shared(hpfn)
+        ]
+        assert private, "partial load should have materialized a frame"
         count = machine.physmem.allocated_frame_count()
-        frames = len(view.frames)
         view.free()
-        assert machine.physmem.allocated_frame_count() == count - frames
+        # exactly the private frames are returned; the shared canonical
+        # UD2 frame and adopted originals stay allocated
+        assert machine.physmem.allocated_frame_count() == count - len(private)
         assert view.frames == {}
+
+    def test_fresh_view_allocates_one_shared_frame(self, machine):
+        count = machine.physmem.allocated_frame_count()
+        view = build_view(machine, [])
+        canonical = machine.physmem.shared.canonical_ud2_frame(UD2_BYTES)
+        # CoW build: every unprofiled page maps to the canonical frame
+        assert machine.physmem.allocated_frame_count() <= count + 1
+        assert all(hpfn == canonical for hpfn in view.frames.values())
