@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Record fleet throughput results (``BENCH_fleet.json``).
+
+Measures the same job suite two ways:
+
+* **baseline (1 worker, status quo)** -- one fresh subprocess per job,
+  exactly what the repro did before the fleet subsystem existed: cold
+  interpreter, cold boot, profile the application, record its benign
+  baseline, then run the job (``repro.fleet.jobs.run_job_cold``);
+* **fleet (4 workers)** -- one parent boots once, captures a
+  copy-on-write :class:`MachineSnapshot`, loads every profile from the
+  persistent library (populated once, timed separately as the
+  amortized offline phase), then schedules all jobs across the worker
+  pool, each on a forked clone.
+
+Two hard gates:
+
+* fleet throughput must be **>= 3x** the baseline's (jobs per
+  wall-clock second over the suite);
+* every per-guest virtual-cycle score ``(cycles, syscalls)`` from the
+  fleet must be **bit-identical** to the solo subprocess run of the
+  same job -- forking and scheduling may change wall-clock, never
+  guest-visible behaviour.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_fleet_throughput.py
+
+``REPRO_BENCH_SCALE`` (default 2) sets the workload scale;
+``REPRO_FLEET_WORKERS`` (default 4) the fleet worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Required fleet-over-baseline throughput ratio.
+MIN_SPEEDUP = 3.0
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+_COLD_SNIPPET = (
+    "import json, sys\n"
+    "from repro.fleet.jobs import run_job_cold\n"
+    "print(json.dumps(run_job_cold(json.loads(sys.argv[1]), int(sys.argv[2]))))\n"
+)
+
+
+def _bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "2"))
+
+
+def _workers() -> int:
+    return int(os.environ.get("REPRO_FLEET_WORKERS", "4"))
+
+
+def _job_suite(scale: int) -> dict:
+    """The benchmark fleet spec: a mixed clean + infected job suite."""
+    jobs = []
+    for app in ("top", "gzip", "bash", "tcpdump"):
+        jobs.append({"app": app, "scale": scale})
+        jobs.append({"app": app, "scale": scale})
+    jobs.append({"app": "top", "scale": scale, "attack": "Injectso"})
+    return {"name": "throughput", "workers": _workers(), "jobs": jobs}
+
+
+def _run_baseline(spec) -> dict:
+    """One fresh subprocess per job: the pre-fleet status quo."""
+    env = dict(os.environ)
+    src = str(_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    results = {}
+    started = time.monotonic()
+    for job in spec.jobs:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _COLD_SNIPPET,
+                json.dumps(job.to_dict()),
+                str(spec.seed),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"baseline subprocess for {job.name} failed:\n{proc.stderr}"
+            )
+        results[job.name] = json.loads(proc.stdout.strip().splitlines()[-1])
+    wall = time.monotonic() - started
+    return {"wall_seconds": wall, "results": results}
+
+
+def main() -> int:
+    from repro.fleet import ProfileLibrary, run_fleet
+    from repro.fleet.jobs import prepare_offline_phase
+    from repro.fleet.spec import FleetSpec
+
+    scale = _bench_scale()
+    spec = FleetSpec.from_dict(_job_suite(scale))
+    print(f"suite: {len(spec.jobs)} jobs, scale {scale}, "
+          f"{spec.workers} fleet workers")
+
+    print("baseline: one fresh subprocess per job (cold boot + profile)...")
+    baseline = _run_baseline(spec)
+    base_tp = len(spec.jobs) / baseline["wall_seconds"]
+    print(f"  {baseline['wall_seconds']:.2f}s "
+          f"({base_tp:.2f} jobs/s)")
+
+    with tempfile.TemporaryDirectory(prefix="fleet-lib-") as libdir:
+        library = ProfileLibrary(libdir)
+        t0 = time.monotonic()
+        prepare_offline_phase(library, spec.apps(), scale=scale)
+        offline_seconds = time.monotonic() - t0
+        print(f"offline phase (once per app, persisted): {offline_seconds:.2f}s")
+
+        print(f"fleet: snapshot + {spec.workers}-worker pool...")
+        report = run_fleet(spec, library)
+    fleet_tp = report.completed / report.wall_seconds
+    print(f"  {report.wall_seconds:.2f}s ({fleet_tp:.2f} jobs/s, "
+          f"mode={report.mode}, {report.forked} forks, "
+          f"{report.base_frames} shared base frames)")
+
+    status = 0
+    mismatches = []
+    per_job = {}
+    for row in report.results:
+        solo = baseline["results"].get(row["name"])
+        fleet_score = (row["cycles"], row["syscalls"])
+        solo_score = (solo["cycles"], solo["syscalls"]) if solo else None
+        per_job[row["name"]] = {
+            "ok": row["ok"],
+            "fleet": list(fleet_score),
+            "solo": list(solo_score) if solo_score else None,
+            "identical": fleet_score == solo_score,
+        }
+        if not row["ok"]:
+            mismatches.append(f"{row['name']}: job failed: {row['error']}")
+        elif fleet_score != solo_score:
+            mismatches.append(
+                f"{row['name']}: fleet {fleet_score} != solo {solo_score}"
+            )
+    if mismatches:
+        print("VIRTUAL-CYCLE SCORE DRIFT (fleet changed guest behaviour):")
+        for line in mismatches:
+            print(f"  {line}")
+        status = 1
+
+    speedup = fleet_tp / base_tp if base_tp else 0.0
+    print(f"throughput: {fleet_tp:.2f} vs {base_tp:.2f} jobs/s "
+          f"= {speedup:.2f}x (required >= {MIN_SPEEDUP}x)")
+    if speedup < MIN_SPEEDUP:
+        print(f"speedup {speedup:.2f}x below required {MIN_SPEEDUP}x")
+        status = 1
+
+    out = {
+        "scale": scale,
+        "jobs": len(spec.jobs),
+        "workers": spec.workers,
+        "baseline": {
+            "wall_seconds": round(baseline["wall_seconds"], 2),
+            "throughput_jobs_per_s": round(base_tp, 3),
+        },
+        "offline_phase_seconds": round(offline_seconds, 2),
+        "fleet": {
+            "wall_seconds": round(report.wall_seconds, 2),
+            "throughput_jobs_per_s": round(fleet_tp, 3),
+            "mode": report.mode,
+            "completed": report.completed,
+            "failed": report.failed,
+            "forked": report.forked,
+            "base_frames": report.base_frames,
+        },
+        "speedup": round(speedup, 2),
+        "scores_identical": not mismatches,
+        "per_job": per_job,
+        "note": (
+            "Baseline = the pre-fleet status quo: one fresh subprocess per "
+            "job (cold interpreter + boot + profile + benign baseline + "
+            "run).  Fleet = boot once, snapshot, fork CoW clones across "
+            "the worker pool, profiles loaded from the persistent library "
+            "(offline phase timed separately; it runs once per app, ever). "
+            "Scores are (virtual cycles, syscalls executed) and must be "
+            "bit-identical between a fleet clone and the solo run."
+        ),
+    }
+    path = _ROOT / "BENCH_fleet.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,10 +70,16 @@ def launch(
     workload: Workload,
     scale: int = 10,
     env: Optional[Env] = None,
+    seed: Optional[int] = None,
 ) -> WorkloadHandle:
-    """Spawn an application workload on a booted machine."""
+    """Spawn an application workload on a booted machine.
+
+    ``seed`` pins the workload RNG (ignored when an explicit ``env`` is
+    supplied); two launches with the same seed on identical machines
+    replay bit-identically.
+    """
     if env is None:
-        env = Env(machine)
+        env = Env(machine) if seed is None else Env(machine, seed=seed)
     factory = workload(env, scale)
     task = machine.spawn(comm, factory)
     return WorkloadHandle(task=task, machine=machine)

@@ -248,12 +248,15 @@ def run_unixbench(
     views: int = 0,
     configs: Optional[Dict[str, KernelViewConfig]] = None,
     label: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> UnixBenchResult:
     """Run the full suite on a fresh machine.
 
     ``views=0`` runs the FACE-CHANGE-off baseline.  ``views=k`` enables
     FACE-CHANGE, loads the first ``k`` Table I views and keeps their
     applications resident during the measurement (the paper's step 3).
+    ``seed`` pins the resident applications' workload RNG for replayable
+    runs.
     """
     machine = boot_machine(platform=Platform.KVM)
     resident = []
@@ -262,7 +265,7 @@ def run_unixbench(
             raise ValueError("configs required when loading views")
         fc = FaceChange(machine)
         fc.enable()
-        env = Env(machine)
+        env = Env(machine) if seed is None else Env(machine, seed=seed)
         for comm in RESIDENT_APPS[:views]:
             fc.load_view(configs[comm], comm=comm)
             factory = _resident_idle(comm)(env, 1)

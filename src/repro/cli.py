@@ -7,19 +7,47 @@ Usage::
     python -m repro.cli unixbench --views 3   # one Figure 6 point
     python -m repro.cli httperf               # Figure 7 sweep
     python -m repro.cli profile top -o top.view.json
+    python -m repro.cli profile top --library fleet-lib
     python -m repro.cli trace top             # telemetry event timeline
+    python -m repro.cli fleet --apps top gzip --workers 2
+
+Every command returns a non-zero exit code on failure (unknown
+application, unreadable profile, failed run) so scripts and CI can gate
+on ``repro.cli`` invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+
+def _fail(message: str) -> int:
+    """Report a command failure on stderr; exit code for the caller."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _unknown_apps(names: List[str]) -> Optional[str]:
+    from repro.apps.catalog import APP_CATALOG
+
+    unknown = [name for name in names if name not in APP_CATALOG]
+    if unknown:
+        return (
+            f"unknown application(s): {', '.join(unknown)} "
+            f"(choose from: {', '.join(sorted(APP_CATALOG))})"
+        )
+    return None
 
 
 def _cmd_similarity(args: argparse.Namespace) -> int:
     from repro.analysis.similarity import SimilarityMatrix, profile_applications
 
+    problem = _unknown_apps(args.apps or [])
+    if problem:
+        return _fail(problem)
     print(f"profiling {len(args.apps) if args.apps else 12} applications "
           f"(scale {args.scale})...")
     configs = profile_applications(apps=args.apps or None, scale=args.scale)
@@ -37,11 +65,16 @@ def _cmd_security(args: argparse.Namespace) -> int:
     from repro.analysis.similarity import profile_applications
     from repro.malware import ALL_ATTACKS
 
-    configs = profile_applications(scale=args.scale)
     attacks = [
         a for a in ALL_ATTACKS
         if not args.attack or a.name.lower().startswith(args.attack.lower())
     ]
+    if not attacks:
+        return _fail(
+            f"no malware sample matches {args.attack!r} "
+            f"(choose from: {', '.join(sorted(a.name for a in ALL_ATTACKS))})"
+        )
+    configs = profile_applications(scale=args.scale)
     print(f"{'Name':<14}{'Host':<9}{'FACE-CHANGE':<13}{'Union view':<12}Evidence")
     per_app = union = 0
     for attack in attacks:
@@ -90,11 +123,28 @@ def _cmd_httperf(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.analysis.similarity import profile_applications
+    problem = _unknown_apps([args.app])
+    if problem:
+        return _fail(problem)
+    if args.library:
+        from repro.fleet import ProfileLibrary, prepare_offline_phase
 
-    config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
-    print(f"{args.app}: kernel view {config.size / 1024:.0f} KB, "
-          f"{len(config.profile)} ranges")
+        library = ProfileLibrary(args.library)
+        records = prepare_offline_phase(
+            library, [args.app], scale=args.scale, force=args.force
+        )
+        record = records[args.app]
+        config = record.config
+        print(f"{args.app}: kernel view {config.size / 1024:.0f} KB, "
+              f"{len(config.profile)} ranges, "
+              f"{len(record.baseline)} benign baseline recoveries")
+        print(f"stored in library {args.library} as {record.digest[:12]}...")
+    else:
+        from repro.analysis.similarity import profile_applications
+
+        config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
+        print(f"{args.app}: kernel view {config.size / 1024:.0f} KB, "
+              f"{len(config.profile)} ranges")
     if args.output:
         config.save(args.output)
         print(f"saved to {args.output}")
@@ -104,7 +154,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.core.kernel_view import KernelViewConfig
 
-    config = KernelViewConfig.load(args.path)
+    try:
+        config = KernelViewConfig.load(args.path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        return _fail(f"unreadable view configuration {args.path}: {exc}")
     print(f"app:   {config.app}")
     if config.notes:
         print(f"notes: {config.notes}")
@@ -124,10 +177,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.kernel.runtime import Platform
     from repro.telemetry import to_json
 
-    if args.app not in APP_CATALOG:
-        print(f"unknown application {args.app!r} "
-              f"(choose from: {', '.join(APP_CATALOG)})")
-        return 1
+    problem = _unknown_apps([args.app])
+    if problem:
+        return _fail(problem)
     print(f"profiling {args.app} (scale {args.scale})...")
     config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
     machine = boot_machine(platform=Platform.KVM)
@@ -140,8 +192,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"running {args.app} under its kernel view (tracing on)...")
     handle = launch(machine, args.app, APP_CATALOG[args.app], scale=args.scale)
     handle.run_to_completion(max_cycles=200_000_000_000)
-    if not handle.finished:
-        print("warning: workload did not finish within the cycle budget")
+    failed = not handle.finished
+    if failed:
+        print("error: workload did not finish within the cycle budget",
+              file=sys.stderr)
     print()
     app_filter = args.app if args.app_only else None
     print(format_trace_report(
@@ -151,6 +205,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             fh.write(to_json(machine.telemetry))
         print(f"\nwrote telemetry snapshot to {args.output}")
+    return 1 if failed else 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a declarative fleet of snapshot-forked guests."""
+    from repro.fleet import (
+        FleetSpec,
+        FleetSpecError,
+        ProfileLibrary,
+        ProfileLibraryError,
+        prepare_offline_phase,
+        run_fleet,
+    )
+    from repro.fleet.spec import uniform_spec
+
+    try:
+        if args.spec:
+            spec = FleetSpec.load(args.spec)
+        elif args.apps:
+            problem = _unknown_apps(args.apps)
+            if problem:
+                return _fail(problem)
+            spec = uniform_spec(
+                args.apps,
+                scale=args.scale,
+                workers=args.workers or 2,
+                repeat=args.repeat,
+            )
+        else:
+            return _fail("provide a spec file or --apps (see --help)")
+    except FleetSpecError as exc:
+        return _fail(str(exc))
+    if args.workers:
+        spec.workers = args.workers
+
+    library = ProfileLibrary(args.library)
+    try:
+        if args.no_offline:
+            missing = [app for app in spec.apps() if not library.has(app)]
+            if missing:
+                return _fail(
+                    f"library {args.library} has no profile for: "
+                    f"{', '.join(missing)} (run without --no-offline, or "
+                    f"'repro.cli profile <app> --library {args.library}')"
+                )
+        else:
+            prepare_offline_phase(library, spec.apps(), scale=args.scale)
+        report = run_fleet(
+            spec,
+            library,
+            use_processes=False if args.threads else None,
+        )
+    except ProfileLibraryError as exc:
+        return _fail(str(exc))
+    print(report.format_summary())
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote fleet report to {args.output}")
+    if report.failed:
+        print(f"error: {report.failed} job(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -196,6 +312,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("profile", help="profile one application")
     p.add_argument("app")
     p.add_argument("-o", "--output", help="save the view configuration JSON")
+    p.add_argument(
+        "--library",
+        help="store the profile (plus benign baseline) in this fleet "
+        "profile library instead of a bare JSON file",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-profile even if the library already has this app",
+    )
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -218,6 +344,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="only show events attributable to the traced application",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "fleet", help="run a fleet of snapshot-forked guests"
+    )
+    p.add_argument(
+        "spec", nargs="?", help="fleet spec JSON file (see repro.fleet.spec)"
+    )
+    p.add_argument(
+        "--apps", nargs="+", help="quick spec: one job per app (no spec file)"
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1, help="jobs per app with --apps"
+    )
+    p.add_argument("--workers", type=int, help="worker count (overrides spec)")
+    p.add_argument(
+        "--library",
+        default=".fleet-library",
+        help="profile library directory (default .fleet-library)",
+    )
+    p.add_argument(
+        "--no-offline",
+        action="store_true",
+        help="fail instead of profiling when the library lacks an app",
+    )
+    p.add_argument(
+        "--threads",
+        action="store_true",
+        help="use the in-process thread pool instead of worker processes",
+    )
+    p.add_argument("-o", "--output", help="write the fleet report JSON")
+    p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser(
         "report", help="run the full evaluation, emit a markdown report"

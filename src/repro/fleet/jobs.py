@@ -1,0 +1,238 @@
+"""Fleet job execution: the offline phase and the per-clone online phase.
+
+:func:`prepare_offline_phase` runs FACE-CHANGE's offline workflow once
+per application -- profile the workload, then run the *clean* workload
+under its own view to record the benign-recovery reference (paper
+§III-B3) -- and persists both into a :class:`ProfileLibrary`.  Every
+fleet run afterwards is pure online phase: :func:`execute_job` takes a
+freshly forked clone, loads the library profile (zero re-profiling),
+launches the job's workload (optionally malware-infected) with its
+deterministic seed, and returns scores + telemetry.
+
+Because clones are bit-identical to freshly booted machines and seeds
+are derived deterministically, a job's virtual-cycle score is the same
+whether it ran in a fleet worker or alone on a dedicated machine --
+``benchmarks/record_fleet_throughput.py`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.apps.base import launch
+from repro.apps.catalog import APP_CATALOG
+from repro.core.facechange import FaceChange
+from repro.core.profiler import Profiler
+from repro.core.provenance import DEFAULT_BENIGN_RECOVERIES
+from repro.fleet.library import ProfileLibrary, ProfileRecord
+from repro.fleet.spec import DEFAULT_SEED, FleetJob
+from repro.guest.machine import Machine, boot_machine
+from repro.kernel.runtime import Platform
+from repro.telemetry.export import snapshot as telemetry_snapshot
+
+
+@dataclass
+class JobResult:
+    """Outcome of one fleet job on one guest."""
+
+    name: str
+    app: str
+    ok: bool
+    attack: Optional[str] = None
+    seed: int = 0
+    #: absolute virtual clock at job end (bit-identity score, part 1)
+    cycles: int = 0
+    #: kernel syscalls executed since boot (bit-identity score, part 2)
+    syscalls: int = 0
+    #: virtual cycles consumed by the job itself
+    job_cycles: int = 0
+    #: anomalous recoveries after baseline subtraction (attack evidence)
+    evidence: List[str] = field(default_factory=list)
+    #: True when the job carried an attack and evidence surfaced
+    detected: Optional[bool] = None
+    error: str = ""
+    wall_seconds: float = 0.0
+    #: the guest's full telemetry registry snapshot (merge-ready)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def score(self) -> tuple:
+        """The pair that must be bit-identical across fleet/solo runs."""
+        return (self.cycles, self.syscalls)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "app": self.app,
+            "attack": self.attack,
+            "ok": self.ok,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "syscalls": self.syscalls,
+            "job_cycles": self.job_cycles,
+            "evidence": self.evidence,
+            "detected": self.detected,
+            "error": self.error,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def execute_job(
+    machine: Machine,
+    job: FleetJob,
+    record: ProfileRecord,
+    base_seed: int = DEFAULT_SEED,
+) -> JobResult:
+    """Run one fleet job on ``machine`` (a fresh boot or a fork).
+
+    Attaches FACE-CHANGE, loads the library profile, launches the
+    (possibly infected) workload with the job's derived seed, runs to
+    completion within the job's cycle budget, and reports scores,
+    attack evidence and the guest's telemetry snapshot.
+    """
+    assert machine.runtime is not None
+    seed = job.effective_seed(base_seed)
+    started = time.perf_counter()
+    start_cycles = machine.cycles
+
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(record.config, comm=job.app)
+
+    if job.attack is not None:
+        from repro.malware import ALL_ATTACKS
+
+        attack = next(a for a in ALL_ATTACKS if a.name == job.attack)
+        handle = attack.launch(machine, scale=job.scale, seed=seed)
+    else:
+        handle = launch(
+            machine, job.app, APP_CATALOG[job.app], scale=job.scale, seed=seed
+        )
+    machine.run(
+        until=lambda: handle.finished,
+        max_cycles=start_cycles + job.max_cycles,
+        step_budget=50_000,
+    )
+
+    benign = set(record.baseline) | set(DEFAULT_BENIGN_RECOVERIES)
+    events = fc.log.anomalous(benign=tuple(benign))
+    evidence = sorted({e.function_name for e in events})
+    unknown = any(e.has_unknown_frames for e in fc.log.events)
+
+    result = JobResult(
+        name=job.name or job.identity(),
+        app=job.app,
+        attack=job.attack,
+        ok=handle.finished,
+        seed=seed,
+        cycles=machine.cycles,
+        syscalls=machine.runtime.syscalls_executed,
+        job_cycles=machine.cycles - start_cycles,
+        evidence=evidence,
+        detected=(bool(evidence) or unknown) if job.attack else None,
+        error="" if handle.finished else "cycle budget exhausted before workload finished",
+        wall_seconds=time.perf_counter() - started,
+        telemetry=telemetry_snapshot(machine.telemetry, events=True),
+    )
+    return result
+
+
+def run_job_on_fresh_machine(
+    job: FleetJob,
+    record: ProfileRecord,
+    base_seed: int = DEFAULT_SEED,
+) -> JobResult:
+    """Boot a dedicated machine and run ``job`` on it (no forking).
+
+    The solo reference path: the benchmark compares its scores against
+    fleet clones' to prove bit-identity.
+    """
+    machine = boot_machine(platform=Platform.KVM)
+    return execute_job(machine, job, record, base_seed=base_seed)
+
+
+def profile_app_offline(
+    app: str, scale: int = 4, max_cycles: int = 40_000_000_000
+) -> ProfileRecord:
+    """One application's complete offline phase, in memory.
+
+    1. a profiling session (QEMU platform, like the paper's) yields the
+       kernel-view configuration;
+    2. a *clean* run of the same workload under its new view records
+       the benign-recovery reference (paper §III-B3).
+    """
+    if app not in APP_CATALOG:
+        raise KeyError(
+            f"unknown application {app!r} "
+            f"(available: {', '.join(sorted(APP_CATALOG))})"
+        )
+    machine = boot_machine(platform=Platform.QEMU)
+    profiler = Profiler(machine)
+    profiler.track(app)
+    profiler.install()
+    handle = launch(machine, app, APP_CATALOG[app], scale=scale)
+    handle.run_to_completion(max_cycles=max_cycles)
+    if not handle.finished:
+        raise RuntimeError(f"profiling workload for {app!r} did not finish")
+    config = profiler.export(app)
+    clean = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(clean)
+    fc.enable()
+    fc.load_view(config, comm=app)
+    clean_handle = launch(clean, app, APP_CATALOG[app], scale=scale)
+    clean.run(
+        until=lambda: clean_handle.finished,
+        max_cycles=max_cycles,
+        step_budget=50_000,
+    )
+    baseline = sorted({e.function_name for e in fc.log.events})
+    return ProfileRecord(
+        config=config,
+        baseline=baseline,
+        meta={"scale": scale, "max_cycles": max_cycles},
+    )
+
+
+def prepare_offline_phase(
+    library: ProfileLibrary,
+    apps: List[str],
+    scale: int = 4,
+    max_cycles: int = 40_000_000_000,
+    force: bool = False,
+) -> Dict[str, ProfileRecord]:
+    """Profile ``apps`` and persist records (profile + benign baseline).
+
+    Applications already in the library are reused unless ``force``;
+    the whole point is that this phase runs once per application, ever.
+    """
+    records: Dict[str, ProfileRecord] = {}
+    for app in apps:
+        if not force and library.has(app):
+            records[app] = library.get(app)
+            continue
+        record = profile_app_offline(app, scale=scale, max_cycles=max_cycles)
+        records[app] = library.put(
+            record.config, baseline=record.baseline, meta=record.meta
+        )
+    return records
+
+
+def run_job_cold(
+    job_data: Dict[str, Any], base_seed: int = DEFAULT_SEED
+) -> Dict[str, Any]:
+    """The pre-fleet status quo, end to end in the calling process.
+
+    Profile the application, record its benign baseline, boot a
+    dedicated machine and run the job -- everything the repro used to
+    redo for every single run.  The throughput benchmark executes this
+    in one fresh subprocess per job (cold interpreter, cold caches) as
+    its 1-worker baseline, and uses the returned scores as the solo
+    reference for the fleet's bit-identity check.
+    """
+    job = FleetJob(**job_data)
+    record = profile_app_offline(job.app, scale=job.scale)
+    result = run_job_on_fresh_machine(job, record, base_seed=base_seed)
+    data = result.to_dict()
+    return data

@@ -1,0 +1,274 @@
+"""Fleet runner: a work-queue scheduler over snapshot-forked guests.
+
+The parent process boots **one** machine, captures a
+:class:`~repro.fleet.snapshot.MachineSnapshot`, and loads every needed
+profile from the library.  Only then does it create the worker pool --
+on POSIX the pool uses the ``fork`` start method, so workers inherit
+the snapshot, the warm assembler caches and the loaded profile records
+through the copied address space with **zero pickling and zero
+re-boots**.  Each job then costs a worker one in-memory CoW fork plus
+the workload itself.
+
+Isolation properties:
+
+* a job that raises inside a worker returns a failure
+  :class:`JobResult` -- it cannot take the fleet down;
+* each job has a wall-clock timeout; a stuck guest marks its job
+  failed and the fleet carries on;
+* guests never share mutable state -- every clone has private frames
+  (CoW) and a private telemetry registry, merged only after the fact.
+
+Platforms without ``fork`` (or ``workers=1``) degrade gracefully to an
+in-process threaded pool / serial loop with identical semantics --
+results are bit-identical in every mode by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.fleet.jobs import JobResult, execute_job
+from repro.fleet.library import ProfileLibrary, ProfileRecord
+from repro.fleet.snapshot import MachineSnapshot
+from repro.fleet.spec import FleetJob, FleetSpec
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+from repro.telemetry.merge import merge_snapshots
+
+#: Worker state inherited through ``fork`` (or shared with threads).
+#: Populated in the parent *before* the pool exists; never pickled.
+_WORKER: Dict[str, Any] = {}
+
+
+def _configure_workers(
+    snapshot: MachineSnapshot,
+    records: Dict[str, ProfileRecord],
+    base_seed: int,
+) -> None:
+    _WORKER["snapshot"] = snapshot
+    _WORKER["records"] = records
+    _WORKER["seed"] = base_seed
+
+
+def _run_job(job_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: fork a clone, run the job, ship the result.
+
+    Takes and returns plain dicts so only small JSON-able payloads
+    cross the process boundary.  Any exception -- a crashed guest, a
+    broken driver -- is converted into a failure result here, inside
+    the worker, so one bad job never poisons the pool.
+    """
+    job = FleetJob(**job_data)
+    try:
+        clone = _WORKER["snapshot"].fork()
+        record = _WORKER["records"][job.app]
+        result = execute_job(clone, job, record, base_seed=_WORKER["seed"])
+    except Exception as exc:  # noqa: BLE001 - crash isolation boundary
+        result = JobResult(
+            name=job.name or job.identity(),
+            app=job.app,
+            attack=job.attack,
+            ok=False,
+            seed=job.effective_seed(_WORKER.get("seed", 0)),
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=4)}",
+        )
+    data = result.to_dict()
+    data["telemetry"] = result.telemetry
+    return data
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced, merge included."""
+
+    spec_name: str
+    workers: int
+    mode: str
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    forked: int = 0
+    base_frames: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r["ok"])
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.completed
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per wall-clock second."""
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        results = []
+        for r in self.results:
+            row = dict(r)
+            row.pop("telemetry", None)
+            results.append(row)
+        return {
+            "spec": self.spec_name,
+            "workers": self.workers,
+            "mode": self.mode,
+            "jobs": len(self.results),
+            "completed": self.completed,
+            "failed": self.failed,
+            "wall_seconds": self.wall_seconds,
+            "throughput_jobs_per_s": self.throughput,
+            "forked": self.forked,
+            "base_frames": self.base_frames,
+            "results": results,
+            "telemetry": self.telemetry,
+        }
+
+    def format_summary(self) -> str:
+        lines = [
+            f"fleet {self.spec_name!r}: {self.completed}/{len(self.results)} "
+            f"jobs completed in {self.wall_seconds:.2f}s "
+            f"({self.throughput:.2f} jobs/s, {self.workers} workers, {self.mode})"
+        ]
+        for r in self.results:
+            status = "ok" if r["ok"] else "FAILED"
+            extra = ""
+            if r.get("detected") is not None:
+                extra = "  detected" if r["detected"] else "  missed"
+            if not r["ok"]:
+                extra = f"  {r['error'].splitlines()[0] if r['error'] else ''}"
+            lines.append(
+                f"  {r['name']:<24} {status:<7} "
+                f"cycles={r['cycles']:<14} syscalls={r['syscalls']:<8}{extra}"
+            )
+        return "\n".join(lines)
+
+
+class FleetRunner:
+    """Schedules a :class:`FleetSpec` across snapshot-forked guests."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        library: ProfileLibrary,
+        snapshot: Optional[MachineSnapshot] = None,
+        use_processes: Optional[bool] = None,
+    ) -> None:
+        self.spec = spec
+        self.library = library
+        self.snapshot = snapshot
+        if use_processes is None:
+            use_processes = (
+                spec.workers > 1
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+        self.use_processes = use_processes
+
+    def _load_records(self) -> Dict[str, ProfileRecord]:
+        """Checksum-validated profile load for every app in the spec."""
+        return {app: self.library.get(app) for app in self.spec.apps()}
+
+    def run(self) -> FleetReport:
+        started = time.perf_counter()
+        records = self._load_records()
+        snapshot = self.snapshot
+        if snapshot is None:
+            snapshot = boot_machine(platform=Platform.KVM).snapshot()
+            self.snapshot = snapshot
+        forked_before = snapshot.fork_count
+        # workers inherit this through fork() / share it with threads
+        _configure_workers(snapshot, records, self.spec.seed)
+        job_dicts = [
+            {
+                "app": job.app,
+                "scale": job.scale,
+                "attack": job.attack,
+                "seed": job.seed,
+                "max_cycles": job.max_cycles,
+                "timeout": job.timeout,
+                "name": job.name,
+            }
+            for job in self.spec.jobs
+        ]
+        if self.spec.workers == 1:
+            mode = "serial"
+            results = [_run_job(d) for d in job_dicts]
+        elif self.use_processes:
+            mode = "processes"
+            results = self._run_pool(
+                multiprocessing.get_context("fork").Pool, job_dicts
+            )
+        else:
+            mode = "threads"
+            from multiprocessing.pool import ThreadPool
+
+            results = self._run_pool(ThreadPool, job_dicts)
+        telemetry = merge_snapshots(
+            [r.get("telemetry", {}) for r in results if r.get("telemetry")],
+            sources=[r["name"] for r in results if r.get("telemetry")],
+        )
+        report = FleetReport(
+            spec_name=self.spec.name,
+            workers=self.spec.workers,
+            mode=mode,
+            results=results,
+            telemetry=telemetry,
+            wall_seconds=time.perf_counter() - started,
+            # under processes the forks happen in worker address spaces;
+            # a job that shipped telemetry necessarily ran on a clone
+            forked=(
+                snapshot.fork_count - forked_before
+                if mode != "processes"
+                else sum(1 for r in results if r.get("telemetry"))
+            ),
+            base_frames=snapshot.frame_count,
+        )
+        return report
+
+    def _run_pool(self, pool_factory, job_dicts: List[Dict[str, Any]]):
+        results: List[Optional[Dict[str, Any]]] = [None] * len(job_dicts)
+        pool = pool_factory(self.spec.workers)
+        try:
+            pending = [
+                (i, d, pool.apply_async(_run_job, (d,)))
+                for i, d in enumerate(job_dicts)
+            ]
+            for i, d, handle in pending:
+                try:
+                    results[i] = handle.get(timeout=d["timeout"])
+                except multiprocessing.TimeoutError:
+                    results[i] = self._failure(d, "TimeoutError: job exceeded wall-clock timeout")
+                except Exception as exc:  # pool breakage / worker death
+                    results[i] = self._failure(d, f"{type(exc).__name__}: {exc}")
+        finally:
+            pool.terminate()
+            pool.join()
+        return [r for r in results if r is not None]
+
+    @staticmethod
+    def _failure(job_data: Dict[str, Any], error: str) -> Dict[str, Any]:
+        job = FleetJob(**job_data)
+        result = JobResult(
+            name=job.name or job.identity(),
+            app=job.app,
+            attack=job.attack,
+            ok=False,
+            error=error,
+        )
+        return result.to_dict()
+
+
+def run_fleet(
+    spec: FleetSpec,
+    library: ProfileLibrary,
+    snapshot: Optional[MachineSnapshot] = None,
+    use_processes: Optional[bool] = None,
+) -> FleetReport:
+    """Convenience wrapper: build a :class:`FleetRunner` and run it."""
+    return FleetRunner(
+        spec, library, snapshot=snapshot, use_processes=use_processes
+    ).run()

@@ -1,0 +1,219 @@
+"""Declarative fleet specification.
+
+A fleet spec names a set of *jobs* -- each an (application, workload
+scale, optional malware injection) triple -- plus fleet-wide execution
+parameters: worker count, per-guest cycle budgets and wall-clock
+timeouts, and the base RNG seed.  Specs are plain dicts (JSON-friendly)
+so they can live in files and ship with benchmark configs::
+
+    {
+      "name": "nightly",
+      "workers": 4,
+      "seed": 20140623,
+      "jobs": [
+        {"app": "top", "scale": 2},
+        {"app": "apache", "scale": 2, "attack": "kbeast"}
+      ]
+    }
+
+Every job gets a **deterministic derived seed**: SHA-256 over the fleet
+base seed and the job's identity.  Python's builtin ``hash()`` is
+process-randomized and must never be used here -- derived seeds have to
+match across the pool workers and any single-machine re-run used to
+check bit-identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Fleet-wide default base seed (the paper's publication date).
+DEFAULT_SEED = 20140623
+#: Default per-guest virtual-cycle budget.
+DEFAULT_MAX_CYCLES = 60_000_000_000
+#: Default per-job wall-clock timeout (seconds) under the process pool.
+DEFAULT_TIMEOUT = 120.0
+
+
+class FleetSpecError(Exception):
+    """Malformed or unsatisfiable fleet specification."""
+
+
+def derive_seed(base: int, identity: str) -> int:
+    """Deterministic 63-bit seed for one job, stable across processes."""
+    digest = hashlib.sha256(f"{base}:{identity}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass
+class FleetJob:
+    """One unit of fleet work: an app workload, optionally infected."""
+
+    app: str
+    scale: int = 2
+    #: malware sample name (repro.malware.ALL_ATTACKS) to inject, or None
+    attack: Optional[str] = None
+    #: explicit seed override; None derives from the fleet base seed
+    seed: Optional[int] = None
+    max_cycles: int = DEFAULT_MAX_CYCLES
+    timeout: float = DEFAULT_TIMEOUT
+    #: unique within the spec; auto-assigned as ``app[+attack]#i``
+    name: str = ""
+
+    def identity(self) -> str:
+        suffix = f"+{self.attack}" if self.attack else ""
+        return f"{self.app}{suffix}"
+
+    def effective_seed(self, base: int) -> int:
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(base, self.name or self.identity())
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "app": self.app,
+            "scale": self.scale,
+            "max_cycles": self.max_cycles,
+            "timeout": self.timeout,
+        }
+        if self.attack:
+            data["attack"] = self.attack
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+
+_JOB_KEYS = {"name", "app", "scale", "attack", "seed", "max_cycles", "timeout"}
+_SPEC_KEYS = {"name", "workers", "seed", "jobs", "scale", "max_cycles", "timeout"}
+
+
+@dataclass
+class FleetSpec:
+    """A complete fleet: jobs plus fleet-wide execution parameters."""
+
+    jobs: List[FleetJob]
+    name: str = "fleet"
+    workers: int = 2
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise FleetSpecError("fleet spec has no jobs")
+        if self.workers < 1:
+            raise FleetSpecError(f"workers must be >= 1, got {self.workers}")
+        counts: Dict[str, int] = {}
+        for job in self.jobs:
+            if not job.name:
+                index = counts.get(job.identity(), 0)
+                counts[job.identity()] = index + 1
+                job.name = f"{job.identity()}#{index}"
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise FleetSpecError(f"duplicate job names: {', '.join(dupes)}")
+
+    def apps(self) -> List[str]:
+        """Distinct applications the fleet needs profiles for, sorted."""
+        return sorted({job.app for job in self.jobs})
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetSpec":
+        from repro.apps.catalog import APP_CATALOG
+        from repro.malware import ALL_ATTACKS
+
+        if not isinstance(data, dict):
+            raise FleetSpecError(f"fleet spec must be an object, got {type(data).__name__}")
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise FleetSpecError(f"unknown spec keys: {', '.join(sorted(unknown))}")
+        raw_jobs = data.get("jobs")
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise FleetSpecError("fleet spec needs a non-empty 'jobs' list")
+        attacks = {attack.name: attack for attack in ALL_ATTACKS}
+        default_scale = int(data.get("scale", 2))
+        default_cycles = int(data.get("max_cycles", DEFAULT_MAX_CYCLES))
+        default_timeout = float(data.get("timeout", DEFAULT_TIMEOUT))
+        jobs: List[FleetJob] = []
+        for i, raw in enumerate(raw_jobs):
+            if not isinstance(raw, dict):
+                raise FleetSpecError(f"job {i} must be an object")
+            unknown = set(raw) - _JOB_KEYS
+            if unknown:
+                raise FleetSpecError(
+                    f"job {i}: unknown keys: {', '.join(sorted(unknown))}"
+                )
+            app = raw.get("app")
+            if app not in APP_CATALOG:
+                raise FleetSpecError(
+                    f"job {i}: unknown application {app!r} "
+                    f"(available: {', '.join(sorted(APP_CATALOG))})"
+                )
+            attack_name = raw.get("attack")
+            if attack_name is not None:
+                attack = attacks.get(attack_name)
+                if attack is None:
+                    raise FleetSpecError(
+                        f"job {i}: unknown malware sample {attack_name!r} "
+                        f"(available: {', '.join(sorted(attacks))})"
+                    )
+                if attack.host_app != app:
+                    raise FleetSpecError(
+                        f"job {i}: {attack_name!r} infects "
+                        f"{attack.host_app!r}, not {app!r}"
+                    )
+            jobs.append(
+                FleetJob(
+                    app=app,
+                    scale=int(raw.get("scale", default_scale)),
+                    attack=attack_name,
+                    seed=raw.get("seed"),
+                    max_cycles=int(raw.get("max_cycles", default_cycles)),
+                    timeout=float(raw.get("timeout", default_timeout)),
+                    name=str(raw.get("name", "")),
+                )
+            )
+        return cls(
+            jobs=jobs,
+            name=str(data.get("name", "fleet")),
+            workers=int(data.get("workers", 2)),
+            seed=int(data.get("seed", DEFAULT_SEED)),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FleetSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise FleetSpecError(f"unreadable fleet spec {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "seed": self.seed,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+
+def uniform_spec(
+    apps: List[str],
+    scale: int = 2,
+    workers: int = 2,
+    repeat: int = 1,
+    seed: int = DEFAULT_SEED,
+    name: str = "fleet",
+) -> FleetSpec:
+    """Convenience: ``repeat`` identical jobs per app, no injections."""
+    jobs = [
+        FleetJob(app=app, scale=scale)
+        for _ in range(repeat)
+        for app in apps
+    ]
+    return FleetSpec(jobs=jobs, name=name, workers=workers, seed=seed)

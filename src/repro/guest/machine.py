@@ -9,7 +9,10 @@ there, ``spawn()`` adds user processes and ``run()`` advances the world.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.snapshot import MachineSnapshot
 
 from repro.hypervisor.kvm import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
@@ -130,6 +133,29 @@ class Machine:
 
     def _install_user_stub(self) -> None:
         self.physmem.write(_USER_STUB_GPA, _USER_STUB)
+
+    # -- snapshot / fork -------------------------------------------------------
+
+    def flush_caches(self) -> None:
+        """Drop every host-side cache holding direct frame references.
+
+        Semantically invisible (they are caches); required before the
+        machine's frames are re-based under a copy-on-write snapshot.
+        """
+        for vcpu in self.vcpus:
+            vcpu.invalidate_translation_caches()
+        self.hypervisor.decode_cache.flush()
+
+    def snapshot(self) -> "MachineSnapshot":
+        """Capture this booted machine for copy-on-write forking.
+
+        Convenience wrapper over
+        :meth:`repro.fleet.snapshot.MachineSnapshot.capture`; the machine
+        must be pristine (booted, no user tasks, no FACE-CHANGE attached).
+        """
+        from repro.fleet.snapshot import MachineSnapshot
+
+        return MachineSnapshot.capture(self)
 
     # -- conveniences ------------------------------------------------------------
 

@@ -310,6 +310,17 @@ class Vcpu:
         self.block_cache.flush()
         self._code_cache = None
 
+    def invalidate_translation_caches(self) -> None:
+        """Drop the stack/code page caches and the MMU's TLB.
+
+        Host-side administrative flush (snapshot capture/fork): these
+        caches hold direct frame bytearray references that must not
+        survive a CoW re-basing of physical memory.
+        """
+        self._stack_cache = None
+        self._code_cache = None
+        self.mmu.invalidate_cache()
+
     # -- block decode ----------------------------------------------------------
 
     def _decode_block(

@@ -67,6 +67,16 @@ class Mmu:
                 registered.value += standalone.value
                 setattr(self, attr, registered)
 
+    def invalidate_cache(self) -> None:
+        """Drop every cached translation (host-side administrative flush).
+
+        Used by snapshot capture/fork: cached entries hold references to
+        physical frame bytearrays, which must not leak across a CoW
+        re-basing.  Unlike organic evictions this is not counted -- it
+        reflects no guest behaviour.
+        """
+        self._cache.clear()
+
     def set_cr3(self, page_table: GuestPageTable) -> None:
         """Switch address space (guest context switch)."""
         if page_table is not self.cr3:

@@ -112,12 +112,32 @@ class SharedFrameStore:
 
 
 class PhysicalMemory:
-    """Sparse physical memory with per-frame version counters."""
+    """Sparse physical memory with per-frame version counters.
 
-    def __init__(self, guest_frames: int = 1 << 18) -> None:
+    ``base_frames`` turns the instance into a copy-on-write overlay over
+    a frozen parent image (``hpfn -> bytes``), which is how
+    :class:`repro.fleet.snapshot.MachineSnapshot` forks guest clones:
+    the base dict is shared (never copied, never mutated) between every
+    clone, reads are served straight from it, and a private mutable
+    frame is materialized only when :meth:`frame` is asked for a
+    writable view of a page.  Snapshots of pristine machines only ever
+    contain guest frames (< ``guest_frames``), so :meth:`free_frames` --
+    which targets hypervisor-owned frames -- never has to tombstone the
+    base layer.
+    """
+
+    def __init__(
+        self,
+        guest_frames: int = 1 << 18,
+        base_frames: Optional[Dict[int, bytes]] = None,
+    ) -> None:
         #: number of hpfns reserved for guest RAM (default 1 GiB)
         self.guest_frames = guest_frames
         self._frames: Dict[int, bytearray] = {}
+        #: frozen copy-on-write parent image (shared between clones)
+        self._base_frames: Dict[int, bytes] = (
+            base_frames if base_frames is not None else {}
+        )
         self._versions: Dict[int, int] = {}
         self._next_hypervisor_frame = guest_frames
         #: copy-on-write bookkeeping for deduplicated kernel-view frames
@@ -130,12 +150,19 @@ class PhysicalMemory:
     # -- frame management ---------------------------------------------------
 
     def frame(self, hpfn: int) -> bytearray:
-        """Return the backing bytearray for ``hpfn``, creating it lazily."""
+        """Return the backing bytearray for ``hpfn``, creating it lazily.
+
+        On a CoW overlay the first writable access to a base frame
+        materializes a private copy; its version is inherited from the
+        snapshot (the copy holds identical bytes, so cached decodes that
+        key on the version stay valid).
+        """
         data = self._frames.get(hpfn)
         if data is None:
-            data = bytearray(PAGE_SIZE)
+            base = self._base_frames.get(hpfn)
+            data = bytearray(base) if base is not None else bytearray(PAGE_SIZE)
             self._frames[hpfn] = data
-            self._versions[hpfn] = 0
+            self._versions.setdefault(hpfn, 0)
         return data
 
     def version(self, hpfn: int) -> int:
@@ -167,13 +194,37 @@ class PhysicalMemory:
     def allocated_frame_count(self) -> int:
         return len(self._frames)
 
+    def freeze_frames(self) -> Dict[int, bytes]:
+        """An immutable image of every resident frame (snapshot base).
+
+        Private (materialized) frames shadow same-numbered base frames,
+        so freezing a CoW overlay yields the overlay's effective view.
+        """
+        merged: Dict[int, bytes] = dict(self._base_frames)
+        for hpfn, data in self._frames.items():
+            merged[hpfn] = bytes(data)
+        return merged
+
+    def base_frame_count(self) -> int:
+        """Number of frames served from the shared CoW parent image."""
+        return len(self._base_frames)
+
     # -- byte access (host-physical addressing) ------------------------------
 
     def read(self, hpa: int, length: int) -> bytes:
         """Read ``length`` bytes starting at host-physical address ``hpa``."""
         out = bytearray()
+        frames = self._frames
+        base = self._base_frames
         for hpfn, offset, chunk in self._spans(hpa, length):
-            out.extend(self.frame(hpfn)[offset : offset + chunk])
+            data = frames.get(hpfn)
+            if data is None and base:
+                # CoW fast path: serve reads from the shared parent image
+                # without materializing a private frame.
+                data = base.get(hpfn)
+            if data is None:
+                data = self.frame(hpfn)
+            out.extend(data[offset : offset + chunk])
         return bytes(out)
 
     def write(self, hpa: int, data: bytes) -> None:

@@ -19,6 +19,7 @@ from repro.telemetry.export import (
     snapshot,
     to_json,
 )
+from repro.telemetry.merge import merge_snapshots
 
 __all__ = [
     "Counter",
@@ -29,6 +30,7 @@ __all__ = [
     "TraceEvent",
     "format_counters",
     "format_timeline",
+    "merge_snapshots",
     "snapshot",
     "to_json",
 ]

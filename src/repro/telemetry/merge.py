@@ -1,0 +1,111 @@
+"""Merge telemetry registry snapshots into one fleet-level view.
+
+Each fleet guest owns a private :class:`~repro.telemetry.core.Telemetry`
+registry; workers ship its :func:`~repro.telemetry.export.snapshot`
+dict (picklable) back to the coordinator, which folds them together:
+
+* counters and labelled counters add;
+* histograms add bucket-wise (buckets are keyed by upper bound, so
+  registries that populated different buckets merge losslessly), with
+  ``count``/``total`` summed, ``min``/``max`` taken across sources and
+  ``mean`` recomputed from the merged sums;
+* trace rings are *sampled*: events are tagged with their source,
+  interleaved, and evenly thinned to ``trace_limit``, with everything
+  thinned (plus each ring's own overflow) accounted in ``dropped``.
+
+The merge is associative and commutative over the numeric instruments:
+merging two registries equals one registry that observed both streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _merge_counters(target: Dict[str, int], source: Dict[str, int]) -> None:
+    for name, value in source.items():
+        target[name] = target.get(name, 0) + value
+
+
+def _merge_labelled(
+    target: Dict[str, Dict[str, int]], source: Dict[str, Dict[str, int]]
+) -> None:
+    for name, values in source.items():
+        slot = target.setdefault(name, {})
+        for label, value in values.items():
+            slot[label] = slot.get(label, 0) + value
+
+
+def _merge_histogram(target: Dict[str, Any], source: Dict[str, Any]) -> None:
+    target["count"] += source["count"]
+    target["total"] += source["total"]
+    for bound in ("min", "max"):
+        ours, theirs = target[bound], source[bound]
+        if theirs is not None and (
+            ours is None or (theirs < ours if bound == "min" else theirs > ours)
+        ):
+            target[bound] = theirs
+    buckets = dict(tuple(pair) for pair in target["buckets"])
+    for upper, count in source["buckets"]:
+        buckets[upper] = buckets.get(upper, 0) + count
+    target["buckets"] = sorted(buckets.items())
+    target["mean"] = target["total"] / target["count"] if target["count"] else 0.0
+
+
+def _copy_histogram(source: Dict[str, Any]) -> Dict[str, Any]:
+    data = dict(source)
+    data["buckets"] = [tuple(pair) for pair in source["buckets"]]
+    return data
+
+
+def _thin(events: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any]]:
+    """Evenly strided sample of ``events`` keeping at most ``limit``."""
+    if limit <= 0 or len(events) <= limit:
+        return events
+    stride = len(events) / limit
+    return [events[int(i * stride)] for i in range(limit)]
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+    sources: Optional[Sequence[str]] = None,
+    trace_limit: int = 512,
+) -> Dict[str, Any]:
+    """Fold registry snapshot dicts into one fleet-level snapshot.
+
+    ``sources`` (parallel to ``snapshots``) tags each sampled trace
+    event with the guest it came from; defaults to ``guest-<i>``.
+    """
+    if sources is not None and len(sources) != len(snapshots):
+        raise ValueError(
+            f"{len(sources)} source names for {len(snapshots)} snapshots"
+        )
+    merged: Dict[str, Any] = {
+        "counters": {},
+        "labelled_counters": {},
+        "histograms": {},
+        "trace": {"dropped": 0, "events": []},
+        "sources": len(snapshots),
+    }
+    events: List[Dict[str, Any]] = []
+    for i, snap in enumerate(snapshots):
+        _merge_counters(merged["counters"], snap.get("counters", {}))
+        _merge_labelled(
+            merged["labelled_counters"], snap.get("labelled_counters", {})
+        )
+        for name, hist in snap.get("histograms", {}).items():
+            if name in merged["histograms"]:
+                _merge_histogram(merged["histograms"][name], hist)
+            else:
+                merged["histograms"][name] = _copy_histogram(hist)
+        trace = snap.get("trace")
+        if trace:
+            merged["trace"]["dropped"] += trace.get("dropped", 0)
+            label = sources[i] if sources is not None else f"guest-{i}"
+            for event in trace.get("events", []):
+                events.append({**event, "source": label})
+    events.sort(key=lambda e: (e.get("cycles", 0), e.get("source", ""), e.get("seq", 0)))
+    kept = _thin(events, trace_limit)
+    merged["trace"]["dropped"] += len(events) - len(kept)
+    merged["trace"]["events"] = kept
+    return merged

@@ -54,10 +54,70 @@ def test_trace_command(tmp_path, capsys):
 
 
 def test_trace_unknown_app(capsys):
-    assert main(["trace", "no-such-app"]) == 1
-    assert "unknown application" in capsys.readouterr().out
+    assert main(["trace", "no-such-app"]) != 0
+    assert "unknown application" in capsys.readouterr().err
 
 
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# failure exit codes (every verb must signal failure to scripts/CI)
+# ---------------------------------------------------------------------------
+
+
+def test_profile_unknown_app_fails(capsys):
+    assert main(["profile", "no-such-app"]) != 0
+    err = capsys.readouterr().err
+    assert "unknown application" in err
+    assert "no-such-app" in err
+
+
+def test_similarity_unknown_app_fails(capsys):
+    assert main(["similarity", "top", "no-such-app"]) != 0
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_security_unknown_attack_fails(capsys):
+    assert main(["security", "--attack", "NoSuchSample"]) != 0
+    assert "no malware sample" in capsys.readouterr().err
+
+
+def test_inspect_missing_file_fails(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "absent.json")]) != 0
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_inspect_malformed_file_fails(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert main(["inspect", str(path)]) != 0
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_fleet_without_spec_or_apps_fails(capsys):
+    assert main(["fleet"]) != 0
+    assert "spec file or --apps" in capsys.readouterr().err
+
+
+def test_fleet_unknown_app_fails(capsys):
+    assert main(["fleet", "--apps", "no-such-app"]) != 0
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_fleet_malformed_spec_fails(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text('{"jobs": []}')
+    assert main(["fleet", str(path)]) != 0
+    assert "non-empty" in capsys.readouterr().err
+
+
+def test_fleet_no_offline_with_empty_library_fails(tmp_path, capsys):
+    lib = tmp_path / "lib"
+    code = main(
+        ["fleet", "--apps", "top", "--library", str(lib), "--no-offline"]
+    )
+    assert code != 0
+    assert "no profile" in capsys.readouterr().err

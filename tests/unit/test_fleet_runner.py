@@ -1,0 +1,164 @@
+"""Fleet spec validation, runner modes, crash isolation, determinism."""
+
+import pytest
+
+from repro.fleet import (
+    FleetSpec,
+    FleetSpecError,
+    ProfileLibrary,
+    prepare_offline_phase,
+    run_fleet,
+)
+from repro.fleet.jobs import execute_job
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import FleetJob, derive_seed, uniform_spec
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_from_dict_assigns_unique_job_names():
+    spec = FleetSpec.from_dict(
+        {"jobs": [{"app": "top"}, {"app": "top"}, {"app": "gzip"}]}
+    )
+    assert [j.name for j in spec.jobs] == ["top#0", "top#1", "gzip#0"]
+
+
+def test_spec_rejects_unknown_app():
+    with pytest.raises(FleetSpecError, match="unknown application"):
+        FleetSpec.from_dict({"jobs": [{"app": "nosuch"}]})
+
+
+def test_spec_rejects_unknown_attack():
+    with pytest.raises(FleetSpecError, match="unknown malware"):
+        FleetSpec.from_dict({"jobs": [{"app": "top", "attack": "nosuch"}]})
+
+
+def test_spec_rejects_attack_host_mismatch():
+    with pytest.raises(FleetSpecError, match="infects"):
+        FleetSpec.from_dict({"jobs": [{"app": "gzip", "attack": "Injectso"}]})
+
+
+def test_spec_rejects_empty_jobs_and_bad_keys():
+    with pytest.raises(FleetSpecError, match="non-empty"):
+        FleetSpec.from_dict({"jobs": []})
+    with pytest.raises(FleetSpecError, match="unknown spec keys"):
+        FleetSpec.from_dict({"jobs": [{"app": "top"}], "bogus": 1})
+    with pytest.raises(FleetSpecError, match="unknown keys"):
+        FleetSpec.from_dict({"jobs": [{"app": "top", "bogus": 1}]})
+
+
+def test_spec_json_round_trip(tmp_path):
+    spec = FleetSpec.from_dict(
+        {"name": "rt", "workers": 3, "seed": 99,
+         "jobs": [{"app": "top", "scale": 5}]}
+    )
+    path = tmp_path / "spec.json"
+    import json
+
+    path.write_text(json.dumps(spec.to_dict()))
+    loaded = FleetSpec.load(path)
+    assert loaded.name == "rt"
+    assert loaded.workers == 3
+    assert loaded.seed == 99
+    assert loaded.jobs[0].scale == 5
+
+
+def test_derived_seeds_are_stable_and_distinct():
+    assert derive_seed(1, "top#0") == derive_seed(1, "top#0")
+    assert derive_seed(1, "top#0") != derive_seed(1, "top#1")
+    assert derive_seed(1, "top#0") != derive_seed(2, "top#0")
+    spec = FleetSpec.from_dict({"jobs": [{"app": "top", "seed": 42}]})
+    assert spec.jobs[0].effective_seed(spec.seed) == 42
+
+
+# ---------------------------------------------------------------------------
+# runner (shared library fixture keeps this fast)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def library(tmp_path_factory):
+    lib = ProfileLibrary(tmp_path_factory.mktemp("fleet-lib"))
+    prepare_offline_phase(lib, ["top", "gzip"], scale=2)
+    return lib
+
+
+def test_serial_and_threaded_runs_agree(library):
+    spec = uniform_spec(["top", "gzip"], scale=2, workers=1)
+    serial = run_fleet(spec, library)
+    spec2 = uniform_spec(["top", "gzip"], scale=2, workers=2)
+    threaded = run_fleet(spec2, library, use_processes=False)
+    assert serial.mode == "serial"
+    assert threaded.mode == "threads"
+    assert serial.failed == threaded.failed == 0
+    serial_scores = {r["name"]: (r["cycles"], r["syscalls"]) for r in serial.results}
+    thread_scores = {r["name"]: (r["cycles"], r["syscalls"]) for r in threaded.results}
+    assert serial_scores == thread_scores
+
+
+def test_same_job_twice_has_identical_telemetry(library):
+    """Fleet-determinism regression: one job run twice, telemetry diffed."""
+    snapshot = boot_machine(platform=Platform.KVM).snapshot()
+    job = FleetJob(app="top", scale=2, name="top#0")
+    record = library.get("top")
+    first = execute_job(snapshot.fork(), job, record)
+    second = execute_job(snapshot.fork(), job, record)
+    assert first.score == second.score
+    assert first.telemetry["counters"] == second.telemetry["counters"]
+    assert first.telemetry["labelled_counters"] == second.telemetry["labelled_counters"]
+    assert first.telemetry["histograms"] == second.telemetry["histograms"]
+
+
+def test_worker_crash_fails_job_not_fleet(library, monkeypatch):
+    import repro.fleet.runner as runner_mod
+
+    real_execute = runner_mod.execute_job
+
+    def exploding(machine, job, record, base_seed=0):
+        if job.app == "gzip":
+            raise RuntimeError("simulated guest crash")
+        return real_execute(machine, job, record, base_seed=base_seed)
+
+    monkeypatch.setattr(runner_mod, "execute_job", exploding)
+    spec = uniform_spec(["top", "gzip"], scale=2, workers=2)
+    report = run_fleet(spec, library, use_processes=False)
+    by_name = {r["name"]: r for r in report.results}
+    assert by_name["top#0"]["ok"]
+    assert not by_name["gzip#0"]["ok"]
+    assert "simulated guest crash" in by_name["gzip#0"]["error"]
+    assert report.failed == 1
+
+
+def test_missing_profile_is_a_library_error(library):
+    from repro.fleet import ProfileLibraryError
+
+    spec = uniform_spec(["bash"], scale=1, workers=1)
+    with pytest.raises(ProfileLibraryError, match="bash"):
+        FleetRunner(spec, library).run()
+
+
+def test_report_merges_fleet_telemetry(library):
+    spec = uniform_spec(["top"], scale=2, workers=1, repeat=2)
+    report = run_fleet(spec, library)
+    single = next(r for r in report.results if r["name"] == "top#0")
+    merged = report.telemetry
+    assert merged["sources"] == 2
+    # two identical guests: merged counters are exactly double
+    for name, value in single["telemetry"]["counters"].items():
+        assert merged["counters"][name] == 2 * value
+    summary = report.format_summary()
+    assert "2/2 jobs completed" in summary
+
+
+def test_exhausted_cycle_budget_fails_job(library):
+    spec = FleetSpec(
+        jobs=[FleetJob(app="top", scale=2, max_cycles=1_000)], workers=1
+    )
+    report = run_fleet(spec, library)
+    assert report.failed == 1
+    assert "budget" in report.results[0]["error"]

@@ -1,0 +1,117 @@
+"""Snapshot/fork: bit-identity with fresh boots and CoW isolation."""
+
+import pytest
+
+from repro.apps.base import launch
+from repro.apps.catalog import APP_CATALOG
+from repro.core.facechange import FaceChange
+from repro.fleet.snapshot import MachineSnapshot, SnapshotError
+from repro.guest.machine import boot_machine
+from repro.kernel.runtime import Platform
+
+
+def _run_top(machine, seed=1234, scale=2):
+    handle = launch(machine, "top", APP_CATALOG["top"], scale=scale, seed=seed)
+    machine.run(
+        until=lambda: handle.finished,
+        max_cycles=machine.cycles + 60_000_000_000,
+        step_budget=50_000,
+    )
+    assert handle.finished
+    return (machine.cycles, machine.runtime.syscalls_executed)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return boot_machine(platform=Platform.KVM).snapshot()
+
+
+def test_clone_matches_fresh_boot_bit_identically(snapshot):
+    clone_score = _run_top(snapshot.fork())
+    fresh_score = _run_top(boot_machine(platform=Platform.KVM))
+    assert clone_score == fresh_score
+
+
+def test_sibling_clones_are_independent_and_identical(snapshot):
+    a, b = snapshot.fork(), snapshot.fork()
+    score_a = _run_top(a)
+    # a has run a full workload; b must be unaffected
+    score_b = _run_top(b)
+    assert score_a == score_b
+    assert a.runtime is not b.runtime
+    assert a.physmem is not b.physmem
+
+
+def test_clone_writes_do_not_reach_base_or_later_forks(snapshot):
+    marker = b"cow-isolation-marker"
+    dirty = snapshot.fork()
+    dirty.physmem.write(0x1000, marker)
+    assert dirty.physmem.read(0x1000, len(marker)) == marker
+    clean = snapshot.fork()
+    assert clean.physmem.read(0x1000, len(marker)) != marker
+
+
+def test_clones_share_base_frames_until_written(snapshot):
+    from repro.memory.layout import PAGE_SIZE
+
+    hpfn = min(snapshot._base_frames)  # a frame the boot image populated
+    addr = hpfn * PAGE_SIZE
+    clone = snapshot.fork()
+    # reading alone must not materialize a private copy of a base frame
+    before = clone.physmem.read(addr, 64)
+    private_before = len(clone.physmem._frames)
+    assert hpfn not in clone.physmem._frames
+    clone.physmem.write(addr, b"x")
+    assert len(clone.physmem._frames) == private_before + 1
+    # the CoW copy starts from the base content, not zeros
+    assert clone.physmem.read(addr, 64) == b"x" + bytes(before[1:])
+
+
+def test_clone_supports_facechange_enforcement(snapshot):
+    from repro.core.profiler import Profiler
+
+    profiling = boot_machine(platform=Platform.QEMU)
+    profiler = Profiler(profiling)
+    profiler.track("top")
+    profiler.install()
+    handle = launch(profiling, "top", APP_CATALOG["top"], scale=2)
+    handle.run_to_completion(max_cycles=60_000_000_000)
+    config = profiler.export("top")
+
+    clone = snapshot.fork()
+    fc = FaceChange(clone)
+    fc.enable()
+    fc.load_view(config, comm="top")
+    score = _run_top(clone)
+    assert score[1] > 0
+    assert fc.stats.view_switches > 0 or fc.stats.context_switch_traps > 0
+
+
+def test_capture_refuses_machine_with_user_tasks():
+    machine = boot_machine(platform=Platform.KVM)
+    launch(machine, "top", APP_CATALOG["top"], scale=1)
+    with pytest.raises(SnapshotError, match="user tasks"):
+        MachineSnapshot.capture(machine)
+
+
+def test_capture_refuses_machine_with_facechange_attached():
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    with pytest.raises(SnapshotError):
+        MachineSnapshot.capture(machine)
+
+
+def test_capture_refuses_unbooted_machine():
+    from repro.guest.machine import Machine
+
+    with pytest.raises(SnapshotError, match="booted"):
+        MachineSnapshot.capture(Machine())
+
+
+def test_source_machine_stays_usable_after_capture():
+    machine = boot_machine(platform=Platform.KVM)
+    snap = machine.snapshot()
+    source_score = _run_top(machine)
+    clone_score = _run_top(snap.fork())
+    assert source_score == clone_score
