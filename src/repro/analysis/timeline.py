@@ -53,9 +53,17 @@ def correlate_recoveries(
     """Match each ``recovery`` trace event to its provenance-log entry.
 
     Both records stamp the faulting vCPU's cycle counter and rip, which
-    uniquely identify a recovery, so the join is exact.  An unmatched
-    event (``None`` partner) indicates the log was cleared or the ring
-    buffer wrapped -- worth surfacing, not hiding.
+    identify a recovery.  An unmatched event (``None`` partner)
+    indicates the log was cleared or the ring buffer wrapped -- worth
+    surfacing, not hiding.
+
+    This is a heuristic join, kept as the fallback for legacy snapshots
+    that predate the span journal (``repro forensics`` uses real parent
+    links when a journal is available).  Tie-breaking rule: when several
+    log entries share one ``(cycles, rip)`` key -- possible when
+    distinct vCPUs fault the same hole at the same virtual cycle -- the
+    **latest log entry wins** (later appends overwrite earlier ones in
+    the key map), and every trace event with that key maps to it.
     """
     by_key: Dict[Tuple[int, int], RecoveryEvent] = {
         (entry.cycles, entry.rip): entry for entry in log

@@ -180,22 +180,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     problem = _unknown_apps([args.app])
     if problem:
         return _fail(problem)
+    attack = None
+    if args.attack:
+        from repro.malware import ALL_ATTACKS
+
+        matches = [
+            a for a in ALL_ATTACKS
+            if a.name.lower().startswith(args.attack.lower())
+        ]
+        if not matches:
+            return _fail(f"no malware sample matches {args.attack!r}")
+        attack = matches[0]
+        if attack.host_app != args.app:
+            return _fail(
+                f"{attack.name} infects {attack.host_app!r}; run: "
+                f"repro.cli trace {attack.host_app} --attack {attack.name}"
+            )
     print(f"profiling {args.app} (scale {args.scale})...")
     config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
     machine = boot_machine(platform=Platform.KVM)
+    if args.journal:
+        meta = {"app": args.app, "scale": args.scale}
+        if attack is not None:
+            meta["attack"] = attack.name
+        machine.start_recording(path=args.journal, meta=meta)
     machine.enable_tracing()
     fc = FaceChange(machine)
     fc.enable()
     fc.load_view(config, comm=args.app)
     from repro.apps.base import launch
 
-    print(f"running {args.app} under its kernel view (tracing on)...")
-    handle = launch(machine, args.app, APP_CATALOG[args.app], scale=args.scale)
-    handle.run_to_completion(max_cycles=200_000_000_000)
-    failed = not handle.finished
-    if failed:
-        print("error: workload did not finish within the cycle budget",
-              file=sys.stderr)
+    failed = False
+    if attack is not None:
+        print(f"running {args.app} infected with {attack.name} "
+              "under its kernel view (tracing on)...")
+        handle = attack.launch(machine, scale=args.scale)
+        machine.run(
+            until=lambda: handle.finished,
+            max_cycles=machine.cycles + 60_000_000_000,
+            step_budget=50_000,
+        )
+    else:
+        print(f"running {args.app} under its kernel view (tracing on)...")
+        handle = launch(
+            machine, args.app, APP_CATALOG[args.app], scale=args.scale
+        )
+        handle.run_to_completion(max_cycles=200_000_000_000)
+        failed = not handle.finished
+        if failed:
+            print("error: workload did not finish within the cycle budget",
+                  file=sys.stderr)
     print()
     app_filter = args.app if args.app_only else None
     print(format_trace_report(
@@ -205,7 +239,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             fh.write(to_json(machine.telemetry))
         print(f"\nwrote telemetry snapshot to {args.output}")
+    if args.journal:
+        machine.stop_recording()
+        print(f"wrote span journal to {args.journal} "
+              f"(render with: repro.cli forensics {args.journal})")
     return 1 if failed else 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Render the attack/recovery narrative from a flight-recorder file."""
+    from repro.obs import render_forensics
+    from repro.telemetry import JournalError
+
+    try:
+        print(render_forensics(args.path))
+    except JournalError as exc:
+        return _fail(str(exc))
+    return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -252,13 +302,52 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 )
         else:
             prepare_offline_phase(library, spec.apps(), scale=args.scale)
+        view = None
+        on_message = None
+        if args.watch:
+            import time as time_mod
+
+            from repro.obs import LiveFleetView
+
+            baselines = {
+                job.name: len(library.get(job.app).baseline)
+                for job in spec.jobs
+                if library.has(job.app)
+            }
+            view = LiveFleetView(baselines=baselines)
+            for job in spec.jobs:
+                view.expect(job.name, app=job.app)
+            watch_started = time_mod.monotonic()
+
+            def on_message(message):
+                now = time_mod.monotonic() - watch_started
+                for notice in view.update(message, now=now):
+                    print(notice, flush=True)
+
         report = run_fleet(
             spec,
             library,
             use_processes=False if args.threads else None,
+            on_message=on_message,
+            heartbeat_interval=args.heartbeat,
+            journal_dir=args.journal_dir,
         )
     except ProfileLibraryError as exc:
         return _fail(str(exc))
+    if view is not None:
+        import time as time_mod
+
+        print()
+        print(view.render(now=time_mod.monotonic() - watch_started))
+        drifting = view.drifting()
+        if drifting:
+            print(
+                f"profile drift detected: {', '.join(drifting)} "
+                "-- re-profile with 'repro.cli profile <app> --library ... --force'"
+            )
+    if report.journal_paths:
+        print(f"wrote {len(report.journal_paths)} job journal(s) to "
+              f"{args.journal_dir}")
     print(report.format_summary())
     if args.output:
         with open(args.output, "w") as fh:
@@ -343,7 +432,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="only show events attributable to the traced application",
     )
+    p.add_argument(
+        "--journal",
+        help="record a forensic span journal (JSONL) to this file",
+    )
+    p.add_argument(
+        "--attack",
+        help="infect the run with this Table II malware sample "
+        "(the app must be the sample's host)",
+    )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "forensics",
+        help="render the causal attack/recovery narrative from a journal",
+    )
+    p.add_argument(
+        "path",
+        help="span journal (repro trace --journal / fleet --journal-dir) "
+        "or legacy telemetry snapshot JSON",
+    )
+    p.set_defaults(fn=_cmd_forensics)
 
     p = sub.add_parser(
         "fleet", help="run a fleet of snapshot-forked guests"
@@ -373,6 +482,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="use the in-process thread pool instead of worker processes",
     )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream live per-job heartbeats, liveness and profile-drift "
+        "notices while the fleet runs",
+    )
+    p.add_argument(
+        "--journal-dir",
+        help="collect each job's span journal into this directory",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.5,
+        help="worker heartbeat interval in seconds (default 0.5)",
+    )
     p.add_argument("-o", "--output", help="write the fleet report JSON")
     p.set_defaults(fn=_cmd_fleet)
 
@@ -383,7 +508,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--sections",
         nargs="*",
-        choices=["table1", "table2", "fig6", "fig7", "caches", "trace"],
+        choices=[
+            "table1", "table2", "fig6", "fig7", "caches", "trace",
+            "observability",
+        ],
         help="subset of sections to run",
     )
     p.set_defaults(fn=_cmd_report)

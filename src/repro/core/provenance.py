@@ -130,3 +130,24 @@ DEFAULT_BENIGN_RECOVERIES: Tuple[str, ...] = (
     "pvclock_clocksource_read",
     "native_read_tsc",
 )
+
+
+def classify_recovery(
+    event: RecoveryEvent,
+    benign: Sequence[str] = DEFAULT_BENIGN_RECOVERIES,
+) -> str:
+    """The provenance verdict for one recovery (paper §IV-A2).
+
+    * ``captured-attack`` -- the backtrace contains UNKNOWN frames:
+      unattributable return addresses, the signature of code injected by
+      a hidden module (Figure 5);
+    * ``benign``          -- interrupt context, or a function the
+      profiling baseline whitelists (§III-B3);
+    * ``anomalous``       -- everything else: not provably malicious,
+      but outside the profiled behavior (the re-profiling trigger).
+    """
+    if event.has_unknown_frames:
+        return "captured-attack"
+    if event.in_interrupt or event.function_name in set(benign):
+        return "benign"
+    return "anomalous"

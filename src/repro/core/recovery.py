@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.core.provenance import BacktraceFrame, RecoveryEvent, RecoveryLog
+from repro.core.provenance import (
+    DEFAULT_BENIGN_RECOVERIES,
+    BacktraceFrame,
+    RecoveryEvent,
+    RecoveryLog,
+    classify_recovery,
+)
 from repro.core.view_manager import KernelView
 from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vmexit import VmExit
@@ -46,6 +52,12 @@ class RecoveryEngine:
         self._instant = self.telemetry.counter("recovery.instant_recoveries")
         self._bytes = self.telemetry.counter("recovery.recovered_bytes")
         self._depth = self.telemetry.histogram("recovery.backtrace_depth")
+        #: per-verdict counts (benign / anomalous / captured-attack),
+        #: always on -- the fleet drift detector reads these live
+        self._verdicts = self.telemetry.labelled_counter("recovery.verdicts")
+        #: benign baseline for verdict classification; fleet jobs point
+        #: this at the ProfileLibrary record's profiled baseline
+        self.benign_reference: Tuple[str, ...] = DEFAULT_BENIGN_RECOVERIES
         #: ablation switch: disabling instant recovery reproduces the
         #: cross-view corruption bug the paper describes (Figure 3)
         self.instant_recovery_enabled = True
@@ -135,6 +147,25 @@ class RecoveryEngine:
 
     def handle(self, vcpu: Vcpu, exit_: VmExit, view: Optional[KernelView]) -> bool:
         """Recover the missing code at ``exit_.rip``; False if unhandled."""
+        tel = self.telemetry
+        if not tel.recording:
+            return self._handle(vcpu, exit_, view, None)
+        span = tel.spans.open(
+            "recovery", cpu=vcpu.cpu_id, cycles=vcpu.cycles, rip=exit_.rip
+        )
+        handled = self._handle(vcpu, exit_, view, span)
+        tel.spans.close(
+            span, cycles=vcpu.cycles, status="ok" if handled else "unhandled"
+        )
+        return handled
+
+    def _handle(
+        self,
+        vcpu: Vcpu,
+        exit_: VmExit,
+        view: Optional[KernelView],
+        span,
+    ) -> bool:
         if view is None or not view.covers(exit_.rip):
             return False
         # confirm the fault really is in a UD2-filled hole of this view
@@ -148,7 +179,21 @@ class RecoveryEngine:
             self._last_fault = (exit_.rip, count + 1)
         else:
             self._last_fault = (exit_.rip, 1)
+        tel = self.telemetry
+        bt_span = None
+        if span is not None:
+            bt_span = tel.spans.open(
+                "backtrace", cpu=vcpu.cpu_id, cycles=vcpu.cycles
+            )
         frames, instant = self.back_trace(vcpu, view)
+        if bt_span is not None:
+            tel.spans.close(
+                bt_span,
+                cycles=vcpu.cycles,
+                depth=len(frames),
+                unknown=sum(1 for f in frames if f.is_unknown),
+                instant=len(instant),
+            )
         recovered = self._recover_function(view, exit_.rip)
         if recovered is None:
             return False
@@ -172,7 +217,21 @@ class RecoveryEngine:
         self._recoveries.value += 1
         self._bytes.value += end - start
         self._depth.observe(len(frames))
-        tel = self.telemetry
+        verdict = classify_recovery(event, benign=self.benign_reference)
+        self._verdicts.inc(verdict)
+        if span is not None:
+            tel.spans.event(
+                span,
+                "provenance",
+                cycles=event.cycles,
+                verdict=verdict,
+                pid=event.pid,
+                comm=event.comm,
+                view_app=event.view_app,
+                in_interrupt=event.in_interrupt,
+                unknown_frames=event.has_unknown_frames,
+            )
+            span.attrs.update(recovered=event.recovered, bytes=end - start)
         if tel.tracing:
             tel.emit(
                 "recovery",

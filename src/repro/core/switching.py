@@ -182,6 +182,15 @@ class ViewSwitcher:
         vcpu = self.machine.vcpus[cpu]
         current = self.views.get(previous)
         target = self.views.get(index)
+        span = None
+        if tel.recording:
+            span = tel.spans.open(
+                "view_switch",
+                cpu=cpu,
+                cycles=vcpu.cycles,
+                from_view=previous,
+                app=target.config.app if target is not None else "<full>",
+            )
         cost = EPT_SWITCH_BASE_COST
         if target is not None:
             # Delta switch: entries both views agree on (canonical UD2
@@ -202,6 +211,13 @@ class ViewSwitcher:
         self._switches.value += 1
         self._ept_cycles.observe(cost)
         self.machine.hypervisor.charge(vcpu, cost)
+        if span is not None:
+            tel.spans.close(
+                span,
+                cycles=vcpu.cycles,
+                to_view=self.current_index[cpu],
+                cost=cost,
+            )
         if tel.tracing:
             tel.emit(
                 "view_switch",

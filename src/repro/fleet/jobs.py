@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.apps.base import launch
 from repro.apps.catalog import APP_CATALOG
@@ -84,6 +84,7 @@ def execute_job(
     job: FleetJob,
     record: ProfileRecord,
     base_seed: int = DEFAULT_SEED,
+    progress: Optional[Callable[[Machine, FaceChange], None]] = None,
 ) -> JobResult:
     """Run one fleet job on ``machine`` (a fresh boot or a fork).
 
@@ -91,6 +92,11 @@ def execute_job(
     (possibly infected) workload with the job's derived seed, runs to
     completion within the job's cycle budget, and reports scores,
     attack evidence and the guest's telemetry snapshot.
+
+    ``progress`` (if given) is invoked between run steps -- the fleet
+    runner's heartbeat hook.  It observes the guest (virtual clock,
+    telemetry) but must not mutate it; the run loop's cadence and the
+    guest's virtual time are identical with or without it.
     """
     assert machine.runtime is not None
     seed = job.effective_seed(base_seed)
@@ -100,6 +106,11 @@ def execute_job(
     fc = FaceChange(machine)
     fc.enable()
     fc.load_view(record.config, comm=job.app)
+    # verdict classification uses the app's profiled baseline, so a
+    # library-covered recovery counts as benign, not anomalous
+    fc.recovery.benign_reference = tuple(
+        sorted(set(record.baseline) | set(DEFAULT_BENIGN_RECOVERIES))
+    )
 
     if job.attack is not None:
         from repro.malware import ALL_ATTACKS
@@ -110,8 +121,14 @@ def execute_job(
         handle = launch(
             machine, job.app, APP_CATALOG[job.app], scale=job.scale, seed=seed
         )
+    if progress is None:
+        until = lambda: handle.finished  # noqa: E731
+    else:
+        def until() -> bool:
+            progress(machine, fc)
+            return handle.finished
     machine.run(
-        until=lambda: handle.finished,
+        until=until,
         max_cycles=start_cycles + job.max_cycles,
         step_budget=50_000,
     )

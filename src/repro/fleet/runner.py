@@ -25,11 +25,14 @@ results are bit-identical in every mode by construction.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import queue as queue_mod
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.fleet.jobs import JobResult, execute_job
 from repro.fleet.library import ProfileLibrary, ProfileRecord
@@ -37,21 +40,45 @@ from repro.fleet.snapshot import MachineSnapshot
 from repro.fleet.spec import FleetJob, FleetSpec
 from repro.guest.machine import boot_machine
 from repro.kernel.runtime import Platform
+from repro.telemetry.journal import JOURNAL_SCHEMA
 from repro.telemetry.merge import merge_snapshots
 
 #: Worker state inherited through ``fork`` (or shared with threads).
 #: Populated in the parent *before* the pool exists; never pickled.
 _WORKER: Dict[str, Any] = {}
 
+#: Capacity of each worker's in-memory journal between segment drains.
+_WORKER_JOURNAL_CAPACITY = 4096
+
 
 def _configure_workers(
     snapshot: MachineSnapshot,
     records: Dict[str, ProfileRecord],
     base_seed: int,
+    bus: Optional[Any] = None,
+    heartbeat_interval: float = 0.5,
 ) -> None:
     _WORKER["snapshot"] = snapshot
     _WORKER["records"] = records
     _WORKER["seed"] = base_seed
+    _WORKER["bus"] = bus
+    _WORKER["heartbeat"] = heartbeat_interval
+
+
+def _observe(machine) -> Dict[str, Any]:
+    """Cheap read-only stats for a heartbeat message."""
+    tel = machine.telemetry
+    recoveries = tel.counters.get("recovery.recoveries")
+    verdicts = tel.labelled.get("recovery.verdicts")
+    return {
+        "cycles": machine.cycles,
+        "recoveries": recoveries.value if recoveries is not None else 0,
+        "verdicts": (
+            {str(label): n for label, n in verdicts.values.items()}
+            if verdicts is not None
+            else {}
+        ),
+    }
 
 
 def _run_job(job_data: Dict[str, Any]) -> Dict[str, Any]:
@@ -61,21 +88,98 @@ def _run_job(job_data: Dict[str, Any]) -> Dict[str, Any]:
     cross the process boundary.  Any exception -- a crashed guest, a
     broken driver -- is converted into a failure result here, inside
     the worker, so one bad job never poisons the pool.
+
+    With a bus configured the worker also streams ``start`` /
+    ``heartbeat`` / ``journal`` / ``done`` messages while the job runs
+    (wall-clock rate-limited; the guest's virtual time is untouched).
     """
     job = FleetJob(**job_data)
+    name = job.name or job.identity()
+    bus = _WORKER.get("bus")
+    journal = None
+    progress = None
     try:
         clone = _WORKER["snapshot"].fork()
         record = _WORKER["records"][job.app]
-        result = execute_job(clone, job, record, base_seed=_WORKER["seed"])
+        if bus is not None:
+            bus.put({"type": "start", "job": name, "app": job.app})
+            journal = clone.start_recording(capacity=_WORKER_JOURNAL_CAPACITY)
+            interval = _WORKER.get("heartbeat", 0.5)
+            last_beat = [time.monotonic()]
+
+            def progress(machine, fc) -> None:
+                now = time.monotonic()
+                if now - last_beat[0] < interval:
+                    return
+                last_beat[0] = now
+                bus.put({"type": "heartbeat", "job": name, **_observe(machine)})
+                records_seg, dropped = journal.drain_segment()
+                if records_seg or dropped:
+                    bus.put(
+                        {
+                            "type": "journal",
+                            "job": name,
+                            "records": records_seg,
+                            "dropped": dropped,
+                        }
+                    )
+
+        if progress is not None:
+            result = execute_job(
+                clone, job, record,
+                base_seed=_WORKER["seed"], progress=progress,
+            )
+        else:
+            result = execute_job(clone, job, record, base_seed=_WORKER["seed"])
+        if bus is not None:
+            records_seg, dropped = journal.drain_segment()
+            if records_seg or dropped:
+                bus.put(
+                    {
+                        "type": "journal",
+                        "job": name,
+                        "records": records_seg,
+                        "dropped": dropped,
+                    }
+                )
+            bus.put(
+                {
+                    "type": "done",
+                    "job": name,
+                    "ok": result.ok,
+                    "error": result.error,
+                    **_observe(clone),
+                }
+            )
     except Exception as exc:  # noqa: BLE001 - crash isolation boundary
         result = JobResult(
-            name=job.name or job.identity(),
+            name=name,
             app=job.app,
             attack=job.attack,
             ok=False,
             seed=job.effective_seed(_WORKER.get("seed", 0)),
             error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=4)}",
         )
+        if bus is not None:
+            if journal is not None:
+                records_seg, dropped = journal.drain_segment()
+                if records_seg or dropped:
+                    bus.put(
+                        {
+                            "type": "journal",
+                            "job": name,
+                            "records": records_seg,
+                            "dropped": dropped,
+                        }
+                    )
+            bus.put(
+                {
+                    "type": "done",
+                    "job": name,
+                    "ok": False,
+                    "error": result.error,
+                }
+            )
     data = result.to_dict()
     data["telemetry"] = result.telemetry
     return data
@@ -93,6 +197,8 @@ class FleetReport:
     wall_seconds: float = 0.0
     forked: int = 0
     base_frames: int = 0
+    #: per-job journal files written when a journal dir was configured
+    journal_paths: Dict[str, str] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -124,6 +230,7 @@ class FleetReport:
             "throughput_jobs_per_s": self.throughput,
             "forked": self.forked,
             "base_frames": self.base_frames,
+            "journal_paths": self.journal_paths,
             "results": results,
             "telemetry": self.telemetry,
         }
@@ -157,6 +264,9 @@ class FleetRunner:
         library: ProfileLibrary,
         snapshot: Optional[MachineSnapshot] = None,
         use_processes: Optional[bool] = None,
+        on_message: Optional[Callable[[Dict[str, Any]], None]] = None,
+        heartbeat_interval: float = 0.5,
+        journal_dir: Optional[Any] = None,
     ) -> None:
         self.spec = spec
         self.library = library
@@ -167,10 +277,24 @@ class FleetRunner:
                 and "fork" in multiprocessing.get_all_start_methods()
             )
         self.use_processes = use_processes
+        #: parent-side sink for live worker messages (watch mode)
+        self.on_message = on_message
+        self.heartbeat_interval = heartbeat_interval
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self._bus: Optional[Any] = None
+        self._job_started: Dict[str, float] = {}
+        #: journal segments collected per job (journal_dir mode)
+        self._segments: Dict[str, List[Dict[str, Any]]] = {}
+        self._segment_drops: Dict[str, int] = {}
 
     def _load_records(self) -> Dict[str, ProfileRecord]:
         """Checksum-validated profile load for every app in the spec."""
         return {app: self.library.get(app) for app in self.spec.apps()}
+
+    @property
+    def streaming(self) -> bool:
+        """True when workers should stream live messages to the parent."""
+        return self.on_message is not None or self.journal_dir is not None
 
     def run(self) -> FleetReport:
         started = time.perf_counter()
@@ -180,8 +304,22 @@ class FleetRunner:
             snapshot = boot_machine(platform=Platform.KVM).snapshot()
             self.snapshot = snapshot
         forked_before = snapshot.fork_count
+        bus = None
+        if self.streaming:
+            # created before the pool so fork-started workers inherit it
+            if self.use_processes and self.spec.workers > 1:
+                bus = multiprocessing.get_context("fork").Queue()
+            else:
+                bus = queue_mod.Queue()
+        self._bus = bus
         # workers inherit this through fork() / share it with threads
-        _configure_workers(snapshot, records, self.spec.seed)
+        _configure_workers(
+            snapshot,
+            records,
+            self.spec.seed,
+            bus=bus,
+            heartbeat_interval=self.heartbeat_interval,
+        )
         job_dicts = [
             {
                 "app": job.app,
@@ -196,7 +334,10 @@ class FleetRunner:
         ]
         if self.spec.workers == 1:
             mode = "serial"
-            results = [_run_job(d) for d in job_dicts]
+            results = []
+            for d in job_dicts:
+                results.append(_run_job(d))
+                self._drain_bus()
         elif self.use_processes:
             mode = "processes"
             results = self._run_pool(
@@ -207,6 +348,8 @@ class FleetRunner:
             from multiprocessing.pool import ThreadPool
 
             results = self._run_pool(ThreadPool, job_dicts)
+        self._drain_bus()
+        journal_paths = self._write_journals()
         telemetry = merge_snapshots(
             [r.get("telemetry", {}) for r in results if r.get("telemetry")],
             sources=[r["name"] for r in results if r.get("telemetry")],
@@ -226,8 +369,80 @@ class FleetRunner:
                 else sum(1 for r in results if r.get("telemetry"))
             ),
             base_frames=snapshot.frame_count,
+            journal_paths=journal_paths,
         )
         return report
+
+    # -- live message plumbing ---------------------------------------------------
+
+    def _dispatch(self, message: Dict[str, Any]) -> None:
+        if message.get("type") == "start":
+            self._job_started[message.get("job", "?")] = time.monotonic()
+        if self.journal_dir is not None and message.get("type") == "journal":
+            name = message.get("job", "?")
+            self._segments.setdefault(name, []).extend(
+                message.get("records", [])
+            )
+            self._segment_drops[name] = self._segment_drops.get(
+                name, 0
+            ) + message.get("dropped", 0)
+        if self.on_message is not None:
+            self.on_message(message)
+
+    def _drain_bus(self) -> None:
+        bus = self._bus
+        if bus is None:
+            return
+        while True:
+            try:
+                message = bus.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._dispatch(message)
+
+    def _write_journals(self) -> Dict[str, str]:
+        """Reassemble streamed segments into per-job journal files.
+
+        The files parse with :func:`repro.telemetry.journal.load_journal`:
+        seqs come from the workers' journals and any capacity evictions
+        are accounted in the footer, so completeness checks still hold.
+        """
+        if self.journal_dir is None:
+            return {}
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        paths: Dict[str, str] = {}
+        for name, records in sorted(self._segments.items()):
+            path = self.journal_dir / f"{name.replace('/', '_')}.jsonl"
+            dropped = self._segment_drops.get(name, 0)
+            last_seq = records[-1]["seq"] if records else 0
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": "header",
+                            "schema": JOURNAL_SCHEMA,
+                            "meta": {"job": name, "spec": self.spec.name},
+                        },
+                        separators=(",", ":"),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                for record in records:
+                    fh.write(
+                        json.dumps(record, separators=(",", ":"), sort_keys=True)
+                        + "\n"
+                    )
+                fh.write(
+                    json.dumps(
+                        {"t": "footer", "records": last_seq, "dropped": dropped},
+                        separators=(",", ":"),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            paths[name] = str(path)
+        return paths
 
     def _run_pool(self, pool_factory, job_dicts: List[Dict[str, Any]]):
         results: List[Optional[Dict[str, Any]]] = [None] * len(job_dicts)
@@ -237,17 +452,54 @@ class FleetRunner:
                 (i, d, pool.apply_async(_run_job, (d,)))
                 for i, d in enumerate(job_dicts)
             ]
-            for i, d, handle in pending:
-                try:
-                    results[i] = handle.get(timeout=d["timeout"])
-                except multiprocessing.TimeoutError:
-                    results[i] = self._failure(d, "TimeoutError: job exceeded wall-clock timeout")
-                except Exception as exc:  # pool breakage / worker death
-                    results[i] = self._failure(d, f"{type(exc).__name__}: {exc}")
+            if self._bus is not None:
+                self._poll_pool(pending, results)
+            else:
+                for i, d, handle in pending:
+                    try:
+                        results[i] = handle.get(timeout=d["timeout"])
+                    except multiprocessing.TimeoutError:
+                        results[i] = self._failure(d, "TimeoutError: job exceeded wall-clock timeout")
+                    except Exception as exc:  # pool breakage / worker death
+                        results[i] = self._failure(d, f"{type(exc).__name__}: {exc}")
         finally:
             pool.terminate()
             pool.join()
         return [r for r in results if r is not None]
+
+    def _poll_pool(self, pending, results) -> None:
+        """Watch-mode pool loop: drain the bus while jobs complete.
+
+        Unlike the sequential path, messages are consumed *while* jobs
+        run (that is the point).  A job's timeout countdown starts at
+        its worker's ``start`` message (pool submission as fallback for
+        jobs that never start).
+        """
+        submitted = time.monotonic()
+        remaining = {i: (d, handle) for i, d, handle in pending}
+        while remaining:
+            self._drain_bus()
+            for i in list(remaining):
+                d, handle = remaining[i]
+                if handle.ready():
+                    try:
+                        results[i] = handle.get()
+                    except Exception as exc:  # pool breakage / worker death
+                        results[i] = self._failure(
+                            d, f"{type(exc).__name__}: {exc}"
+                        )
+                    del remaining[i]
+                    continue
+                name = d.get("name") or ""
+                base = self._job_started.get(name, submitted)
+                if time.monotonic() - base > d["timeout"]:
+                    results[i] = self._failure(
+                        d, "TimeoutError: job exceeded wall-clock timeout"
+                    )
+                    del remaining[i]
+            if remaining:
+                time.sleep(0.02)
+        self._drain_bus()
 
     @staticmethod
     def _failure(job_data: Dict[str, Any], error: str) -> Dict[str, Any]:
@@ -267,8 +519,17 @@ def run_fleet(
     library: ProfileLibrary,
     snapshot: Optional[MachineSnapshot] = None,
     use_processes: Optional[bool] = None,
+    on_message: Optional[Callable[[Dict[str, Any]], None]] = None,
+    heartbeat_interval: float = 0.5,
+    journal_dir: Optional[Any] = None,
 ) -> FleetReport:
     """Convenience wrapper: build a :class:`FleetRunner` and run it."""
     return FleetRunner(
-        spec, library, snapshot=snapshot, use_processes=use_processes
+        spec,
+        library,
+        snapshot=snapshot,
+        use_processes=use_processes,
+        on_message=on_message,
+        heartbeat_interval=heartbeat_interval,
+        journal_dir=journal_dir,
     ).run()

@@ -33,7 +33,7 @@ from repro.memory.layout import (
 from repro.memory.mmu import Mmu
 from repro.memory.paging import GuestPageTable
 from repro.memory.physmem import PhysicalMemory
-from repro.telemetry import Telemetry
+from repro.telemetry import Journal, Telemetry
 
 #: Guest-physical frame backing the shared user-mode stub page.
 _USER_STUB_GPA = 0x00090000
@@ -89,6 +89,33 @@ class Machine:
 
     def disable_tracing(self) -> None:
         self.telemetry.disable_tracing()
+
+    def start_recording(
+        self,
+        path=None,
+        capacity=None,
+        keep=None,
+        meta=None,
+    ) -> "Journal":
+        """Attach a forensic flight recorder (and enable tracing).
+
+        With ``path``, spans and trace events stream to a JSONL journal
+        file; without, they accumulate in memory (``capacity``-bounded
+        with drop accounting) for segment streaming -- see
+        :mod:`repro.telemetry.journal`.  Recording charges zero guest
+        cycles either way.
+        """
+        journal = Journal(path=path, capacity=capacity, keep=keep, meta=meta)
+        self.telemetry.attach_journal(journal)
+        self.telemetry.enable_tracing()
+        return journal
+
+    def stop_recording(self) -> Optional["Journal"]:
+        """Detach and close the flight recorder; returns it (if any)."""
+        journal = self.telemetry.detach_journal()
+        if journal is not None:
+            journal.close()
+        return journal
 
     @property
     def vcpu(self) -> Optional[Vcpu]:

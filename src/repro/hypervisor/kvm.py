@@ -300,5 +300,30 @@ class Hypervisor:
             before = vcpu.cycles
             self.charge(vcpu, VMEXIT_COST_CYCLES)
             stage.exits.inc()
-            stage.handle(self, vcpu, exit_)
+            if telemetry.recording:
+                # Root of the causal chain: everything the handler does
+                # (view switch, backtrace, recovery) nests under this
+                # span via the per-CPU open-span stack.  Spans read the
+                # virtual clock but never advance it.
+                span = telemetry.spans.open(
+                    "vmexit",
+                    cpu=vcpu.cpu_id,
+                    cycles=before,
+                    reason=reason.name,
+                    rip=exit_.rip,
+                    stage=stage.name,
+                )
+                try:
+                    stage.handle(self, vcpu, exit_)
+                except GuestCrash:
+                    telemetry.spans.close(
+                        span, cycles=vcpu.cycles, status="crash",
+                        charged=vcpu.cycles - before,
+                    )
+                    raise
+                telemetry.spans.close(
+                    span, cycles=vcpu.cycles, charged=vcpu.cycles - before
+                )
+            else:
+                stage.handle(self, vcpu, exit_)
             stage.charged_cycles.observe(vcpu.cycles - before)

@@ -1,0 +1,29 @@
+"""Observability: forensic narratives and live fleet monitoring.
+
+Two consumers of the flight recorder (:mod:`repro.telemetry.journal`):
+
+* :mod:`repro.obs.forensics` -- rebuild causal span trees from a
+  journal and render the attack/recovery narrative (``repro forensics``);
+* :mod:`repro.obs.live` -- aggregate streamed worker heartbeats and
+  journal segments into a live per-job view with profile-drift
+  detection (``repro fleet --watch``).
+"""
+
+from repro.obs.forensics import (
+    attack_trees,
+    narrate_tree,
+    render_forensics,
+    render_journal_narrative,
+    render_legacy_snapshot,
+)
+from repro.obs.live import JobStatus, LiveFleetView
+
+__all__ = [
+    "JobStatus",
+    "LiveFleetView",
+    "attack_trees",
+    "narrate_tree",
+    "render_forensics",
+    "render_journal_narrative",
+    "render_legacy_snapshot",
+]

@@ -1,0 +1,175 @@
+"""Live fleet observability: heartbeats, liveness, profile-drift detection.
+
+Fleet workers stream small status messages to the parent while their
+jobs run (see :mod:`repro.fleet.runner`); this module folds them into a
+per-job view that can answer, *before the pool drains*: which jobs are
+alive, which have stalled, and which are drifting away from their
+profiled baseline.
+
+Drift is the paper's re-profiling trigger (§III-B3): a job whose
+workload exercises kernel code its stored profile never covered keeps
+hitting view holes, so its recovery count grows past the benign
+baseline recorded during the offline phase.  Captured-attack
+recoveries are excluded from the drift metric -- an actual attack must
+not masquerade as a stale profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class JobStatus:
+    """Everything the parent knows about one fleet job, live."""
+
+    name: str
+    app: str = ""
+    state: str = "pending"  # pending | running | done | failed
+    started: Optional[float] = None
+    last_seen: Optional[float] = None
+    cycles: int = 0
+    recoveries: int = 0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    journal_records: int = 0
+    journal_dropped: int = 0
+    drifting: bool = False
+    note: str = ""
+
+    @property
+    def non_attack_recoveries(self) -> int:
+        """Recoveries that count toward drift (attacks excluded)."""
+        return max(0, self.recoveries - self.verdicts.get("captured-attack", 0))
+
+
+class LiveFleetView:
+    """Aggregates streamed worker messages into a live fleet picture.
+
+    ``baselines`` maps job name -> size of the app's profiled
+    benign-recovery baseline; a job whose non-attack recovery count
+    exceeds ``drift_factor * baseline + drift_margin`` is flagged as
+    drifting (once).  ``stall_after`` seconds without a heartbeat marks
+    a running job stalled in :meth:`render`.
+    """
+
+    def __init__(
+        self,
+        baselines: Optional[Dict[str, int]] = None,
+        drift_factor: float = 2.0,
+        drift_margin: int = 3,
+        stall_after: float = 10.0,
+    ) -> None:
+        self.baselines = dict(baselines or {})
+        self.drift_factor = drift_factor
+        self.drift_margin = drift_margin
+        self.stall_after = stall_after
+        self.jobs: Dict[str, JobStatus] = {}
+        self.notices: List[str] = []
+
+    def expect(self, name: str, app: str = "") -> JobStatus:
+        """Pre-register a job so render() shows it as pending."""
+        status = self.jobs.get(name)
+        if status is None:
+            status = self.jobs[name] = JobStatus(name=name, app=app)
+        elif app and not status.app:
+            status.app = app
+        return status
+
+    # -- message intake --------------------------------------------------------
+
+    def update(self, message: Dict[str, Any], now: float = 0.0) -> List[str]:
+        """Fold one worker message in; returns new notice lines."""
+        kind = message.get("type")
+        name = message.get("job", "?")
+        status = self.expect(name, app=message.get("app", ""))
+        notices: List[str] = []
+        status.last_seen = now
+        if kind == "start":
+            status.state = "running"
+            status.started = now
+            notices.append(f"[fleet] {name}: started")
+        elif kind == "heartbeat":
+            if status.state == "pending":
+                status.state = "running"
+            status.cycles = message.get("cycles", status.cycles)
+            status.recoveries = message.get("recoveries", status.recoveries)
+            status.verdicts = dict(message.get("verdicts", status.verdicts))
+            notices.extend(self._check_drift(status))
+        elif kind == "journal":
+            status.journal_records += len(message.get("records", []))
+            status.journal_dropped += message.get("dropped", 0)
+        elif kind == "done":
+            status.cycles = message.get("cycles", status.cycles)
+            status.recoveries = message.get("recoveries", status.recoveries)
+            status.verdicts = dict(message.get("verdicts", status.verdicts))
+            notices.extend(self._check_drift(status))
+            if message.get("ok", True):
+                status.state = "done"
+                notices.append(f"[fleet] {name}: done")
+            else:
+                status.state = "failed"
+                status.note = message.get("error", "")
+                first = status.note.splitlines()[0] if status.note else ""
+                notices.append(f"[fleet] {name}: FAILED {first}".rstrip())
+        self.notices.extend(notices)
+        return notices
+
+    def _check_drift(self, status: JobStatus) -> List[str]:
+        if status.drifting:
+            return []
+        baseline = self.baselines.get(status.name)
+        if baseline is None:
+            return []
+        threshold = self.drift_factor * baseline + self.drift_margin
+        observed = status.non_attack_recoveries
+        if observed <= threshold:
+            return []
+        status.drifting = True
+        return [
+            f"[fleet] {status.name}: PROFILE DRIFT -- {observed} recoveries "
+            f"vs baseline of {baseline} (threshold {threshold:.0f}); "
+            f"re-profile {status.app or 'the application'}"
+        ]
+
+    # -- queries ----------------------------------------------------------------
+
+    def drifting(self) -> List[str]:
+        return sorted(name for name, s in self.jobs.items() if s.drifting)
+
+    def stalled(self, now: float) -> List[str]:
+        return sorted(
+            name
+            for name, s in self.jobs.items()
+            if s.state == "running"
+            and s.last_seen is not None
+            and now - s.last_seen > self.stall_after
+        )
+
+    def render(self, now: float = 0.0) -> str:
+        """One status line per job, fleet table style."""
+        stalled = set(self.stalled(now))
+        lines = [
+            f"{'job':<24} {'state':<8} {'beat':>6} {'cycles':>14} "
+            f"{'recov':>6} {'jrnl':>6}  flags"
+        ]
+        for name in sorted(self.jobs):
+            s = self.jobs[name]
+            age = (
+                f"{now - s.last_seen:.1f}s"
+                if s.last_seen is not None
+                else "-"
+            )
+            flags = []
+            if s.drifting:
+                flags.append("DRIFT")
+            if name in stalled:
+                flags.append("STALLED")
+            if s.journal_dropped:
+                flags.append(f"dropped={s.journal_dropped}")
+            lines.append(
+                f"{name:<24} {s.state:<8} {age:>6} {s.cycles:>14} "
+                f"{s.recoveries:>6} {s.journal_records:>6}  "
+                + ",".join(flags)
+            )
+        return "\n".join(line.rstrip() for line in lines)

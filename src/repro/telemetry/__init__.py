@@ -19,18 +19,39 @@ from repro.telemetry.export import (
     snapshot,
     to_json,
 )
+from repro.telemetry.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalData,
+    JournalError,
+    SpanNode,
+    build_span_trees,
+    load_journal,
+    parse_journal,
+)
 from repro.telemetry.merge import merge_snapshots
+from repro.telemetry.spans import Span, SpanRecorder
 
 __all__ = [
     "Counter",
     "Histogram",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalData",
+    "JournalError",
     "LabelledCounter",
+    "Span",
+    "SpanNode",
+    "SpanRecorder",
     "Telemetry",
     "TraceBuffer",
     "TraceEvent",
+    "build_span_trees",
     "format_counters",
     "format_timeline",
+    "load_journal",
     "merge_snapshots",
+    "parse_journal",
     "snapshot",
     "to_json",
 ]

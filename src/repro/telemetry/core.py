@@ -29,6 +29,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.telemetry.journal import Journal
+from repro.telemetry.spans import SpanRecorder
+
+#: Distinguishes auto-attached journal files from the same process.
+_journal_counter = 0
+
 
 class Counter:
     """A named monotonic counter."""
@@ -204,6 +210,22 @@ class Telemetry:
         #: benchmark drivers that boot their own machines can be traced)
         self.tracing = os.environ.get("REPRO_TRACE", "") == "1"
         self._seq = 0
+        #: causal-span recorder; span calls are guarded by ``recording``
+        self.spans = SpanRecorder()
+        self.journal: Optional[Journal] = None
+        #: the single branch hot paths test before touching the recorder
+        self.recording = False
+        # REPRO_JOURNAL_DIR auto-attaches a file journal to every new
+        # machine, so benchmark drivers can exercise the recorder
+        # without plumbing flags through every boot path.
+        journal_dir = os.environ.get("REPRO_JOURNAL_DIR", "")
+        if journal_dir:
+            global _journal_counter
+            _journal_counter += 1
+            path = os.path.join(
+                journal_dir, f"journal-{os.getpid()}-{_journal_counter}.jsonl"
+            )
+            self.attach_journal(Journal(path=path))
 
     # -- instrument registry (get-or-create) --------------------------------
 
@@ -239,6 +261,33 @@ class Telemetry:
             return
         self._seq += 1
         self.trace.append(TraceEvent(self._seq, cycles, cpu, kind, fields))
+        if self.recording and self.journal is not None:
+            span = self.spans.current(cpu)
+            self.journal.append(
+                "event",
+                kind=kind,
+                cycles=cycles,
+                cpu=cpu,
+                span=span.span_id if span is not None else None,
+                fields=fields,
+            )
+
+    # -- flight recorder -----------------------------------------------------
+
+    def attach_journal(self, journal: Journal) -> Journal:
+        """Bind a journal; spans and trace events persist into it."""
+        self.journal = journal
+        self.spans.bind(journal)
+        self.recording = True
+        return journal
+
+    def detach_journal(self) -> Optional[Journal]:
+        """Unbind and return the journal (caller closes it)."""
+        journal = self.journal
+        self.journal = None
+        self.spans.unbind()
+        self.recording = False
+        return journal
 
     def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
         if kind is None:
@@ -256,3 +305,4 @@ class Telemetry:
             hist.reset()
         self.trace.clear()
         self._seq = 0
+        self.spans.reset()

@@ -54,6 +54,11 @@ def snapshot(telemetry: Telemetry, events: bool = True) -> Dict[str, Any]:
                 for e in telemetry.trace
             ],
         }
+    if telemetry.journal is not None:
+        data["journal"] = {
+            "written": telemetry.journal.seq,
+            "dropped": telemetry.journal.dropped,
+        }
     return data
 
 
@@ -89,13 +94,19 @@ def format_timeline(
     limit: Optional[int] = None,
     kinds: Optional[Iterable[str]] = None,
 ) -> str:
-    """Render trace events as a chronological timeline."""
+    """Render trace events as a chronological timeline.
+
+    An event-free run renders an explicit marker instead of an empty
+    string, so ``repro trace`` output is never silently blank.
+    """
     wanted = set(kinds) if kinds is not None else None
     rows = [
         e.format()
         for e in events
         if wanted is None or e.kind in wanted
     ]
+    if not rows:
+        return "(no events recorded)"
     total = len(rows)
     # limit=0 (or None) means unlimited; rows[-0:] would keep everything
     # while still claiming events were omitted

@@ -85,6 +85,7 @@ def merge_snapshots(
         "labelled_counters": {},
         "histograms": {},
         "trace": {"dropped": 0, "events": []},
+        "journal": {"written": 0, "dropped": 0},
         "sources": len(snapshots),
     }
     events: List[Dict[str, Any]] = []
@@ -98,6 +99,10 @@ def merge_snapshots(
                 _merge_histogram(merged["histograms"][name], hist)
             else:
                 merged["histograms"][name] = _copy_histogram(hist)
+        journal = snap.get("journal")
+        if journal:
+            merged["journal"]["written"] += journal.get("written", 0)
+            merged["journal"]["dropped"] += journal.get("dropped", 0)
         trace = snap.get("trace")
         if trace:
             merged["trace"]["dropped"] += trace.get("dropped", 0)

@@ -121,3 +121,59 @@ def test_fleet_no_offline_with_empty_library_fails(tmp_path, capsys):
     )
     assert code != 0
     assert "no profile" in capsys.readouterr().err
+
+
+def test_trace_with_no_events_exits_zero(monkeypatch, capsys):
+    # regression: an event-free run must render an explicit marker and
+    # succeed, not print a blank timeline (or worse, crash)
+    from repro.telemetry.core import Telemetry
+
+    monkeypatch.setattr(Telemetry, "enable_tracing", lambda self: None)
+    assert main(["--scale", "2", "trace", "top"]) == 0
+    captured = capsys.readouterr().out
+    assert "(no events recorded)" in captured
+
+
+def test_format_timeline_empty_is_marked():
+    from repro.telemetry import format_timeline
+
+    assert format_timeline([]) == "(no events recorded)"
+
+
+def test_trace_journal_then_forensics(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    assert main(
+        ["--scale", "2", "trace", "top", "--journal", str(journal)]
+    ) == 0
+    capsys.readouterr()
+    assert journal.exists()
+    assert main(["forensics", str(journal)]) == 0
+    captured = capsys.readouterr().out
+    assert "causal chains" in captured
+    assert "vmexit" in captured
+
+
+def test_trace_attack_requires_the_host_app(capsys):
+    assert main(["--scale", "2", "trace", "top", "--attack", "KBeast"]) != 0
+    assert "infects 'bash'" in capsys.readouterr().err
+    assert main(["--scale", "2", "trace", "top", "--attack", "NoSuch"]) != 0
+    assert "no malware sample" in capsys.readouterr().err
+
+
+def test_forensics_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text("this is not a journal\n")
+    assert main(["forensics", str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_forensics_legacy_snapshot_fallback(tmp_path, capsys):
+    snap = tmp_path / "telemetry.json"
+    assert main(
+        ["--scale", "2", "trace", "top", "-o", str(snap)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["forensics", str(snap)]) == 0
+    captured = capsys.readouterr().out
+    assert "legacy" in captured
+    assert "(cycles, rip)" in captured

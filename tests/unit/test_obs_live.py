@@ -1,0 +1,112 @@
+"""Live fleet view: state machine, drift detection, stall reporting."""
+
+from repro.obs import LiveFleetView
+
+
+def _heartbeat(name, recoveries, verdicts=None, cycles=0):
+    return {
+        "type": "heartbeat",
+        "job": name,
+        "cycles": cycles,
+        "recoveries": recoveries,
+        "verdicts": verdicts or {},
+    }
+
+
+def test_lifecycle_state_transitions():
+    view = LiveFleetView()
+    view.expect("top#0", app="top")
+    assert view.jobs["top#0"].state == "pending"
+    notices = view.update({"type": "start", "job": "top#0", "app": "top"}, now=1.0)
+    assert notices == ["[fleet] top#0: started"]
+    assert view.jobs["top#0"].state == "running"
+    view.update(_heartbeat("top#0", 2, cycles=500), now=2.0)
+    assert view.jobs["top#0"].cycles == 500
+    notices = view.update(
+        {"type": "done", "job": "top#0", "ok": True, "cycles": 900}, now=3.0
+    )
+    assert notices == ["[fleet] top#0: done"]
+    status = view.jobs["top#0"]
+    assert status.state == "done" and status.cycles == 900
+
+
+def test_failed_job_keeps_first_error_line():
+    view = LiveFleetView()
+    view.update(
+        {"type": "done", "job": "gzip#0", "ok": False,
+         "error": "boom\ntraceback..."},
+        now=1.0,
+    )
+    status = view.jobs["gzip#0"]
+    assert status.state == "failed"
+    assert view.notices[-1] == "[fleet] gzip#0: FAILED boom"
+
+
+def test_drift_flagged_once_and_only_past_threshold():
+    view = LiveFleetView(baselines={"gzip#0": 5}, drift_factor=2.0, drift_margin=3)
+    view.expect("gzip#0", app="gzip")
+    # threshold = 2*5+3 = 13; at the threshold is still fine
+    assert view.update(_heartbeat("gzip#0", 13), now=1.0) == []
+    notices = view.update(_heartbeat("gzip#0", 14), now=2.0)
+    assert len(notices) == 1
+    assert "PROFILE DRIFT" in notices[0]
+    assert "re-profile gzip" in notices[0]
+    assert view.drifting() == ["gzip#0"]
+    # flagged exactly once, even as the count keeps growing
+    assert view.update(_heartbeat("gzip#0", 50), now=3.0) == []
+
+
+def test_captured_attacks_do_not_count_toward_drift():
+    view = LiveFleetView(baselines={"bash#0": 0}, drift_factor=2.0, drift_margin=3)
+    msg = _heartbeat(
+        "bash#0", 20, verdicts={"captured-attack": 18, "anomalous": 2}
+    )
+    assert view.update(msg, now=1.0) == []
+    assert view.jobs["bash#0"].non_attack_recoveries == 2
+    assert view.drifting() == []
+
+
+def test_no_baseline_means_no_drift_check():
+    view = LiveFleetView(baselines={})
+    assert view.update(_heartbeat("top#0", 10_000), now=1.0) == []
+    assert view.drifting() == []
+
+
+def test_journal_segments_accumulate():
+    view = LiveFleetView()
+    view.update(
+        {"type": "journal", "job": "top#0",
+         "records": [{"seq": 1}, {"seq": 3}], "dropped": 1},
+        now=1.0,
+    )
+    view.update(
+        {"type": "journal", "job": "top#0", "records": [{"seq": 4}],
+         "dropped": 0},
+        now=2.0,
+    )
+    status = view.jobs["top#0"]
+    assert status.journal_records == 3
+    assert status.journal_dropped == 1
+    assert "dropped=1" in view.render(now=2.0)
+
+
+def test_stall_detection_only_for_running_jobs():
+    view = LiveFleetView(stall_after=5.0)
+    view.update({"type": "start", "job": "slow#0"}, now=0.0)
+    view.update({"type": "start", "job": "fast#0"}, now=0.0)
+    view.update({"type": "done", "job": "fast#0", "ok": True}, now=1.0)
+    assert view.stalled(now=6.0) == ["slow#0"]
+    rendered = view.render(now=6.0)
+    slow_line = next(ln for ln in rendered.splitlines() if "slow#0" in ln)
+    assert "STALLED" in slow_line
+    fast_line = next(ln for ln in rendered.splitlines() if "fast#0" in ln)
+    assert "STALLED" not in fast_line
+
+
+def test_render_lists_every_expected_job():
+    view = LiveFleetView()
+    view.expect("a#0", app="top")
+    view.expect("b#0", app="gzip")
+    rendered = view.render(now=0.0)
+    assert "a#0" in rendered and "b#0" in rendered
+    assert "pending" in rendered

@@ -1,0 +1,92 @@
+"""The legacy (cycles, rip) correlation heuristic: ties and interleaving.
+
+``correlate_recoveries`` predates the span journal and survives as the
+fallback for flat telemetry snapshots.  These tests pin its documented
+tie-breaking rule: when several provenance-log entries share one
+``(cycles, rip)`` key, the latest log entry wins and every trace event
+with that key maps to it.
+"""
+
+from repro.analysis.timeline import correlate_recoveries
+from repro.core.provenance import RecoveryEvent, RecoveryLog
+from repro.telemetry import Telemetry
+
+
+def _entry(cycles, rip, comm="top", pid=1):
+    return RecoveryEvent(
+        cycles=cycles,
+        rip=rip,
+        recovered="<vfs_read+0x0>",
+        function_start=rip,
+        function_end=rip + 0x100,
+        pid=pid,
+        comm=comm,
+        view_app=comm,
+    )
+
+
+def _emit_recovery(tel, cycles, rip, cpu=0, comm="top"):
+    tel.emit("recovery", cycles=cycles, cpu=cpu, rip=rip, comm=comm)
+
+
+def test_duplicate_keys_latest_log_entry_wins():
+    tel = Telemetry()
+    tel.enable_tracing()
+    log = RecoveryLog()
+    first = _entry(1000, 0xC0100000, pid=1)
+    second = _entry(1000, 0xC0100000, pid=2)  # same (cycles, rip) key
+    log.append(first)
+    log.append(second)
+    _emit_recovery(tel, 1000, 0xC0100000)
+    _emit_recovery(tel, 1000, 0xC0100000)
+
+    pairs = correlate_recoveries(tel, log)
+    assert len(pairs) == 2
+    # documented rule: the later append owns the key; both events map to it
+    assert all(entry is second for _, entry in pairs)
+
+
+def test_multi_vcpu_interleaving_correlates_by_key_not_order():
+    tel = Telemetry()
+    tel.enable_tracing()
+    log = RecoveryLog()
+    # cpu1's recovery lands in the log *before* cpu0's, but the trace
+    # ring saw cpu0's event first -- the join must go by key, not order
+    cpu1 = _entry(2000, 0xC0200000, comm="gzip")
+    cpu0 = _entry(1500, 0xC0100000, comm="top")
+    log.append(cpu1)
+    log.append(cpu0)
+    _emit_recovery(tel, 1500, 0xC0100000, cpu=0, comm="top")
+    _emit_recovery(tel, 2000, 0xC0200000, cpu=1, comm="gzip")
+
+    pairs = correlate_recoveries(tel, log)
+    assert len(pairs) == 2
+    by_cpu = {event.cpu: entry for event, entry in pairs}
+    assert by_cpu[0] is cpu0
+    assert by_cpu[1] is cpu1
+
+
+def test_same_cycles_different_rips_stay_distinct():
+    tel = Telemetry()
+    tel.enable_tracing()
+    log = RecoveryLog()
+    a = _entry(3000, 0xC0100000)
+    b = _entry(3000, 0xC0200000)  # same virtual cycle, different hole
+    log.append(a)
+    log.append(b)
+    _emit_recovery(tel, 3000, 0xC0200000, cpu=1)
+    _emit_recovery(tel, 3000, 0xC0100000, cpu=0)
+
+    pairs = correlate_recoveries(tel, log)
+    by_rip = {event.get("rip"): entry for event, entry in pairs}
+    assert by_rip[0xC0100000] is a
+    assert by_rip[0xC0200000] is b
+
+
+def test_unmatched_event_surfaces_as_none():
+    tel = Telemetry()
+    tel.enable_tracing()
+    log = RecoveryLog()  # cleared / wrapped: no entries at all
+    _emit_recovery(tel, 4000, 0xC0100000)
+    pairs = correlate_recoveries(tel, log)
+    assert pairs == [(tel.events("recovery")[0], None)]
