@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Record sampling-profiler overhead gates (``BENCH_profiling.json``).
+
+Three measurements:
+
+1. **Bit-identity** -- the Figure 6 (UnixBench) and Figure 7 (httperf)
+   workloads run twice, instrumentation off and instrumentation on
+   (``REPRO_SAMPLE_INTERVAL`` installs the sampling profiler on every
+   FACE-CHANGE machine; ``REPRO_PROBE_FUNCS`` arms observer probes).
+   The sampler reads vCPU state at virtual-cycle crossings but charges
+   nothing, and probes are observer trap entries (zero exit cycles), so
+   every virtual-cycle score must be **exactly** equal across the two
+   passes -- not within a tolerance.
+2. **Wall-clock gate** -- sampling and backtracing cost host time; the
+   instrumented pass must stay within ``REPRO_PROFILING_WALL_GATE``
+   (default 1.15x) of the uninstrumented pass.
+3. **Determinism + flame sanity** -- two sampled ``find_pipe`` runs with
+   the same seed must render byte-identical flame graphs, and the top-N
+   function table must surface the vfs/pipe hot path the workload
+   actually exercises.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_profiling_overhead.py
+
+``REPRO_BENCH_SCALE`` (default 2) bounds wall time;
+``REPRO_FIG7_RATES`` narrows the httperf sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Functions armed as probes during the instrumented pass.  Both sit on
+#: hot paths of the benchmark workloads, so the bit-identity gate also
+#: proves that *firing* probes (not just armed ones) cost zero cycles.
+PROBE_FUNCS = "vfs_read,pipe_write"
+
+#: Functions the find_pipe top table must surface (any overlap passes).
+EXPECTED_HOT = {
+    "d_lookup", "link_path_walk", "vfs_read", "vfs_write",
+    "pipe_read", "pipe_write", "generic_permission",
+    "ext4_find_entry", "do_filp_open",
+}
+
+
+def _bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "2"))
+
+
+def _httperf_rates() -> list:
+    raw = os.environ.get("REPRO_FIG7_RATES", "10,40")
+    return [int(r) for r in raw.split(",") if r]
+
+
+def _wall_gate() -> float:
+    return float(os.environ.get("REPRO_PROFILING_WALL_GATE", "1.15"))
+
+
+def _run_suite(instrumented: bool, scale: int) -> dict:
+    """One full measurement pass with sampler + probes forced on/off."""
+    if instrumented:
+        os.environ["REPRO_SAMPLE_INTERVAL"] = "20000"
+        os.environ["REPRO_PROBE_FUNCS"] = PROBE_FUNCS
+    else:
+        os.environ.pop("REPRO_SAMPLE_INTERVAL", None)
+        os.environ.pop("REPRO_PROBE_FUNCS", None)
+
+    # imported lazily so each pass sees the right environment from boot
+    from repro.analysis.similarity import profile_applications
+    from repro.bench.httperf import run_httperf_sweep
+    from repro.bench.unixbench import run_unixbench
+
+    started = time.monotonic()
+    configs = profile_applications(scale=scale)
+
+    baseline = run_unixbench(views=0, label="baseline")
+    with_views = run_unixbench(views=3, configs=configs, label="3 views")
+    unixbench = {
+        "baseline_index": baseline.index,
+        "three_views_index": with_views.index,
+        "scores": dict(with_views.scores),
+    }
+
+    points = run_httperf_sweep(configs["apache"], rates=_httperf_rates())
+    httperf = {
+        str(p.rate): {
+            "baseline": p.baseline_throughput,
+            "facechange": p.facechange_throughput,
+            "ratio": p.ratio,
+        }
+        for p in points
+    }
+
+    return {
+        "instrumented": instrumented,
+        "unixbench": unixbench,
+        "httperf": httperf,
+        "wall_seconds": round(time.monotonic() - started, 3),
+    }
+
+
+def _scores(suite: dict) -> dict:
+    """The flat score map that must be bit-identical across passes."""
+    flat = {
+        f"unixbench.{name}": score
+        for name, score in suite["unixbench"]["scores"].items()
+    }
+    flat["unixbench.baseline_index"] = suite["unixbench"]["baseline_index"]
+    flat["unixbench.three_views_index"] = suite["unixbench"]["three_views_index"]
+    for rate, point in suite["httperf"].items():
+        flat[f"httperf.{rate}.baseline"] = point["baseline"]
+        flat[f"httperf.{rate}.facechange"] = point["facechange"]
+    return flat
+
+
+def _sampled_find_pipe(scale: int, seed: int):
+    """One sampled, enforced find_pipe run; returns its SampleProfile."""
+    from repro.analysis.similarity import profile_applications
+    from repro.apps.base import launch
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+    from repro.obs.profiling import SamplingProfiler
+
+    config = profile_applications(apps=["find_pipe"], scale=scale)["find_pipe"]
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(config, comm="find_pipe")
+    sampler = SamplingProfiler(
+        machine,
+        view_provider=lambda cpu: fc.switcher.current_index[cpu],
+    )
+    sampler.install()
+    handle = launch(
+        machine, "find_pipe", APP_CATALOG["find_pipe"],
+        scale=scale, seed=seed,
+    )
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    sampler.uninstall()
+    if not handle.finished:
+        raise RuntimeError("find_pipe did not finish under the sampler")
+    return sampler.profile
+
+
+def _flame_determinism(scale: int) -> dict:
+    """Two same-seed sampled runs: flame output must be byte-identical
+    and the top table must name the vfs/pipe hot path."""
+    os.environ.pop("REPRO_SAMPLE_INTERVAL", None)
+    os.environ.pop("REPRO_PROBE_FUNCS", None)
+    seed = 20140623  # DSN 2014
+    flames = []
+    tops = []
+    samples = 0
+    for _ in range(2):
+        profile = _sampled_find_pipe(scale=max(scale, 2), seed=seed)
+        flames.append(profile.render_flame())
+        tops.append(profile.function_rows()[:10])
+        samples = profile.samples
+    top_symbols = [row[0] for row in tops[0]]
+    return {
+        "seed": seed,
+        "samples": samples,
+        "flame_deterministic": flames[0] == flames[1],
+        "top_deterministic": tops[0] == tops[1],
+        "top_symbols": top_symbols,
+        "expected_hot_named": sorted(EXPECTED_HOT & set(top_symbols)),
+    }
+
+
+def main() -> int:
+    scale = _bench_scale()
+    off = _run_suite(instrumented=False, scale=scale)
+    on = _run_suite(instrumented=True, scale=scale)
+    flame = _flame_determinism(scale)
+
+    off_scores = _scores(off)
+    on_scores = _scores(on)
+    mismatches = sorted(
+        name
+        for name in off_scores
+        if off_scores[name] != on_scores.get(name)
+    )
+    wall_ratio = (
+        on["wall_seconds"] / off["wall_seconds"] if off["wall_seconds"] else 1.0
+    )
+    gate = _wall_gate()
+
+    out = {
+        "scale": scale,
+        "probe_funcs": PROBE_FUNCS,
+        "instrumentation_off": off,
+        "instrumentation_on": on,
+        "bit_identical": not mismatches,
+        "score_mismatches": mismatches,
+        "wall_ratio_on_over_off": round(wall_ratio, 4),
+        "wall_gate": gate,
+        "flame": flame,
+        "note": (
+            "The sampler reads vCPU state at virtual-cycle crossings "
+            "and probes are observer trap entries (zero exit cycles), "
+            "so instrumented scores must be bit-identical (exact "
+            "equality, no tolerance).  The wall ratio is the honest "
+            "host-side cost of sampling and backtracing."
+        ),
+    }
+    path = REPO_ROOT / "BENCH_profiling.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(f"scores compared: {len(off_scores)}; mismatches: {len(mismatches)}")
+    print(
+        f"wall: off {off['wall_seconds']}s, on {on['wall_seconds']}s "
+        f"(ratio {wall_ratio:.3f}, gate {gate})"
+    )
+    print(
+        f"flame: {flame['samples']} samples, "
+        f"deterministic={flame['flame_deterministic']}, "
+        f"hot path named: {flame['expected_hot_named']}"
+    )
+
+    ok = True
+    if mismatches:
+        print(f"FAIL: instrumentation changed virtual-cycle scores: "
+              f"{mismatches}")
+        ok = False
+    if wall_ratio > gate:
+        print(f"FAIL: profiling wall overhead {wall_ratio:.3f} > gate {gate}")
+        ok = False
+    if not flame["flame_deterministic"] or not flame["top_deterministic"]:
+        print("FAIL: same-seed sampled runs rendered different flame output")
+        ok = False
+    if not flame["expected_hot_named"]:
+        print(
+            "FAIL: find_pipe top table named none of the vfs/pipe hot "
+            f"path: {flame['top_symbols']}"
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

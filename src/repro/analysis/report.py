@@ -19,6 +19,12 @@ from repro.bench.unixbench import run_unixbench
 from repro.core.kernel_view import KernelViewConfig
 from repro.malware import ALL_ATTACKS
 
+#: Every section ``generate_report`` knows how to render.
+KNOWN_SECTIONS = {
+    "table1", "table2", "fig6", "fig7", "caches", "trace",
+    "observability", "heat",
+}
+
 
 def _section_table1(out: io.StringIO, configs) -> None:
     matrix = SimilarityMatrix.build(configs)
@@ -172,6 +178,41 @@ def _section_observability(out: io.StringIO, configs, scale: int) -> None:
     )
 
 
+def _section_heat(out: io.StringIO, configs, scale: int) -> None:
+    """Sampled hotness joined against the app's kernel-view ranges."""
+    from repro.apps.base import launch
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+    from repro.obs.profiling import analyze_heat, format_heat_report
+    from repro.obs.profiling.sampler import SamplingProfiler
+    from repro.telemetry.export import snapshot as telemetry_snapshot
+
+    app = "find_pipe" if "find_pipe" in configs else sorted(configs)[0]
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(configs[app], comm=app)
+    sampler = SamplingProfiler(
+        machine,
+        view_provider=lambda cpu: fc.switcher.current_index[cpu],
+    )
+    sampler.install()
+    handle = launch(machine, app, APP_CATALOG[app], scale=scale)
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    sampler.uninstall()
+    snapshot = telemetry_snapshot(machine.telemetry)
+    heat = analyze_heat(snapshot, {app: configs[app]})
+    out.write("## Heat — sampled hotness vs. kernel-view coverage\n\n")
+    out.write(
+        f"(one enforced {app} run with the sampling profiler on; "
+        "see docs/OBSERVABILITY.md)\n\n```\n"
+    )
+    out.write(format_heat_report(heat))
+    out.write("\n```\n\n")
+
+
 def _section_figure7(out: io.StringIO, configs, connections: int) -> None:
     out.write("## Figure 7 — Apache httperf throughput ratio\n\n")
     points = run_httperf_sweep(configs["apache"], connections=connections)
@@ -195,9 +236,18 @@ def generate_report(
     """Run the evaluation and return the markdown report.
 
     ``sections`` may also include ``"trace"`` for a telemetry timeline of
-    one enforced run (not part of the default set: it narrates mechanism
-    rather than reproducing a paper figure).
+    one enforced run, ``"observability"`` for recorder accounting, or
+    ``"heat"`` for sampled hotness vs. view coverage (none are part of
+    the default set: they narrate mechanism rather than reproducing a
+    paper figure).  Unknown section names raise :class:`ValueError`.
     """
+    if sections:
+        unknown = sorted(set(sections) - KNOWN_SECTIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown report section(s): {', '.join(unknown)} "
+                f"(choose from: {', '.join(sorted(KNOWN_SECTIONS))})"
+            )
     wanted = (
         set(sections)
         if sections
@@ -222,4 +272,6 @@ def generate_report(
         _section_trace(out, configs, scale)
     if "observability" in wanted:
         _section_observability(out, configs, scale)
+    if "heat" in wanted:
+        _section_heat(out, configs, scale)
     return out.getvalue()

@@ -125,6 +125,49 @@ def tcpdump(env: Env, scale: int) -> DriverFactory:
     return driver
 
 
+def find_pipe(env: Env, scale: int) -> DriverFactory:
+    """``find | wc`` pipeline: directory walk + stat storm into a pipe.
+
+    The profiling/observability docs use this app as the worked
+    example: its kernel slice is dominated by the vfs walk
+    (``sys_open``/``sys_getdents``/``sys_stat``) and the pipe transport
+    (``pipe_write`` feeding the consumer's ``pipe_read``), which is
+    exactly what the sampling profiler's flame graph should surface.
+    """
+
+    def consumer(rfd):
+        def child():
+            yield Sys("dup2", oldfd=rfd, newfd=0)  # stdin <- pipe
+            yield Sys("brk", count=4096)
+            for _ in range(scale * 2):
+                yield Sys("read", fd=0, count=512)
+                yield Compute(8_000)
+            yield Sys("write", fd=1, count=64)
+        return child
+
+    def driver():
+        yield from _startup("/etc/findrc")
+        yield Sys("getcwd")
+        rfd, wfd = yield Sys("pipe")
+        pid = yield Sys("fork", child=consumer(rfd), comm="wc")
+        yield Sys("close", fd=rfd)
+        for i in range(scale * 2):
+            yield Sys("chdir", path=f"/usr/share/dir{i % 4}")
+            d = yield Sys("open", path=f"/usr/share/dir{i % 4}")
+            yield Sys("fstat", fd=d)
+            yield Sys("getdents", fd=d)
+            yield Sys("getdents", fd=d)
+            yield Sys("close", fd=d)
+            for j in range(3):
+                yield Sys("stat", path=f"/usr/share/dir{i % 4}/file{j}")
+            yield Sys("write", fd=wfd, count=512)
+            yield Compute(12_000)
+        yield Sys("close", fd=wfd)
+        yield Sys("waitpid", pid=pid)
+
+    return driver
+
+
 def gzip(env: Env, scale: int) -> DriverFactory:
     """Compressor: narrow, file-in/file-out plus CPU burn."""
 
@@ -487,6 +530,8 @@ APP_CATALOG = {
     "sshd": sshd,
     "gzip": gzip,
     "eog": eog,
+    # beyond Table I: the observability docs' worked example (PR 5)
+    "find_pipe": find_pipe,
 }
 
 

@@ -246,6 +246,120 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _run_sampled(
+    app: str,
+    scale: int,
+    interval: int,
+    seed: Optional[int],
+    probe_symbols: Optional[List[str]] = None,
+    probe_comm: Optional[str] = None,
+):
+    """Shared harness for ``flame`` and ``probe``: one enforced,
+    sampled run of ``app`` under its kernel view.
+
+    Returns ``(machine, fc, sampler, engine, finished)``.
+    """
+    from repro.analysis.similarity import profile_applications
+    from repro.apps.base import launch
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+    from repro.obs.profiling.probes import ProbeEngine
+    from repro.obs.profiling.sampler import SamplingProfiler
+
+    print(f"profiling {app} (scale {scale})...")
+    config = profile_applications(apps=[app], scale=scale)[app]
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(config, comm=app)
+    sampler = SamplingProfiler(
+        machine,
+        interval=interval,
+        view_provider=lambda cpu: fc.switcher.current_index[cpu],
+    )
+    sampler.install()
+    engine = None
+    if probe_symbols:
+        engine = ProbeEngine(machine)
+        predicate = None
+        if probe_comm:
+            predicate = lambda task: task.comm == probe_comm  # noqa: E731
+        for symbol in probe_symbols:
+            engine.arm(symbol, predicate)
+    print(f"running {app} under its kernel view (sampling every "
+          f"{interval} cycles)...")
+    handle = launch(
+        machine, app, APP_CATALOG[app], scale=scale, seed=seed
+    )
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    sampler.uninstall()
+    return machine, fc, sampler, engine, handle.finished
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    """Sample one enforced run and render its flame graph + top table."""
+    problem = _unknown_apps([args.app])
+    if problem:
+        return _fail(problem)
+    machine, _fc, sampler, _engine, finished = _run_sampled(
+        args.app, args.scale, args.interval, args.seed
+    )
+    profile = sampler.profile
+    print()
+    print(f"{profile.samples} samples "
+          f"({len(profile.stacks)} unique stacks)")
+    print()
+    print(profile.render_flame(width=args.width))
+    print()
+    print(profile.render_top(limit=args.top))
+    if args.output:
+        from repro.telemetry import to_json
+
+        with open(args.output, "w") as fh:
+            fh.write(to_json(machine.telemetry))
+        print(f"\nwrote telemetry snapshot to {args.output}")
+    if not finished:
+        print("error: workload did not finish within the cycle budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    """Arm kprobe-style probes during one enforced, sampled run."""
+    from repro.obs.profiling.probes import ProbeError
+
+    problem = _unknown_apps([args.app])
+    if problem:
+        return _fail(problem)
+    try:
+        machine, _fc, _sampler, engine, finished = _run_sampled(
+            args.app,
+            args.scale,
+            args.interval,
+            args.seed,
+            probe_symbols=args.funcs,
+            probe_comm=args.app if args.app_only else None,
+        )
+    except ProbeError as exc:
+        return _fail(str(exc))
+    print()
+    print(f"{'HITS':>8}  {'FILTERED':>8}  FUNCTION")
+    for symbol in args.funcs:
+        probe = engine.probes[symbol]
+        print(f"{probe.hits:>8}  {probe.filtered:>8}  {probe.symbol}")
+    hits = machine.telemetry.labelled.get("probe.hits")
+    total = sum(hits.values.values()) if hits is not None else 0
+    print(f"\n{total} total probe hit(s) recorded")
+    if not finished:
+        print("error: workload did not finish within the cycle budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     """Render the attack/recovery narrative from a flight-recorder file."""
     from repro.obs import render_forensics
@@ -362,7 +476,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
-    text = generate_report(scale=args.scale, sections=args.sections)
+    try:
+        text = generate_report(scale=args.scale, sections=args.sections)
+    except ValueError as exc:
+        return _fail(str(exc))
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
@@ -444,6 +561,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
+        "flame",
+        help="sample one enforced run, render a text flame graph "
+        "and top-N hot-function table",
+    )
+    p.add_argument("app", nargs="?", default="find_pipe")
+    p.add_argument(
+        "--interval",
+        type=int,
+        default=20_000,
+        help="sampling period in virtual cycles (default 20000)",
+    )
+    p.add_argument(
+        "--seed", type=int, help="pin the workload RNG for a replayable run"
+    )
+    p.add_argument(
+        "--width", type=int, default=40, help="flame-graph bar width"
+    )
+    p.add_argument(
+        "--top", type=int, default=10, help="rows in the hot-function table"
+    )
+    p.add_argument("-o", "--output", help="save the telemetry snapshot JSON")
+    p.set_defaults(fn=_cmd_flame)
+
+    p = sub.add_parser(
+        "probe",
+        help="arm kprobe-style probes on kernel functions during one "
+        "enforced run, report hit counts",
+    )
+    p.add_argument("funcs", nargs="+", help="kernel function symbol(s)")
+    p.add_argument(
+        "--app", default="find_pipe", help="application to run (default find_pipe)"
+    )
+    p.add_argument(
+        "--app-only",
+        action="store_true",
+        help="only count hits while the probed app is current (VMI filter)",
+    )
+    p.add_argument(
+        "--interval",
+        type=int,
+        default=20_000,
+        help="sampling period in virtual cycles (default 20000)",
+    )
+    p.add_argument(
+        "--seed", type=int, help="pin the workload RNG for a replayable run"
+    )
+    p.set_defaults(fn=_cmd_probe)
+
+    p = sub.add_parser(
         "forensics",
         help="render the causal attack/recovery narrative from a journal",
     )
@@ -508,11 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--sections",
         nargs="*",
-        choices=[
-            "table1", "table2", "fig6", "fig7", "caches", "trace",
-            "observability",
-        ],
-        help="subset of sections to run",
+        help="subset of sections to run (see repro.analysis.report."
+        "KNOWN_SECTIONS); unknown names fail with a non-zero exit",
     )
     p.set_defaults(fn=_cmd_report)
 

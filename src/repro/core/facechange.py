@@ -17,6 +17,7 @@ recovery, and per-view EPT overrides.  The guest is never modified.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.core.kernel_view import KernelViewConfig
@@ -85,6 +86,10 @@ class FaceChange:
         self._next_index = 0
         self.enabled = False
         self._stats = FaceChangeStats(self)
+        #: statistical observability attached via environment knobs
+        #: (``REPRO_SAMPLE_INTERVAL``, ``REPRO_PROBE_FUNCS``) on enable()
+        self.sampler = None
+        self.probe_engine = None
         machine.runtime.module_load_listeners.append(self._on_module_loaded)
 
     # -- selector -----------------------------------------------------------------
@@ -104,6 +109,7 @@ class FaceChange:
             self.switcher.handle_context_switch_trap,
         )
         hv.set_invalid_opcode_handler(self._handle_invalid_opcode)
+        self._attach_env_observability()
         self.enabled = True
 
     def disable(self) -> None:
@@ -116,7 +122,45 @@ class FaceChange:
         hv = self.machine.hypervisor
         hv.unregister_address_trap(self.machine.image.address_of("context_switch"))
         hv.set_invalid_opcode_handler(None)
+        self._detach_env_observability()
         self.enabled = False
+
+    def _attach_env_observability(self) -> None:
+        """Install the sampler/probes the environment asks for.
+
+        ``REPRO_SAMPLE_INTERVAL=<cycles>`` installs the sampling
+        profiler wired to this instance's view switcher;
+        ``REPRO_PROBE_FUNCS=<sym>[,<sym>...]`` arms observer probes.
+        Both are how the benchmark suite and fleet workers turn the
+        statistical layer on without touching call sites.
+        """
+        interval = os.environ.get("REPRO_SAMPLE_INTERVAL", "")
+        if interval:
+            from repro.obs.profiling.sampler import SamplingProfiler
+
+            self.sampler = SamplingProfiler(
+                self.machine,
+                interval=int(interval),
+                view_provider=lambda cpu: self.switcher.current_index[cpu],
+            )
+            self.sampler.install()
+        probe_funcs = os.environ.get("REPRO_PROBE_FUNCS", "")
+        if probe_funcs:
+            from repro.obs.profiling.probes import ProbeEngine
+
+            self.probe_engine = ProbeEngine(self.machine)
+            for symbol in probe_funcs.split(","):
+                symbol = symbol.strip()
+                if symbol:
+                    self.probe_engine.arm(symbol)
+
+    def _detach_env_observability(self) -> None:
+        if self.sampler is not None:
+            self.sampler.uninstall()
+            self.sampler = None
+        if self.probe_engine is not None:
+            self.probe_engine.disarm_all()
+            self.probe_engine = None
 
     # -- view lifecycle ----------------------------------------------------------------
 

@@ -52,7 +52,7 @@ def _check_pristine(machine: Machine) -> None:
             "cannot capture a machine with live user tasks (generator "
             f"drivers are not cloneable): {', '.join(sorted(offenders))}"
         )
-    if machine.hypervisor._trap_handlers:
+    if machine.hypervisor._trap_entries:
         raise SnapshotError(
             "cannot capture a machine with address traps registered "
             "(detach FACE-CHANGE first; clones attach their own)"

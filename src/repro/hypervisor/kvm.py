@@ -17,6 +17,7 @@ a thin read-only view over those registry entries.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.hypervisor.vcpu import DecodeCache, Vcpu
@@ -29,6 +30,21 @@ from repro.telemetry import Telemetry
 VMEXIT_COST_CYCLES = 3500
 
 TrapHandler = Callable[[Vcpu, VmExit], None]
+
+
+@dataclass(frozen=True)
+class TrapEntry:
+    """One consumer of an address trap.
+
+    ``cpu`` is ``None`` for a trap armed on every vCPU, or a specific
+    ``cpu_id``.  ``observer`` entries are pure instrumentation (probes):
+    an exit whose matching entries are all observers charges zero guest
+    cycles, so arming a probe never perturbs virtual-cycle scores.
+    """
+
+    handler: TrapHandler
+    cpu: Optional[int]
+    observer: bool = False
 #: Returns True when the #UD was handled (code recovered) and the guest
 #: may resume at the same rip; False crashes the guest.
 InvalidOpcodeHandler = Callable[[Vcpu, VmExit], bool]
@@ -48,7 +64,9 @@ class ExitStage:
 
     Subclasses set :attr:`reason`/:attr:`name` and implement
     :meth:`handle`.  The hypervisor binds the stage's telemetry
-    instruments when the stage is added to the pipeline.
+    instruments when the stage is added to the pipeline.  A stage may
+    override :meth:`exit_cost` to vary the charged world-switch cost per
+    exit (observer-only trap exits charge nothing).
     """
 
     reason: VmExitReason
@@ -58,6 +76,10 @@ class ExitStage:
         self.exits = None  # bound by Hypervisor.add_stage
         self.charged_cycles = None
 
+    def exit_cost(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> int:
+        """Cycles to charge for the world switch before handling."""
+        return VMEXIT_COST_CYCLES
+
     def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
         raise NotImplementedError
 
@@ -66,17 +88,42 @@ class ExitStage:
 
 
 class AddressTrapStage(ExitStage):
-    """Guest fetched a trapped address (context_switch/resume_userspace)."""
+    """Guest fetched a trapped address (context_switch/resume_userspace).
+
+    An address may have several consumers (FACE-CHANGE's switcher plus
+    any number of probes); every entry matching the exiting vCPU runs,
+    in registration order.  When *only* observer entries match, the exit
+    is pure instrumentation and charges zero cycles -- the guest's
+    virtual clock is bit-identical with or without the probe.
+    """
 
     reason = VmExitReason.ADDRESS_TRAP
     name = "address_trap"
 
+    #: the (exit, entries) pair computed by ``exit_cost`` -- ``handle``
+    #: runs on the same exit immediately after, so the match is reused
+    #: rather than recomputed (probe-heavy runs take this exit per call)
+    _matched: Optional[tuple] = None
+
+    def exit_cost(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> int:
+        matched = hv.matching_trap_entries(exit_.rip, vcpu.cpu_id)
+        self._matched = (exit_, matched)
+        if matched and all(entry.observer for entry in matched):
+            return 0
+        return VMEXIT_COST_CYCLES
+
     def handle(self, hv: "Hypervisor", vcpu: Vcpu, exit_: VmExit) -> None:
         hv._per_trap_address.inc(exit_.rip)
-        handler = hv._trap_handlers.get(exit_.rip)
-        if handler is None:
+        cached = self._matched
+        self._matched = None
+        if cached is not None and cached[0] is exit_:
+            matched = cached[1]
+        else:
+            matched = hv.matching_trap_entries(exit_.rip, vcpu.cpu_id)
+        if not matched:
             raise GuestCrash(exit_)
-        handler(vcpu, exit_)
+        for entry in matched:
+            entry.handler(vcpu, exit_)
         vcpu.resume_past_trap()
 
 
@@ -153,8 +200,7 @@ class Hypervisor:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.vcpus: List[Vcpu] = []
         self.epts: List[ExtendedPageTable] = []
-        self._trap_handlers: Dict[int, TrapHandler] = {}
-        self._trap_armed: Dict[int, set] = {}
+        self._trap_entries: Dict[int, List[TrapEntry]] = {}
         self._invalid_opcode_handler: Optional[InvalidOpcodeHandler] = None
         self._idle_handler: Optional[IdleHandler] = None
         self._per_trap_address = self.telemetry.labelled_counter(
@@ -207,52 +253,95 @@ class Hypervisor:
         self.epts.append(ept)
         vcpu.attach_telemetry(self.telemetry)
         vcpu.use_block_cache(self.decode_cache)
-        for address in self._trap_handlers:
-            if None in self._trap_armed.get(address, set()):
+        for address, entries in self._trap_entries.items():
+            if any(entry.cpu is None for entry in entries):
                 vcpu.arm_trap(address)
+
+    def matching_trap_entries(self, address: int, cpu_id: int) -> List[TrapEntry]:
+        """The consumers of ``address`` for an exit on ``cpu_id``."""
+        return [
+            entry
+            for entry in self._trap_entries.get(address, ())
+            if entry.cpu is None or entry.cpu == cpu_id
+        ]
+
+    def trap_consumers(self, address: int) -> List[TrapEntry]:
+        """Every registered consumer of ``address`` (all scopes)."""
+        return list(self._trap_entries.get(address, ()))
 
     def register_address_trap(
         self,
         address: int,
         handler: TrapHandler,
         vcpu: Optional[Vcpu] = None,
+        observer: bool = False,
     ) -> None:
-        """Trap guest fetches of ``address`` (on one vCPU or on all)."""
-        self._trap_handlers[address] = handler
-        armed = self._trap_armed.setdefault(address, set())
+        """Trap guest fetches of ``address`` (on one vCPU or on all).
+
+        Consumers stack: registering a second handler on the same
+        address chains it after the existing ones rather than replacing
+        them, so probes compose with FACE-CHANGE's own traps.
+        Re-registering an identical ``(handler, scope)`` pair is
+        idempotent.  ``observer=True`` marks pure instrumentation whose
+        exits charge no guest cycles.
+        """
+        scope = None if vcpu is None else vcpu.cpu_id
+        entries = self._trap_entries.setdefault(address, [])
+        for i, entry in enumerate(entries):
+            if entry.handler is handler and entry.cpu == scope:
+                if entry.observer != observer:
+                    entries[i] = TrapEntry(handler, scope, observer)
+                break
+        else:
+            entries.append(TrapEntry(handler, scope, observer))
         if vcpu is None:
-            armed.add(None)  # sentinel: armed everywhere
             for each in self.vcpus:
                 each.arm_trap(address)
         else:
-            armed.add(vcpu.cpu_id)
             vcpu.arm_trap(address)
 
     def unregister_address_trap(
-        self, address: int, vcpu: Optional[Vcpu] = None
+        self,
+        address: int,
+        vcpu: Optional[Vcpu] = None,
+        handler: Optional[TrapHandler] = None,
     ) -> None:
         """Remove one consumer's arming of ``address``.
 
         Global arming (``vcpu=None``) and per-vCPU arming are tracked
         independently: unregistering the global consumer keeps the trap
-        armed on vCPUs that armed it specifically, and vice versa.  The
-        handler entry is only dropped once no consumer remains.
+        armed on vCPUs that armed it specifically, and vice versa.  With
+        ``handler`` given, only that handler's entry in the matching
+        scope is removed (other same-address consumers -- e.g. a probe
+        sharing FACE-CHANGE's resume trap -- survive in either removal
+        order).  A vCPU's trap is disarmed only once no covering entry
+        remains.
         """
-        armed = self._trap_armed.get(address)
-        if armed is None:
+        entries = self._trap_entries.get(address)
+        if entries is None:
             return
-        if vcpu is None:
-            armed.discard(None)
-            for each in self.vcpus:
-                if each.cpu_id not in armed:
-                    each.disarm_trap(address)
+        scope = None if vcpu is None else vcpu.cpu_id
+        survivors = []
+        removed = False
+        for entry in entries:
+            if entry.cpu == scope and (
+                handler is None or entry.handler is handler
+            ):
+                removed = True
+                continue
+            survivors.append(entry)
+        if not removed:
+            return
+        if survivors:
+            self._trap_entries[address] = survivors
         else:
-            armed.discard(vcpu.cpu_id)
-            if None not in armed:
-                vcpu.disarm_trap(address)
-        if not armed:
-            self._trap_handlers.pop(address, None)
-            self._trap_armed.pop(address, None)
+            self._trap_entries.pop(address, None)
+        covered_globally = any(entry.cpu is None for entry in survivors)
+        for each in self.vcpus:
+            if covered_globally:
+                continue
+            if not any(entry.cpu == each.cpu_id for entry in survivors):
+                each.disarm_trap(address)
 
     def set_invalid_opcode_handler(
         self, handler: Optional[InvalidOpcodeHandler]
@@ -298,7 +387,7 @@ class Hypervisor:
                     rip=exit_.rip,
                 )
             before = vcpu.cycles
-            self.charge(vcpu, VMEXIT_COST_CYCLES)
+            self.charge(vcpu, stage.exit_cost(self, vcpu, exit_))
             stage.exits.inc()
             if telemetry.recording:
                 # Root of the causal chain: everything the handler does

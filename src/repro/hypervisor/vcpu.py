@@ -155,6 +155,18 @@ class DecodeCache:
 #: about to execute.  Used by the profiling-phase component.
 BlockTracer = Callable[[int, int], None]
 
+#: Optional virtual-cycle sampler, checked at block boundaries once the
+#: virtual clock reaches the due cycle; returns the next due cycle.  The
+#: callback only *reads* vCPU state -- it must never advance the clock,
+#: arm traps or touch guest memory through writing paths, so execution
+#: is bit-identical with or without it (the sampling-profiler contract).
+CycleSampler = Callable[["Vcpu"], int]
+
+#: ``_sample_due`` sentinel while no sampler is installed: a cycle count
+#: the virtual clock can never reach, so the run loop's due check stays
+#: a single integer comparison in the common (unprofiled) case.
+_NEVER_DUE = 1 << 63
+
 
 class Vcpu:
     """A single virtual CPU."""
@@ -189,6 +201,11 @@ class Vcpu:
         self._sorted_traps: List[int] = []
         self._skip_trap_once: Optional[int] = None
         self.block_tracer: Optional[BlockTracer] = None
+        #: virtual-cycle sampler hook; ``None`` until a profiler installs
+        #: one.  Fired at block boundaries once ``cycles`` crosses the
+        #: due mark; the callback returns the next due cycle count.
+        self._cycle_sampler: Optional[CycleSampler] = None
+        self._sample_due = _NEVER_DUE
         # decoded-block cache: private until the hypervisor swaps in the
         # machine-level shared cache via use_block_cache()
         self.block_cache = DecodeCache()
@@ -290,6 +307,17 @@ class Vcpu:
         return VmExit(
             reason=reason, rip=self.eip, rbp=self.ebp, rsp=self.esp, detail=detail
         )
+
+    @property
+    def cycle_sampler(self) -> Optional[CycleSampler]:
+        return self._cycle_sampler
+
+    @cycle_sampler.setter
+    def cycle_sampler(self, sampler: Optional[CycleSampler]) -> None:
+        """Installing a sampler arms the due check; removing it parks the
+        due mark at a cycle count the clock can never reach."""
+        self._cycle_sampler = sampler
+        self._sample_due = 0 if sampler is not None else _NEVER_DUE
 
     def arm_trap(self, address: int) -> None:
         """Register a fetch trap at ``address`` (hypervisor interception)."""
@@ -454,9 +482,23 @@ class Vcpu:
     # -- execution --------------------------------------------------------------
 
     def run(self, budget: int = 1_000_000) -> VmExit:
-        """Execute until a VM exit occurs or ``budget`` instructions run."""
-        executed = 0
-        while executed < budget:
+        """Execute until a VM exit occurs or ``budget`` instructions run.
+
+        The budget counts *retired instructions* (``self.instructions``),
+        the same quantity the hypervisor's exit loop uses when it resumes
+        a slice after an exit.  Counting anything else (blocks, decoded
+        steps) would make the accounting restart from a different total
+        after an exit, so a zero-cost exit -- an observer probe trap --
+        would shift every later slice boundary and break bit-identity.
+        """
+        start = self.instructions
+        while self.instructions - start < budget:
+            # statistical sampler, checked at block boundaries; reads
+            # state only and charges nothing, so the virtual clock is
+            # bit-identical with or without it (due mark is _NEVER_DUE
+            # while no sampler is installed)
+            if self.cycles >= self._sample_due:
+                self._sample_due = self._cycle_sampler(self)
             # interrupt window, checked at block boundaries
             if self.if_enabled and self.bridge.interrupt_pending(self):
                 self.bridge.deliver_interrupt(self)
@@ -478,7 +520,6 @@ class Vcpu:
                 exit_ = self._execute_block(steps, terminator, block_len)
             except TranslationError as exc:
                 return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
-            executed += max(1, len(steps) + (1 if terminator else 0))
             if exit_ is not None:
                 return exit_
         return self.snapshot_exit(VmExitReason.BUDGET)

@@ -7,6 +7,9 @@ Two consumers of the flight recorder (:mod:`repro.telemetry.journal`):
 * :mod:`repro.obs.live` -- aggregate streamed worker heartbeats and
   journal segments into a live per-job view with profile-drift
   detection (``repro fleet --watch``).
+
+Statistical observability (sampling profiler, probes, heat analysis)
+lives in the :mod:`repro.obs.profiling` subpackage.
 """
 
 from repro.obs.forensics import (

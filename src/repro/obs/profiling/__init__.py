@@ -1,0 +1,56 @@
+"""Statistical observability: sampling profiler, probes, heat analysis.
+
+Three cooperating, guest-transparent parts (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.profiling.sampler` -- virtual-cycle sampling profiler
+  hooked into the vCPU run loop (``repro flame``);
+* :mod:`repro.obs.profiling.probes` -- kprobe-style dynamic probes on
+  observer address traps (``repro probe``);
+* :mod:`repro.obs.profiling.heat` -- sampled hotness joined against the
+  profile library's kernel views (``repro report --sections heat``).
+
+All of it obeys the spans contract from PR 4: zero guest cycles
+charged, virtual-cycle scores bit-identical on or off.
+"""
+
+from repro.obs.profiling.flame import (
+    decode_folded,
+    encode_folded,
+    escape_frame,
+    render_flame,
+    top_table,
+)
+from repro.obs.profiling.heat import (
+    AppHeat,
+    HeatReport,
+    HotUnprofiled,
+    OverheadAttribution,
+    analyze_heat,
+    format_heat_report,
+)
+from repro.obs.profiling.probes import Probe, ProbeEngine, ProbeError
+from repro.obs.profiling.sampler import (
+    DEFAULT_SAMPLE_INTERVAL,
+    SampleProfile,
+    SamplingProfiler,
+)
+
+__all__ = [
+    "AppHeat",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "HeatReport",
+    "HotUnprofiled",
+    "OverheadAttribution",
+    "Probe",
+    "ProbeEngine",
+    "ProbeError",
+    "SampleProfile",
+    "SamplingProfiler",
+    "analyze_heat",
+    "decode_folded",
+    "encode_folded",
+    "escape_frame",
+    "format_heat_report",
+    "render_flame",
+    "top_table",
+]

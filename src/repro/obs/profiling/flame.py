@@ -1,0 +1,123 @@
+"""Folded-stack encoding and text flame graphs.
+
+The sampler stores backtraces in Brendan Gregg's *folded* form: one
+string per unique stack, frames joined root-first with ``;``, mapped to
+a sample count (``root;mid;leaf 42``).  Folded stacks are the exchange
+format between the sampler, the telemetry snapshot (where they ride in
+a labelled counter and merge associatively across fleet workers) and
+the renderers here.
+
+Symbol names may themselves contain ``;`` or ``\\`` (nothing in the
+kernel catalog stops them), so frames are escaped on encode and
+unescaped on decode; ``decode_folded(encode_folded(frames)) == frames``
+for arbitrary frame names (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+_ESCAPE = {";": "\\;", "\\": "\\\\"}
+
+
+def escape_frame(name: str) -> str:
+    """Escape one frame name for embedding in a folded stack."""
+    return name.replace("\\", "\\\\").replace(";", "\\;")
+
+
+def encode_folded(frames: Sequence[str]) -> str:
+    """Join root-first ``frames`` into one folded-stack string."""
+    return ";".join(escape_frame(frame) for frame in frames)
+
+
+def decode_folded(folded: str) -> List[str]:
+    """Split a folded-stack string back into its frame names."""
+    frames: List[str] = []
+    current: List[str] = []
+    it = iter(folded)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, None)
+            if nxt is None:
+                current.append("\\")
+            else:
+                current.append(nxt)
+        elif ch == ";":
+            frames.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    frames.append("".join(current))
+    if frames == [""]:
+        return []
+    return frames
+
+
+class _Node:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _build_tree(stacks: Mapping[str, int]) -> _Node:
+    root = _Node("all")
+    for folded, count in stacks.items():
+        root.count += count
+        node = root
+        for frame in decode_folded(folded):
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _Node(frame)
+            node = child
+            node.count += count
+    return root
+
+
+def render_flame(
+    stacks: Mapping[str, int], width: int = 40, min_count: int = 1
+) -> str:
+    """Render folded stacks as an indented text flame graph.
+
+    Children are ordered by descending count then name, so output is
+    deterministic for a given profile.  ``width`` scales the bar drawn
+    next to each frame; frames below ``min_count`` samples are elided.
+    """
+    root = _build_tree(stacks)
+    total = root.count
+    if total == 0:
+        return "(no samples)"
+    lines = [f"all [{total} samples]"]
+
+    def walk(node: _Node, depth: int) -> None:
+        ordered = sorted(
+            node.children.values(), key=lambda n: (-n.count, n.name)
+        )
+        for child in ordered:
+            if child.count < min_count:
+                continue
+            bar = "#" * max(1, round(width * child.count / total))
+            pct = 100.0 * child.count / total
+            lines.append(
+                f"{'  ' * (depth + 1)}{child.name} "
+                f"[{child.count} | {pct:.1f}%] {bar}"
+            )
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def top_table(
+    rows: Iterable[Tuple[str, str, int]], limit: int = 10
+) -> str:
+    """Render a top-N hot-function table from (symbol, segment, count)."""
+    ranked = sorted(rows, key=lambda r: (-r[2], r[0], r[1]))[:limit]
+    total = sum(r[2] for r in ranked) or 1
+    lines = [f"{'SAMPLES':>8}  {'%TOP':>6}  {'SEGMENT':<14}  FUNCTION"]
+    for symbol, segment, count in ranked:
+        pct = 100.0 * count / total
+        lines.append(f"{count:>8}  {pct:>5.1f}%  {segment:<14}  {symbol}")
+    return "\n".join(lines)

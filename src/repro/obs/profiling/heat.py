@@ -1,0 +1,215 @@
+"""Kernel-view heat analysis: join sampled hotness against profiles.
+
+FACE-CHANGE's security argument rests on views matching what each
+application actually executes (§III-A).  Heat analysis checks that
+claim statistically by joining a :class:`SampleProfile` (what the
+sampler observed) against the per-app :class:`KernelProfile` ranges
+(what the offline phase put in the view):
+
+* **hot-but-unprofiled** functions -- sampled under an app but absent
+  from its profile: every future call is a #UD recovery waiting to
+  happen (future recovery risk);
+* **profiled-but-never-sampled** bytes -- view regions no sample ever
+  landed in (view bloat / attack surface kept mapped for nothing);
+* **overhead attribution** -- virtual cycles charged inside the
+  enforcement paths (EPT world switches, trap exits, #UD recoveries)
+  versus the samples observed doing guest work.
+
+The input is a telemetry *snapshot* dict, so the same analysis runs on
+a solo machine or on a fleet result merged by
+:func:`repro.telemetry.merge.merge_snapshots` -- merged heat equals
+solo heat for the same seeds (integration-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rangelist import RangeList
+from repro.obs.profiling.sampler import SampleProfile
+
+
+@dataclass
+class HotUnprofiled:
+    """A function observed hot under an app but missing from its view."""
+
+    comm: str
+    symbol: str
+    segment: str
+    rel_start: int
+    rel_end: int
+    samples: int
+
+
+@dataclass
+class AppHeat:
+    """Per-application join of samples vs. profiled ranges."""
+
+    comm: str
+    samples: int
+    profiled_bytes: int
+    sampled_bytes: int
+    covered_bytes: int  # profiled ∩ sampled
+    hot_unprofiled: List[HotUnprofiled] = field(default_factory=list)
+
+    @property
+    def bloat_bytes(self) -> int:
+        """Profiled bytes no sample ever landed in."""
+        return self.profiled_bytes - self.covered_bytes
+
+    @property
+    def bloat_ratio(self) -> float:
+        if self.profiled_bytes == 0:
+            return 0.0
+        return self.bloat_bytes / self.profiled_bytes
+
+
+@dataclass
+class OverheadAttribution:
+    """Enforcement cycles vs. observed guest work, from snapshot metrics."""
+
+    switch_cycles: int
+    trap_exit_cycles: int
+    recovery_cycles: int
+    switches: int
+    recoveries: int
+    samples: int
+
+    @property
+    def enforcement_cycles(self) -> int:
+        return self.switch_cycles + self.trap_exit_cycles + self.recovery_cycles
+
+
+@dataclass
+class HeatReport:
+    apps: Dict[str, AppHeat]
+    overhead: OverheadAttribution
+
+    @property
+    def hot_unprofiled(self) -> List[HotUnprofiled]:
+        out: List[HotUnprofiled] = []
+        for heat in self.apps.values():
+            out.extend(heat.hot_unprofiled)
+        out.sort(key=lambda h: (-h.samples, h.comm, h.symbol))
+        return out
+
+
+def _histogram_total(snapshot: Dict, name: str) -> int:
+    return snapshot.get("histograms", {}).get(name, {}).get("total", 0)
+
+
+def _counter(snapshot: Dict, name: str) -> int:
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def analyze_heat(
+    snapshot: Dict,
+    configs: Dict[str, "KernelViewConfig"],  # noqa: F821 - lazy type
+    profile: Optional[SampleProfile] = None,
+) -> HeatReport:
+    """Join a telemetry snapshot's samples against per-app view configs.
+
+    ``configs`` maps application comm to the offline-phase
+    :class:`~repro.core.kernel_view.KernelViewConfig` (the profile
+    library's entries).  ``profile`` defaults to the one embedded in
+    the snapshot's labelled counters.
+    """
+    if profile is None:
+        profile = SampleProfile.from_snapshot(snapshot)
+    apps: Dict[str, AppHeat] = {}
+    for comm, config in sorted(configs.items()):
+        kernel_profile = config.profile
+        rows = profile.function_rows(comm=comm)
+        # sampled function ranges per segment
+        sampled: Dict[str, RangeList] = {}
+        samples = 0
+        for _symbol, segment, count, rel_start, rel_end in rows:
+            sampled.setdefault(segment, RangeList()).add(rel_start, rel_end)
+            samples += count
+        profiled_bytes = kernel_profile.size
+        sampled_bytes = sum(r.size for r in sampled.values())
+        covered = 0
+        for segment, ranges in sampled.items():
+            profiled = kernel_profile.segments.get(segment)
+            if profiled is not None:
+                covered += profiled.intersect(ranges).size
+        heat = AppHeat(
+            comm=comm,
+            samples=samples,
+            profiled_bytes=profiled_bytes,
+            sampled_bytes=sampled_bytes,
+            covered_bytes=covered,
+        )
+        for symbol, segment, count, rel_start, rel_end in rows:
+            profiled = kernel_profile.segments.get(segment)
+            overlap_size = (
+                profiled.intersect(RangeList([(rel_start, rel_end)])).size
+                if profiled is not None
+                else 0
+            )
+            if overlap_size == 0:
+                heat.hot_unprofiled.append(
+                    HotUnprofiled(
+                        comm=comm,
+                        symbol=symbol,
+                        segment=segment,
+                        rel_start=rel_start,
+                        rel_end=rel_end,
+                        samples=count,
+                    )
+                )
+        heat.hot_unprofiled.sort(key=lambda h: (-h.samples, h.symbol))
+        apps[comm] = heat
+    overhead = OverheadAttribution(
+        switch_cycles=_histogram_total(snapshot, "switch.ept_cycles"),
+        trap_exit_cycles=_histogram_total(
+            snapshot, "hv.exit_cycles.address_trap"
+        ),
+        recovery_cycles=_histogram_total(
+            snapshot, "hv.exit_cycles.invalid_opcode"
+        ),
+        switches=_counter(snapshot, "switch.switches"),
+        recoveries=_counter(snapshot, "recovery.recoveries"),
+        samples=profile.samples,
+    )
+    return HeatReport(apps=apps, overhead=overhead)
+
+
+def format_heat_report(report: HeatReport, limit: int = 10) -> str:
+    """Render a heat report as the text block ``repro report`` embeds."""
+    lines: List[str] = []
+    lines.append(
+        f"{'APP':<14} {'SAMPLES':>8} {'PROFILED':>9} {'COVERED':>8} "
+        f"{'BLOAT':>7} {'BLOAT%':>7} {'HOT-UNPROF':>10}"
+    )
+    for comm, heat in sorted(report.apps.items()):
+        lines.append(
+            f"{comm:<14} {heat.samples:>8} {heat.profiled_bytes:>9} "
+            f"{heat.covered_bytes:>8} {heat.bloat_bytes:>7} "
+            f"{100 * heat.bloat_ratio:>6.1f}% {len(heat.hot_unprofiled):>10}"
+        )
+    hot = report.hot_unprofiled[:limit]
+    if hot:
+        lines.append("")
+        lines.append("hot-but-unprofiled (future recovery risk):")
+        for entry in hot:
+            lines.append(
+                f"  {entry.comm:<14} {entry.symbol:<28} "
+                f"{entry.segment:<14} {entry.samples:>6} samples"
+            )
+    ov = report.overhead
+    lines.append("")
+    lines.append("overhead attribution (virtual cycles):")
+    lines.append(
+        f"  ept switches     : {ov.switch_cycles:>12} "
+        f"({ov.switches} switches)"
+    )
+    lines.append(f"  trap exits       : {ov.trap_exit_cycles:>12}")
+    lines.append(
+        f"  recovery (#UD)   : {ov.recovery_cycles:>12} "
+        f"({ov.recoveries} recoveries)"
+    )
+    lines.append(f"  enforcement total: {ov.enforcement_cycles:>12}")
+    lines.append(f"  samples observed : {ov.samples:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Profiling properties: folded-stack codec, sampler-merge associativity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.profiling.flame import decode_folded, encode_folded
+from repro.obs.profiling.sampler import SampleProfile
+
+# Symbol-ish frame names, deliberately including the characters the
+# folded format must escape (';' joins frames, '\' escapes).
+_frames = st.text(
+    alphabet=st.sampled_from(list(";\\ab_0") + ["<", ">"]),
+    min_size=1,
+    max_size=12,
+)
+_stacks = st.lists(_frames, min_size=0, max_size=10)
+
+_samples = st.lists(
+    st.tuples(
+        st.sampled_from(["top", "gzip", "find_pipe"]),  # comm
+        st.integers(min_value=-1, max_value=3),  # view
+        st.integers(min_value=0, max_value=3),  # cpu
+        _stacks,  # frames (root-first)
+    ),
+    max_size=40,
+)
+
+
+class TestFoldedRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(frames=_stacks)
+    def test_encode_decode_round_trip(self, frames):
+        assert decode_folded(encode_folded(frames)) == frames
+
+    @settings(max_examples=100, deadline=None)
+    @given(frames=st.lists(_frames, min_size=2, max_size=10),
+           depth=st.integers(min_value=0, max_value=10))
+    def test_truncated_chain_round_trips(self, frames, depth):
+        # an ebp walk that stops early yields a prefix of the full
+        # chain; a truncated stack must survive the codec unchanged
+        truncated = frames[: min(depth, len(frames))]
+        assert decode_folded(encode_folded(truncated)) == truncated
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=_stacks, b=_stacks)
+    def test_encoding_is_injective(self, a, b):
+        if a != b:
+            assert encode_folded(a) != encode_folded(b)
+
+
+def _profile_of(samples):
+    profile = SampleProfile()
+    for comm, view, cpu, frames in samples:
+        profile.add_sample(comm, view, cpu, frames)
+    return profile
+
+
+def _state(profile):
+    return (profile.samples, profile.stacks, profile.functions)
+
+
+class TestMergeAssociativity:
+    @settings(max_examples=100, deadline=None)
+    @given(samples=_samples, cut=st.integers(min_value=0, max_value=40))
+    def test_worker_merge_equals_concatenated(self, samples, cut):
+        """merge(per-worker profiles) == one profile of all samples."""
+        cut = min(cut, len(samples))
+        merged = SampleProfile.merged(
+            [_profile_of(samples[:cut]), _profile_of(samples[cut:])]
+        )
+        assert _state(merged) == _state(_profile_of(samples))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_samples, b=_samples, c=_samples)
+    def test_merge_grouping_is_irrelevant(self, a, b, c):
+        left = _profile_of(a).merge(_profile_of(b)).merge(_profile_of(c))
+        right = _profile_of(a).merge(
+            _profile_of(b).merge(_profile_of(c))
+        )
+        assert _state(left) == _state(right)

@@ -177,3 +177,46 @@ def test_forensics_legacy_snapshot_fallback(tmp_path, capsys):
     captured = capsys.readouterr().out
     assert "legacy" in captured
     assert "(cycles, rip)" in captured
+
+
+def test_flame_command(tmp_path, capsys):
+    out = tmp_path / "flame.json"
+    assert main(
+        ["--scale", "2", "flame", "find_pipe", "--seed", "7",
+         "-o", str(out)]
+    ) == 0
+    captured = capsys.readouterr().out
+    assert "samples" in captured
+    assert "FUNCTION" in captured  # the top-N table header
+    assert "all [" in captured  # the flame graph root
+    assert out.exists()
+
+
+def test_flame_unknown_app(capsys):
+    assert main(["flame", "no-such-app"]) == 2
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_probe_command(capsys):
+    assert main(
+        ["--scale", "2", "probe", "pipe_write", "--app", "find_pipe",
+         "--seed", "7"]
+    ) == 0
+    captured = capsys.readouterr().out
+    assert "pipe_write" in captured
+    assert "probe hit(s) recorded" in captured
+
+
+def test_probe_unknown_symbol(capsys):
+    assert main(
+        ["--scale", "2", "probe", "definitely_not_a_symbol",
+         "--app", "find_pipe"]
+    ) == 2
+    assert "unknown kernel symbol" in capsys.readouterr().err
+
+
+def test_report_rejects_unknown_section(capsys):
+    assert main(["report", "--sections", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown report section" in err
+    assert "nonsense" in err

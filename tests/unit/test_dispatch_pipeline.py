@@ -136,7 +136,7 @@ class TestTrapArming:
         hv.unregister_address_trap(CODE)  # drop only the global consumer
         assert CODE not in v0.trap_addresses
         assert CODE in v1.trap_addresses  # per-vCPU arming survives
-        assert CODE in hv._trap_handlers  # handler entry survives too
+        assert hv.trap_consumers(CODE)  # handler entry survives too
 
     def test_per_vcpu_unregister_keeps_global_arming(self):
         _, hv, (v0, v1) = make_world(vcpu_count=2)
@@ -146,7 +146,7 @@ class TestTrapArming:
         # the global consumer still needs the trap on every vCPU
         assert CODE in v0.trap_addresses
         assert CODE in v1.trap_addresses
-        assert CODE in hv._trap_handlers
+        assert hv.trap_consumers(CODE)
 
     def test_handler_dropped_once_all_consumers_gone(self):
         _, hv, (v0, v1) = make_world(vcpu_count=2)
@@ -156,8 +156,8 @@ class TestTrapArming:
         hv.unregister_address_trap(CODE, vcpu=v1)
         assert CODE not in v0.trap_addresses
         assert CODE not in v1.trap_addresses
-        assert CODE not in hv._trap_handlers
-        assert CODE not in hv._trap_armed
+        assert not hv.trap_consumers(CODE)
+        assert CODE not in hv._trap_entries
 
     def test_unregister_unknown_address_is_noop(self):
         _, hv, (v0,) = make_world()

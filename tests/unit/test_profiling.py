@@ -1,0 +1,222 @@
+"""Unit tests: flame rendering, sample profiles, the vCPU sampler hook,
+and probe/trap-chain composition at the hypervisor level."""
+
+from repro.hypervisor.kvm import Hypervisor, VMEXIT_COST_CYCLES
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+from repro.obs.profiling import (
+    SampleProfile,
+    decode_folded,
+    encode_folded,
+    render_flame,
+    top_table,
+)
+
+CODE = 0x00010000
+#: park: hlt; jmp back to the hlt (keeps idle exits flowing until budget)
+PARK = b"\xf4\xe9\xfa\xff\xff\xff"
+
+
+class IdleBridge(SemanticsBridge):
+    def interrupt_pending(self, vcpu):
+        return False
+
+
+def make_world(vcpu_count=1):
+    physmem = PhysicalMemory()
+    hv = Hypervisor(physmem)
+    pt = GuestPageTable()
+    pt.map_page(CODE, CODE)
+    pt.map_page(0x00020000, 0x00020000)
+    vcpus = []
+    for cpu_id in range(vcpu_count):
+        ept = ExtendedPageTable()
+        mmu = Mmu(physmem, ept)
+        mmu.set_cr3(pt)
+        vcpu = Vcpu(cpu_id, mmu, IdleBridge())
+        vcpu.eip = CODE
+        vcpu.esp = 0x00020FF0 - cpu_id * 64
+        hv.attach_vcpu(vcpu, ept)
+        vcpus.append(vcpu)
+    return physmem, hv, vcpus
+
+
+class TestFlameRendering:
+    def test_decode_handles_escaped_separators(self):
+        assert decode_folded("a\\;b;c\\\\d") == ["a;b", "c\\d"]
+        assert decode_folded("") == []
+        assert encode_folded(["a;b", "c\\d"]) == "a\\;b;c\\\\d"
+
+    def test_render_is_deterministic_and_ordered(self):
+        stacks = {"main;read": 3, "main;write": 1, "idle": 2}
+        text = render_flame(stacks)
+        assert text == render_flame(dict(reversed(list(stacks.items()))))
+        lines = text.splitlines()
+        assert lines[0] == "all [6 samples]"
+        # siblings ordered by count: main(4) before idle(2),
+        # read(3) before write(1)
+        assert lines.index("  main [4 | 66.7%] ###########################") \
+            < lines.index("  idle [2 | 33.3%] #############")
+        assert text.index("read") < text.index("write")
+
+    def test_render_empty_profile(self):
+        assert render_flame({}) == "(no samples)"
+
+    def test_top_table_ranks_by_count(self):
+        text = top_table(
+            [("cold_fn", "base kernel", 1), ("hot_fn", "ext4", 9)], limit=5
+        )
+        lines = text.splitlines()
+        assert "hot_fn" in lines[1]
+        assert "cold_fn" in lines[2]
+
+
+class TestSampleProfile:
+    def test_folded_filters_by_comm_and_view(self):
+        profile = SampleProfile()
+        profile.add_sample("top", 0, 0, ["a", "b"])
+        profile.add_sample("top", 1, 0, ["a", "b"])
+        profile.add_sample("gzip", 0, 1, ["c"])
+        assert profile.folded() == {"a;b": 2, "c": 1}
+        assert profile.folded(comm="top") == {"a;b": 2}
+        assert profile.folded(comm="top", view=1) == {"a;b": 1}
+        assert profile.comms() == ["gzip", "top"]
+
+    def test_snapshot_round_trip(self):
+        profile = SampleProfile()
+        profile.add_sample(
+            "top", 0, 0, ["a"], function_key="top\tbase kernel\t0\t16\ta"
+        )
+        snapshot = {
+            "counters": {"profile.samples": profile.samples},
+            "labelled_counters": {
+                "profile.stacks": dict(profile.stacks),
+                "profile.functions": dict(profile.functions),
+            },
+        }
+        restored = SampleProfile.from_snapshot(snapshot)
+        assert restored.samples == profile.samples
+        assert restored.stacks == profile.stacks
+        assert restored.functions == profile.functions
+
+    def test_function_rows_aggregate_across_comms(self):
+        profile = SampleProfile()
+        key_a = "top\tbase kernel\t0\t16\tfn"
+        key_b = "gzip\tbase kernel\t0\t16\tfn"
+        profile.add_sample("top", 0, 0, ["fn"], function_key=key_a)
+        profile.add_sample("gzip", 0, 0, ["fn"], function_key=key_b)
+        rows = profile.function_rows()
+        assert rows == [("fn", "base kernel", 2, 0, 16)]
+        assert profile.function_rows(comm="top") == [
+            ("fn", "base kernel", 1, 0, 16)
+        ]
+
+
+class TestVcpuSamplerHook:
+    def test_sampler_fires_on_cycle_grid(self):
+        physmem, hv, (vcpu,) = make_world()
+        physmem.write(CODE, b"\x90" * 10 + PARK)
+        hv.set_idle_handler(lambda v: None)
+        seen = []
+
+        def sampler(v):
+            seen.append(v.cycles)
+            return ((v.cycles // 50) + 1) * 50
+
+        vcpu.cycle_sampler = sampler
+        hv.run(vcpu, budget=300)
+        assert seen, "sampler never fired"
+        # strictly increasing observation points, one per crossing
+        assert seen == sorted(set(seen))
+
+    def test_sampler_does_not_change_virtual_cycles(self):
+        runs = []
+        for install in (False, True):
+            physmem, hv, (vcpu,) = make_world()
+            physmem.write(CODE, b"\x90" * 10 + PARK)
+            hv.set_idle_handler(lambda v: None)
+            if install:
+                vcpu.cycle_sampler = lambda v: v.cycles + 25
+            hv.run(vcpu, budget=500)
+            runs.append((vcpu.cycles, vcpu.instructions))
+        assert runs[0] == runs[1]
+
+
+class TestObserverTrapChains:
+    """Probe-style observer entries composing with ordinary consumers."""
+
+    def test_observer_only_trap_charges_zero_exit_cycles(self):
+        physmem, hv, (vcpu,) = make_world()
+        physmem.write(CODE, b"\x90" + PARK)
+        hits = []
+        hv.register_address_trap(
+            CODE, lambda v, e: hits.append(v.cycles), observer=True
+        )
+        hv.set_idle_handler(lambda v: None)
+        hv.run(vcpu, budget=40)
+        assert hits
+        hist = hv.telemetry.histogram("hv.exit_cycles.address_trap")
+        assert hist.count == 1
+        assert hist.max == 0  # observers are free
+
+    def test_mixed_consumers_still_charge_the_world_switch(self):
+        physmem, hv, (vcpu,) = make_world()
+        physmem.write(CODE, b"\x90" + PARK)
+        hv.register_address_trap(CODE, lambda v, e: None, observer=True)
+        hv.register_address_trap(CODE, lambda v, e: None)
+        hv.set_idle_handler(lambda v: None)
+        hv.run(vcpu, budget=40)
+        hist = hv.telemetry.histogram("hv.exit_cycles.address_trap")
+        assert hist.min >= VMEXIT_COST_CYCLES
+
+    def test_probe_and_per_vcpu_trap_survive_either_removal_order(self):
+        """The PR 1 fix area: a global observer (probe) and a per-vCPU
+        consumer (FACE-CHANGE resume trap) share an address."""
+        for remove_probe_first in (True, False):
+            physmem, hv, (v0, v1) = make_world(vcpu_count=2)
+            physmem.write(CODE, b"\x90" + PARK)
+            seen = []
+
+            def probe(v, e):
+                seen.append(("probe", v.cpu_id))
+
+            def resume(v, e):
+                seen.append(("resume", v.cpu_id))
+
+            hv.register_address_trap(CODE, probe, observer=True)
+            hv.register_address_trap(CODE, resume, vcpu=v1)
+            if remove_probe_first:
+                hv.unregister_address_trap(CODE, handler=probe)
+                assert CODE in v1.trap_addresses  # resume still armed
+                hv.set_idle_handler(lambda v: None)
+                hv.run(v1, budget=30)
+                assert ("resume", 1) in seen
+                assert not any(kind == "probe" for kind, _ in seen)
+                hv.unregister_address_trap(CODE, vcpu=v1, handler=resume)
+            else:
+                hv.unregister_address_trap(CODE, vcpu=v1, handler=resume)
+                assert CODE in v0.trap_addresses  # probe is global
+                assert CODE in v1.trap_addresses
+                hv.set_idle_handler(lambda v: None)
+                hv.run(v0, budget=30)
+                assert ("probe", 0) in seen
+                assert not any(kind == "resume" for kind, _ in seen)
+                hv.unregister_address_trap(CODE, handler=probe)
+            assert not hv.trap_consumers(CODE)
+            assert CODE not in v0.trap_addresses
+            assert CODE not in v1.trap_addresses
+
+    def test_both_consumers_fire_in_registration_order(self):
+        physmem, hv, (vcpu,) = make_world()
+        physmem.write(CODE, b"\x90" + PARK)
+        order = []
+        hv.register_address_trap(
+            CODE, lambda v, e: order.append("probe"), observer=True
+        )
+        hv.register_address_trap(CODE, lambda v, e: order.append("switch"))
+        hv.set_idle_handler(lambda v: None)
+        hv.run(vcpu, budget=40)
+        assert order == ["probe", "switch"]
