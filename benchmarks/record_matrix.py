@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Record the guest variant matrix results (``BENCH_matrix.json``).
+
+The declarative :class:`repro.guest.config.GuestConfig` refactor
+replaced the hard-coded kernel build; this benchmark is its safety net
+plus the proof that the variant matrix actually works:
+
+* **bit-identity gate** -- a machine booted from the *default* config
+  must reproduce the pre-refactor build exactly: same physical-memory
+  image hash, and the same per-job ``(cycles, syscalls)`` scores for a
+  reference job suite (values pinned below, recorded before the
+  refactor landed);
+* **variant gate** -- at least two non-default variants (the paper's
+  offline platform ``qemu-tsc`` on the default build, and a 2-vCPU
+  ``kvm-pvclock`` guest with the reduced module set) must boot, profile
+  one app, run one clean job and one attack job each, and detect the
+  attack.  Per-variant config digests and build digests are recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_matrix.py
+
+``REPRO_BENCH_SCALE`` (default 2, CI uses 1) sets the workload scale
+for the default-build reference jobs; variant jobs always run at
+scale 1 (they gate boot + detection, not workload behaviour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: SHA-256 over the default build's frozen physical frames (sorted by
+#: host frame number), recorded from the pre-refactor hard-coded build.
+DEFAULT_IMAGE_SHA = (
+    "7cfbf8ba4e9e5abe353d9c53dbecb2a7d79b3b5ff41d2004b2a8db1c072c7183"
+)
+#: Frame count of that image.
+DEFAULT_FRAME_COUNT = 157
+
+#: ``(cycles, syscalls)`` per reference job, keyed ``"{scale}:{name}"``,
+#: recorded on the pre-refactor hard-coded build.  The default config
+#: must reproduce every one bit-identically.
+REFERENCE_SCORES = {
+    "1:top#0": [632089, 24],
+    "1:gzip#0": [1804592, 23],
+    "1:top+Injectso#0": [2205348, 29],
+    "2:top#0": [2006437, 38],
+    "2:gzip#0": [1407005, 31],
+    "2:top+Injectso#0": [2406252, 43],
+}
+
+#: Non-default variants the matrix gate sweeps: the paper's offline
+#: profiling platform (same kernel build, tsc clocksource) and an SMP
+#: guest built without the e1000 module (so its attack must be one that
+#: does not touch the network path).
+MATRIX_VARIANTS = ["qemu-tsc", "smp2-nonet"]
+MATRIX_APP = "top"
+MATRIX_ATTACK = "Adore-ng"
+
+
+def _bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "2"))
+
+
+def _image_sha(machine) -> "tuple[str, int]":
+    """Hash the booted machine's physical frames (order-independent)."""
+    frames = machine.physmem.freeze_frames()
+    digest = hashlib.sha256()
+    for hpfn in sorted(frames):
+        digest.update(hpfn.to_bytes(8, "little"))
+        digest.update(frames[hpfn])
+    return digest.hexdigest(), len(frames)
+
+
+def _run_reference_jobs(scale: int) -> "tuple[dict, list]":
+    """Default-build jobs whose scores must equal the pinned values."""
+    from repro.fleet.jobs import profile_app_offline, run_job_on_fresh_machine
+    from repro.fleet.spec import FleetJob
+
+    jobs = [
+        FleetJob(app="top", scale=scale, name="top#0"),
+        FleetJob(app="gzip", scale=scale, name="gzip#0"),
+        FleetJob(
+            app="top", scale=scale, attack="Injectso", name="top+Injectso#0"
+        ),
+    ]
+    records = {
+        app: profile_app_offline(app, scale=scale)
+        for app in sorted({job.app for job in jobs})
+    }
+    per_job = {}
+    mismatches = []
+    for job in jobs:
+        result = run_job_on_fresh_machine(job, records[job.app])
+        expected = REFERENCE_SCORES.get(f"{scale}:{job.name}")
+        got = [result.cycles, result.syscalls]
+        per_job[job.name] = {
+            "ok": result.ok,
+            "score": got,
+            "expected": expected,
+            "identical": bool(result.ok and got == expected),
+        }
+        if not result.ok:
+            mismatches.append(f"{job.name}: job failed: {result.error}")
+        elif expected is None:
+            mismatches.append(
+                f"{job.name}: no pinned reference for scale {scale}"
+            )
+        elif got != expected:
+            mismatches.append(
+                f"{job.name}: default build scored {got}, "
+                f"pre-refactor build scored {expected}"
+            )
+    return per_job, mismatches
+
+
+def _run_variant(name: str) -> "tuple[dict, list]":
+    """Boot one non-default variant, profile, run clean + attack jobs."""
+    from repro.fleet.jobs import profile_app_offline, run_job_on_fresh_machine
+    from repro.fleet.spec import FleetJob
+    from repro.guest import boot_machine
+    from repro.guest.config import resolve_guest
+
+    config = resolve_guest(name)
+    problems = []
+    machine = boot_machine(config=config)
+    booted = machine.runtime is not None
+    if not booted:
+        problems.append(f"{name}: failed to boot")
+    record = profile_app_offline(MATRIX_APP, scale=1, guest=config)
+    jobs = [
+        FleetJob(app=MATRIX_APP, scale=1, guest=config),
+        FleetJob(app=MATRIX_APP, scale=1, attack=MATRIX_ATTACK, guest=config),
+    ]
+    rows = {}
+    for job in jobs:
+        result = run_job_on_fresh_machine(job, record)
+        label = f"{job.identity()}"
+        rows[label] = {
+            "ok": result.ok,
+            "score": [result.cycles, result.syscalls],
+            "detected": result.detected,
+        }
+        if not result.ok:
+            problems.append(f"{name}: {label} failed: {result.error}")
+        elif job.attack and result.detected is not True:
+            problems.append(f"{name}: {label} did not detect {job.attack}")
+    return {
+        "label": config.label(),
+        "digest": config.digest(),
+        "build_digest": config.build_digest(),
+        "platform": config.platform,
+        "vcpus": config.vcpus,
+        "modules": list(config.modules),
+        "booted": booted,
+        "profile_pinned_to": record.guest_digest,
+        "jobs": rows,
+    }, problems
+
+
+def main() -> int:
+    from repro.guest import boot_machine
+    from repro.guest.config import DEFAULT_GUEST_CONFIG
+
+    scale = _bench_scale()
+    status = 0
+
+    print("gate 1: default config reproduces the pre-refactor build...")
+    machine = boot_machine()
+    image_sha, frame_count = _image_sha(machine)
+    image_ok = (
+        image_sha == DEFAULT_IMAGE_SHA and frame_count == DEFAULT_FRAME_COUNT
+    )
+    print(f"  image {image_sha[:16]}... ({frame_count} frames) "
+          f"{'== pre-refactor' if image_ok else 'DRIFTED'}")
+    if not image_ok:
+        print(f"  expected {DEFAULT_IMAGE_SHA[:16]}... "
+              f"({DEFAULT_FRAME_COUNT} frames)")
+        status = 1
+
+    per_job, mismatches = _run_reference_jobs(scale)
+    for name, row in sorted(per_job.items()):
+        mark = "ok" if row["identical"] else "DRIFTED"
+        print(f"  {name:<20} {row['score']} {mark}")
+    if mismatches:
+        print("DEFAULT BUILD DRIFT (the refactor changed guest behaviour):")
+        for line in mismatches:
+            print(f"  {line}")
+        status = 1
+
+    print("gate 2: non-default variants boot, profile, run, detect...")
+    variants = {}
+    for name in MATRIX_VARIANTS:
+        row, problems = _run_variant(name)
+        variants[name] = row
+        print(f"  {name:<12} digest={row['digest'][:12]} "
+              f"build={row['build_digest'][:12]} "
+              f"platform={row['platform']} vcpus={row['vcpus']}")
+        for label, job in sorted(row["jobs"].items()):
+            extra = "  detected" if job["detected"] else ""
+            print(f"    {label:<24} ok={job['ok']} "
+                  f"score={job['score']}{extra}")
+        if problems:
+            for line in problems:
+                print(f"  VARIANT FAILURE: {line}")
+            status = 1
+
+    out = {
+        "scale": scale,
+        "default": {
+            "digest": DEFAULT_GUEST_CONFIG.digest(),
+            "build_digest": DEFAULT_GUEST_CONFIG.build_digest(),
+            "image_sha": image_sha,
+            "frame_count": frame_count,
+            "image_identical": image_ok,
+            "scores_identical": not mismatches,
+            "per_job": per_job,
+        },
+        "variants": variants,
+        "note": (
+            "Gate 1 pins the declarative default GuestConfig to the "
+            "pre-refactor hard-coded build: identical physical-memory "
+            "image hash and identical (virtual cycles, syscalls) scores "
+            "for the reference jobs.  Gate 2 sweeps non-default variants "
+            "(qemu-tsc offline platform; 2-vCPU reduced-module build): "
+            "each must boot, take a profile pinned to its build digest, "
+            "run one clean and one infected job, and detect the attack."
+        ),
+    }
+    path = _ROOT / "BENCH_matrix.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

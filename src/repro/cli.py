@@ -30,6 +30,42 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _add_guest_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform guest-variant surface shared by the run verbs."""
+    parser.add_argument(
+        "--guest",
+        help="guest build: a named variant (repro.cli guest list) or a "
+        "guest config JSON path",
+    )
+    parser.add_argument(
+        "--platform",
+        choices=["kvm-pvclock", "qemu-tsc", "kvm", "qemu"],
+        help="clocksource platform override (default from the guest config)",
+    )
+    parser.add_argument(
+        "--vcpus", type=int, help="SMP vCPU count override"
+    )
+
+
+def _guest_config(args: argparse.Namespace):
+    """Resolve --guest/--platform/--vcpus into one validated GuestConfig.
+
+    Raises :class:`repro.guest.config.GuestConfigError` on bad input.
+    """
+    from dataclasses import replace
+
+    from repro.guest.config import resolve_guest
+
+    guest = resolve_guest(getattr(args, "guest", None))
+    vcpus = getattr(args, "vcpus", None)
+    if vcpus is not None and vcpus != guest.vcpus:
+        guest = replace(guest, vcpus=vcpus, name="")
+    platform = getattr(args, "platform", None)
+    if platform:
+        guest = guest.with_platform(platform)
+    return guest
+
+
 def _unknown_apps(names: List[str]) -> Optional[str]:
     from repro.apps.catalog import APP_CATALOG
 
@@ -123,22 +159,35 @@ def _cmd_httperf(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.guest.config import GuestConfigError
+
     problem = _unknown_apps([args.app])
     if problem:
         return _fail(problem)
+    try:
+        guest = _guest_config(args)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
     if args.library:
         from repro.fleet import ProfileLibrary, prepare_offline_phase
 
         library = ProfileLibrary(args.library)
         records = prepare_offline_phase(
-            library, [args.app], scale=args.scale, force=args.force
+            library, [args.app], scale=args.scale, force=args.force,
+            guest=guest,
         )
         record = records[args.app]
         config = record.config
         print(f"{args.app}: kernel view {config.size / 1024:.0f} KB, "
               f"{len(config.profile)} ranges, "
               f"{len(record.baseline)} benign baseline recoveries")
-        print(f"stored in library {args.library} as {record.digest[:12]}...")
+        pin = (
+            f", pinned to guest build {record.guest_digest[:12]}"
+            if record.guest_digest
+            else ""
+        )
+        print(f"stored in library {args.library} as "
+              f"{record.digest[:12]}...{pin}")
     else:
         from repro.analysis.similarity import profile_applications
 
@@ -173,13 +222,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import format_trace_report
     from repro.apps.catalog import APP_CATALOG
     from repro.core.facechange import FaceChange
+    from repro.guest.config import GuestConfigError
     from repro.guest.machine import boot_machine
-    from repro.kernel.runtime import Platform
     from repro.telemetry import to_json
 
     problem = _unknown_apps([args.app])
     if problem:
         return _fail(problem)
+    try:
+        guest = _guest_config(args)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
     attack = None
     if args.attack:
         from repro.malware import ALL_ATTACKS
@@ -198,7 +251,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             )
     print(f"profiling {args.app} (scale {args.scale})...")
     config = profile_applications(apps=[args.app], scale=args.scale)[args.app]
-    machine = boot_machine(platform=Platform.KVM)
+    machine = boot_machine(config=guest)
+    print(f"guest: {guest.label()} (digest {machine.guest_digest[:12]})")
     if args.journal:
         meta = {"app": args.app, "scale": args.scale}
         if attack is not None:
@@ -253,6 +307,7 @@ def _run_sampled(
     seed: Optional[int],
     probe_symbols: Optional[List[str]] = None,
     probe_comm: Optional[str] = None,
+    guest=None,
 ):
     """Shared harness for ``flame`` and ``probe``: one enforced,
     sampled run of ``app`` under its kernel view.
@@ -264,13 +319,14 @@ def _run_sampled(
     from repro.apps.catalog import APP_CATALOG
     from repro.core.facechange import FaceChange
     from repro.guest.machine import boot_machine
-    from repro.kernel.runtime import Platform
     from repro.obs.profiling.probes import ProbeEngine
     from repro.obs.profiling.sampler import SamplingProfiler
 
     print(f"profiling {app} (scale {scale})...")
     config = profile_applications(apps=[app], scale=scale)[app]
-    machine = boot_machine(platform=Platform.KVM)
+    machine = boot_machine(config=guest)
+    print(f"guest: {machine.config.label()} "
+          f"(digest {machine.guest_digest[:12]})")
     fc = FaceChange(machine)
     fc.enable()
     fc.load_view(config, comm=app)
@@ -303,8 +359,14 @@ def _cmd_flame(args: argparse.Namespace) -> int:
     problem = _unknown_apps([args.app])
     if problem:
         return _fail(problem)
+    from repro.guest.config import GuestConfigError
+
+    try:
+        guest = _guest_config(args)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
     machine, _fc, sampler, _engine, finished = _run_sampled(
-        args.app, args.scale, args.interval, args.seed
+        args.app, args.scale, args.interval, args.seed, guest=guest
     )
     profile = sampler.profile
     print()
@@ -334,6 +396,12 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     problem = _unknown_apps([args.app])
     if problem:
         return _fail(problem)
+    from repro.guest.config import GuestConfigError
+
+    try:
+        guest = _guest_config(args)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
     try:
         machine, _fc, _sampler, engine, finished = _run_sampled(
             args.app,
@@ -342,6 +410,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
             args.seed,
             probe_symbols=args.funcs,
             probe_comm=args.app if args.app_only else None,
+            guest=guest,
         )
     except ProbeError as exc:
         return _fail(str(exc))
@@ -387,6 +456,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     try:
         if args.spec:
             spec = FleetSpec.load(args.spec)
+        elif args.matrix:
+            if not args.apps:
+                return _fail("--matrix needs --apps (plus optional "
+                             "--attacks / --guests)")
+            problem = _unknown_apps(args.apps)
+            if problem:
+                return _fail(problem)
+            spec = FleetSpec.from_dict(
+                {
+                    "name": "matrix",
+                    "scale": args.scale,
+                    "workers": args.workers or 2,
+                    "matrix": {
+                        "apps": args.apps,
+                        "attacks": args.attacks or [],
+                        "guests": args.guests or ["default"],
+                    },
+                }
+            )
         elif args.apps:
             problem = _unknown_apps(args.apps)
             if problem:
@@ -396,6 +484,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 scale=args.scale,
                 workers=args.workers or 2,
                 repeat=args.repeat,
+                guest=args.guests[0] if args.guests else None,
             )
         else:
             return _fail("provide a spec file or --apps (see --help)")
@@ -404,10 +493,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.workers:
         spec.workers = args.workers
 
+    # one offline phase per (kernel build, app set): profiles pin to builds
+    builds = {}
+    for job in spec.jobs:
+        config = job.guest_config()
+        entry = builds.setdefault(config.build_digest(), (config, set()))
+        entry[1].add(job.app)
+
     library = ProfileLibrary(args.library)
     try:
         if args.no_offline:
-            missing = [app for app in spec.apps() if not library.has(app)]
+            missing = [
+                f"{app}@{config.label()}"
+                for build, (config, apps) in sorted(builds.items())
+                for app in sorted(apps)
+                if library.digest_of(app, build) is None
+                and not library.has(app)
+            ]
             if missing:
                 return _fail(
                     f"library {args.library} has no profile for: "
@@ -415,7 +517,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     f"'repro.cli profile <app> --library {args.library}')"
                 )
         else:
-            prepare_offline_phase(library, spec.apps(), scale=args.scale)
+            for _build, (config, apps) in sorted(builds.items()):
+                prepare_offline_phase(
+                    library, sorted(apps), scale=args.scale, guest=config
+                )
         view = None
         on_message = None
         if args.watch:
@@ -470,6 +575,68 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if report.failed:
         print(f"error: {report.failed} job(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _resolve_guest_ref(ref: str):
+    from repro.guest.config import resolve_guest
+
+    return resolve_guest(ref)
+
+
+def _cmd_guest_list(args: argparse.Namespace) -> int:
+    from repro.guest.config import VARIANTS
+
+    print(f"{'NAME':<14} {'DIGEST':<14} {'BUILD':<14} {'PLATFORM':<12} "
+          f"{'VCPUS':>5}  MODULES")
+    for name in sorted(VARIANTS):
+        config = VARIANTS[name]
+        print(
+            f"{name:<14} {config.digest()[:12]:<14} "
+            f"{config.build_digest()[:12]:<14} {config.platform:<12} "
+            f"{config.vcpus:>5}  {', '.join(config.modules) or '(none)'}"
+        )
+    return 0
+
+
+def _cmd_guest_show(args: argparse.Namespace) -> int:
+    from repro.guest.config import GuestConfigError
+
+    try:
+        config = _resolve_guest_ref(args.ref)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
+    print(config.describe())
+    return 0
+
+
+def _cmd_guest_digest(args: argparse.Namespace) -> int:
+    from repro.guest.config import GuestConfigError
+
+    try:
+        config = _resolve_guest_ref(args.ref)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
+    print(config.build_digest() if args.build else config.digest())
+    return 0
+
+
+def _cmd_guest_diff(args: argparse.Namespace) -> int:
+    from repro.guest.config import GuestConfigError
+
+    try:
+        left = _resolve_guest_ref(args.left)
+        right = _resolve_guest_ref(args.right)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
+    rows = left.diff(right)
+    if not rows:
+        print(f"{left.label()} and {right.label()} are identical "
+              f"(digest {left.digest()[:12]})")
+        return 0
+    print(f"{left.label()} -> {right.label()}:")
+    for row in rows:
+        print(f"  {row}")
     return 0
 
 
@@ -528,6 +695,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="re-profile even if the library already has this app",
     )
+    _add_guest_flags(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -558,6 +726,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="infect the run with this Table II malware sample "
         "(the app must be the sample's host)",
     )
+    _add_guest_flags(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -582,6 +751,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--top", type=int, default=10, help="rows in the hot-function table"
     )
     p.add_argument("-o", "--output", help="save the telemetry snapshot JSON")
+    _add_guest_flags(p)
     p.set_defaults(fn=_cmd_flame)
 
     p = sub.add_parser(
@@ -607,6 +777,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--seed", type=int, help="pin the workload RNG for a replayable run"
     )
+    _add_guest_flags(p)
     p.set_defaults(fn=_cmd_probe)
 
     p = sub.add_parser(
@@ -631,6 +802,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.add_argument(
         "--repeat", type=int, default=1, help="jobs per app with --apps"
+    )
+    p.add_argument(
+        "--matrix",
+        action="store_true",
+        help="expand an app x attack x guest-variant cross-product from "
+        "--apps / --attacks / --guests (each variant is snapshotted once)",
+    )
+    p.add_argument(
+        "--attacks", nargs="+",
+        help="with --matrix: malware samples to inject on their host apps",
+    )
+    p.add_argument(
+        "--guests", nargs="+",
+        help="guest variants (names or config JSON paths); with --matrix "
+        "every variant runs the whole app x attack grid",
     )
     p.add_argument("--workers", type=int, help="worker count (overrides spec)")
     p.add_argument(
@@ -666,6 +852,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.add_argument("-o", "--output", help="write the fleet report JSON")
     p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
+        "guest", help="inspect guest build variants (configs and digests)"
+    )
+    gsub = p.add_subparsers(dest="guest_command", required=True)
+    g = gsub.add_parser("list", help="list the named guest variants")
+    g.set_defaults(fn=_cmd_guest_list)
+    g = gsub.add_parser("show", help="describe one guest config")
+    g.add_argument("ref", help="variant name or guest config JSON path")
+    g.set_defaults(fn=_cmd_guest_show)
+    g = gsub.add_parser("digest", help="print a guest config's digest")
+    g.add_argument("ref", help="variant name or guest config JSON path")
+    g.add_argument(
+        "--build",
+        action="store_true",
+        help="print the build digest (platform excluded; profiles pin to it)",
+    )
+    g.set_defaults(fn=_cmd_guest_digest)
+    g = gsub.add_parser("diff", help="field-by-field diff of two configs")
+    g.add_argument("left", help="variant name or guest config JSON path")
+    g.add_argument("right", help="variant name or guest config JSON path")
+    g.set_defaults(fn=_cmd_guest_diff)
 
     p = sub.add_parser(
         "report", help="run the full evaluation, emit a markdown report"

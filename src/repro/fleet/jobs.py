@@ -26,10 +26,10 @@ from repro.apps.catalog import APP_CATALOG
 from repro.core.facechange import FaceChange
 from repro.core.profiler import Profiler
 from repro.core.provenance import DEFAULT_BENIGN_RECOVERIES
-from repro.fleet.library import ProfileLibrary, ProfileRecord
+from repro.fleet.library import ProfileLibrary, ProfileLibraryError, ProfileRecord
 from repro.fleet.spec import DEFAULT_SEED, FleetJob
+from repro.guest.config import KVM_PVCLOCK, QEMU_TSC, GuestConfig, resolve_guest
 from repro.guest.machine import Machine, boot_machine
-from repro.kernel.runtime import Platform
 from repro.telemetry.export import snapshot as telemetry_snapshot
 
 
@@ -99,6 +99,14 @@ def execute_job(
     guest's virtual time are identical with or without it.
     """
     assert machine.runtime is not None
+    if record.guest_digest and record.guest_digest != machine.build_digest:
+        raise ProfileLibraryError(
+            f"profile for {job.app!r} is pinned to guest build "
+            f"{record.guest_digest[:12]} but the machine was built from "
+            f"{machine.config.label()} (build digest "
+            f"{machine.build_digest[:12]}); profiles do not transfer "
+            "across kernel builds"
+        )
     seed = job.effective_seed(base_seed)
     started = time.perf_counter()
     start_cycles = machine.cycles
@@ -166,26 +174,35 @@ def run_job_on_fresh_machine(
     The solo reference path: the benchmark compares its scores against
     fleet clones' to prove bit-identity.
     """
-    machine = boot_machine(platform=Platform.KVM)
+    machine = boot_machine(config=job.guest)
     return execute_job(machine, job, record, base_seed=base_seed)
 
 
 def profile_app_offline(
-    app: str, scale: int = 4, max_cycles: int = 40_000_000_000
+    app: str,
+    scale: int = 4,
+    max_cycles: int = 40_000_000_000,
+    guest: "GuestConfig | str | dict | None" = None,
 ) -> ProfileRecord:
     """One application's complete offline phase, in memory.
 
-    1. a profiling session (QEMU platform, like the paper's) yields the
-       kernel-view configuration;
-    2. a *clean* run of the same workload under its new view records
-       the benign-recovery reference (paper §III-B3).
+    1. a profiling session (qemu-tsc platform, like the paper's) yields
+       the kernel-view configuration;
+    2. a *clean* run of the same workload under its new view, on the
+       kvm-pvclock runtime platform, records the benign-recovery
+       reference (paper §III-B3).
+
+    Both machines are built from ``guest`` (default build when omitted);
+    the returned record is pinned to the guest's *build* digest, which
+    both platforms share.
     """
     if app not in APP_CATALOG:
         raise KeyError(
             f"unknown application {app!r} "
             f"(available: {', '.join(sorted(APP_CATALOG))})"
         )
-    machine = boot_machine(platform=Platform.QEMU)
+    guest_config = resolve_guest(guest)
+    machine = boot_machine(config=guest_config.with_platform(QEMU_TSC))
     profiler = Profiler(machine)
     profiler.track(app)
     profiler.install()
@@ -194,7 +211,7 @@ def profile_app_offline(
     if not handle.finished:
         raise RuntimeError(f"profiling workload for {app!r} did not finish")
     config = profiler.export(app)
-    clean = boot_machine(platform=Platform.KVM)
+    clean = boot_machine(config=guest_config.with_platform(KVM_PVCLOCK))
     fc = FaceChange(clean)
     fc.enable()
     fc.load_view(config, comm=app)
@@ -208,7 +225,12 @@ def profile_app_offline(
     return ProfileRecord(
         config=config,
         baseline=baseline,
-        meta={"scale": scale, "max_cycles": max_cycles},
+        meta={
+            "scale": scale,
+            "max_cycles": max_cycles,
+            "guest": guest_config.label(),
+        },
+        guest_digest=guest_config.build_digest(),
     )
 
 
@@ -218,20 +240,38 @@ def prepare_offline_phase(
     scale: int = 4,
     max_cycles: int = 40_000_000_000,
     force: bool = False,
+    guest: "GuestConfig | str | dict | None" = None,
 ) -> Dict[str, ProfileRecord]:
-    """Profile ``apps`` and persist records (profile + benign baseline).
+    """Profile ``apps`` on ``guest`` and persist records (pinned).
 
-    Applications already in the library are reused unless ``force``;
-    the whole point is that this phase runs once per application, ever.
+    Applications already profiled *on this guest build* are reused
+    unless ``force``; the whole point is that this phase runs once per
+    (application, kernel build), ever.  Legacy unpinned records are
+    reused for any build (with the library's load-time warning).
     """
+    guest_config = resolve_guest(guest)
+    build = guest_config.build_digest()
     records: Dict[str, ProfileRecord] = {}
     for app in apps:
-        if not force and library.has(app):
-            records[app] = library.get(app)
-            continue
-        record = profile_app_offline(app, scale=scale, max_cycles=max_cycles)
+        if not force:
+            if library.digest_of(app, build) is not None:
+                records[app] = library.get(app, build)
+                continue
+            if library.has(app):
+                current = library.get(app)
+                if not current.guest_digest:
+                    # legacy unpinned record: serve as-is
+                    records[app] = current
+                    continue
+                # pinned to a different build: profile this one too
+        record = profile_app_offline(
+            app, scale=scale, max_cycles=max_cycles, guest=guest_config
+        )
         records[app] = library.put(
-            record.config, baseline=record.baseline, meta=record.meta
+            record.config,
+            baseline=record.baseline,
+            meta=record.meta,
+            guest_digest=record.guest_digest,
         )
     return records
 
@@ -249,7 +289,7 @@ def run_job_cold(
     reference for the fleet's bit-identity check.
     """
     job = FleetJob(**job_data)
-    record = profile_app_offline(job.app, scale=job.scale)
+    record = profile_app_offline(job.app, scale=job.scale, guest=job.guest)
     result = run_job_on_fresh_machine(job, record, base_seed=base_seed)
     data = result.to_dict()
     return data

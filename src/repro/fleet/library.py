@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -33,7 +34,10 @@ from repro.core.rangelist import KernelProfile
 from repro.memory.layout import PAGE_SIZE
 
 #: Record format version.  Bump when the payload schema changes.
-FORMAT_VERSION = 1
+#: v2 adds ``guest_digest``: the kernel-build digest
+#: (:meth:`repro.guest.config.GuestConfig.build_digest`) of the guest the
+#: profile was taken on.  v1 records load as "unpinned" with a warning.
+FORMAT_VERSION = 2
 _RECORD_KIND = "kernel-view-profile"
 
 
@@ -77,6 +81,8 @@ class ProfileRecord:
     baseline: List[str] = field(default_factory=list)
     #: free-form provenance (profiling scale, workload, creator...)
     meta: Dict[str, object] = field(default_factory=dict)
+    #: kernel-build digest the profile was taken on ("" = unpinned legacy)
+    guest_digest: str = ""
     digest: str = ""
 
     @property
@@ -93,6 +99,7 @@ class ProfileRecord:
             "frame_deltas": _frame_deltas(self.config.profile),
             "baseline": sorted(self.baseline),
             "meta": self.meta,
+            "guest_digest": self.guest_digest,
         }
 
     @classmethod
@@ -112,10 +119,18 @@ class ProfileRecord:
             profile=KernelProfile.from_dict(data.get("segments", {})),
             notes=data.get("notes", ""),
         )
+        guest_digest = str(data.get("guest_digest", "") or "")
+        if not guest_digest:
+            warnings.warn(
+                f"profile record for {data['app']!r} is unpinned "
+                "(no guest_digest); it will be served for any guest variant",
+                stacklevel=2,
+            )
         record = cls(
             config=config,
             baseline=list(data.get("baseline", [])),
             meta=dict(data.get("meta", {})),
+            guest_digest=guest_digest,
             digest=digest,
         )
         stored = data.get("frame_deltas")
@@ -167,9 +182,24 @@ class ProfileLibrary:
     def has(self, app: str) -> bool:
         return app in self._read_index()["profiles"]
 
-    def digest_of(self, app: str) -> Optional[str]:
+    def digest_of(self, app: str, guest_digest: Optional[str] = None) -> Optional[str]:
+        """Record digest for ``app`` (optionally for one guest variant).
+
+        Without ``guest_digest``, the app's current record; with it, the
+        record pinned to that kernel build (``None`` if no such pin).
+        """
         entry = self._read_index()["profiles"].get(app)
-        return entry["digest"] if entry else None
+        if entry is None:
+            return None
+        if guest_digest:
+            variants = entry.get("variants", {})
+            return variants.get(guest_digest)
+        return entry["digest"]
+
+    def variants_of(self, app: str) -> Dict[str, str]:
+        """``guest build digest -> record digest`` for ``app``'s pins."""
+        entry = self._read_index()["profiles"].get(app)
+        return dict(entry.get("variants", {})) if entry else {}
 
     # -- store / load --------------------------------------------------------
 
@@ -178,17 +208,22 @@ class ProfileLibrary:
         config: KernelViewConfig,
         baseline: Optional[List[str]] = None,
         meta: Optional[Dict[str, object]] = None,
+        guest_digest: str = "",
     ) -> ProfileRecord:
         """Store a profile; returns the record with its content digest.
 
-        Re-putting identical content is idempotent; putting changed
-        content for the same app supersedes the current digest and
-        appends the old one to the app's history.
+        ``guest_digest`` pins the record to the kernel build it was
+        profiled on (the config's *build* digest -- platform excluded,
+        since the paper profiles under qemu-tsc and enforces under
+        kvm-pvclock on the same build).  Re-putting identical content is
+        idempotent; putting changed content for the same app supersedes
+        the current digest and appends the old one to the app's history.
         """
         record = ProfileRecord(
             config=config,
             baseline=list(baseline or []),
             meta=dict(meta or {}),
+            guest_digest=guest_digest,
         )
         blob = _canonical(record.payload())
         digest = hashlib.sha256(blob).hexdigest()
@@ -206,6 +241,8 @@ class ProfileLibrary:
             if entry["digest"] not in history:
                 history.append(entry["digest"])
             entry["digest"] = digest
+        if guest_digest:
+            entry.setdefault("variants", {})[guest_digest] = digest
         self._write_index(index)
         return record
 
@@ -232,9 +269,18 @@ class ProfileLibrary:
             ) from exc
         return ProfileRecord.from_payload(payload, digest=digest)
 
-    def get(self, app: str) -> ProfileRecord:
-        """Load ``app``'s current record (checksum-validated)."""
-        digest = self.digest_of(app)
+    def get(self, app: str, guest_digest: Optional[str] = None) -> ProfileRecord:
+        """Load ``app``'s current record (checksum-validated).
+
+        With ``guest_digest`` (a kernel *build* digest), the lookup
+        matches on ``(app, guest_digest)``: a record pinned to a
+        different build is refused rather than silently applied to the
+        wrong kernel; a legacy unpinned record is served with a warning
+        (emitted at load time).
+        """
+        digest = self.digest_of(app, guest_digest)
+        if digest is None:
+            digest = self.digest_of(app)
         if digest is None:
             raise ProfileLibraryError(
                 f"no profile for {app!r} in library {self.root} "
@@ -244,5 +290,16 @@ class ProfileLibrary:
         if record.app != app:
             raise ProfileLibraryError(
                 f"index for {app!r} points at a record for {record.app!r}"
+            )
+        if (
+            guest_digest
+            and record.guest_digest
+            and record.guest_digest != guest_digest
+        ):
+            raise ProfileLibraryError(
+                f"profile for {app!r} is pinned to guest build "
+                f"{record.guest_digest[:12]} but the booted machine is "
+                f"{guest_digest[:12]}; re-run the offline phase on this "
+                "variant (profiles do not transfer across kernel builds)"
             )
         return record

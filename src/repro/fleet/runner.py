@@ -38,8 +38,8 @@ from repro.fleet.jobs import JobResult, execute_job
 from repro.fleet.library import ProfileLibrary, ProfileRecord
 from repro.fleet.snapshot import MachineSnapshot
 from repro.fleet.spec import FleetJob, FleetSpec
+from repro.guest.config import GuestConfig
 from repro.guest.machine import boot_machine
-from repro.kernel.runtime import Platform
 from repro.telemetry.journal import JOURNAL_SCHEMA
 from repro.telemetry.merge import merge_snapshots
 
@@ -52,13 +52,15 @@ _WORKER_JOURNAL_CAPACITY = 4096
 
 
 def _configure_workers(
-    snapshot: MachineSnapshot,
-    records: Dict[str, ProfileRecord],
+    snapshots: Dict[str, MachineSnapshot],
+    records: Dict[Any, ProfileRecord],
     base_seed: int,
     bus: Optional[Any] = None,
     heartbeat_interval: float = 0.5,
 ) -> None:
-    _WORKER["snapshot"] = snapshot
+    #: one snapshot per guest variant, keyed by full config digest
+    _WORKER["snapshots"] = snapshots
+    #: profile records keyed by (app, guest build digest)
     _WORKER["records"] = records
     _WORKER["seed"] = base_seed
     _WORKER["bus"] = bus
@@ -99,8 +101,10 @@ def _run_job(job_data: Dict[str, Any]) -> Dict[str, Any]:
     journal = None
     progress = None
     try:
-        clone = _WORKER["snapshot"].fork()
-        record = _WORKER["records"][job.app]
+        guest = job.guest_config()
+        digest = guest.digest()
+        clone = _WORKER["snapshots"][digest].fork(expect_digest=digest)
+        record = _WORKER["records"][(job.app, guest.build_digest())]
         if bus is not None:
             bus.put({"type": "start", "job": name, "app": job.app})
             journal = clone.start_recording(capacity=_WORKER_JOURNAL_CAPACITY)
@@ -197,6 +201,8 @@ class FleetReport:
     wall_seconds: float = 0.0
     forked: int = 0
     base_frames: int = 0
+    #: guest variants the fleet ran on: short digest -> label + job count
+    variants: Dict[str, Any] = field(default_factory=dict)
     #: per-job journal files written when a journal dir was configured
     journal_paths: Dict[str, str] = field(default_factory=dict)
 
@@ -230,6 +236,7 @@ class FleetReport:
             "throughput_jobs_per_s": self.throughput,
             "forked": self.forked,
             "base_frames": self.base_frames,
+            "variants": self.variants,
             "journal_paths": self.journal_paths,
             "results": results,
             "telemetry": self.telemetry,
@@ -241,6 +248,12 @@ class FleetReport:
             f"jobs completed in {self.wall_seconds:.2f}s "
             f"({self.throughput:.2f} jobs/s, {self.workers} workers, {self.mode})"
         ]
+        if len(self.variants) > 1:
+            variant_bits = ", ".join(
+                f"{info['label']} x{info['jobs']}"
+                for info in self.variants.values()
+            )
+            lines.append(f"  guest variants: {variant_bits}")
         for r in self.results:
             status = "ok" if r["ok"] else "FAILED"
             extra = ""
@@ -287,9 +300,23 @@ class FleetRunner:
         self._segments: Dict[str, List[Dict[str, Any]]] = {}
         self._segment_drops: Dict[str, int] = {}
 
-    def _load_records(self) -> Dict[str, ProfileRecord]:
-        """Checksum-validated profile load for every app in the spec."""
-        return {app: self.library.get(app) for app in self.spec.apps()}
+    def _guest_configs(self) -> Dict[str, GuestConfig]:
+        """Distinct guest variants in the spec, keyed by full digest."""
+        configs: Dict[str, GuestConfig] = {}
+        for job in self.spec.jobs:
+            config = job.guest_config()
+            configs.setdefault(config.digest(), config)
+        return configs
+
+    def _load_records(self) -> Dict[Any, ProfileRecord]:
+        """Checksum-validated profile load for every (app, build) pair."""
+        records: Dict[Any, ProfileRecord] = {}
+        for job in self.spec.jobs:
+            build = job.guest_config().build_digest()
+            key = (job.app, build)
+            if key not in records:
+                records[key] = self.library.get(job.app, build)
+        return records
 
     @property
     def streaming(self) -> bool:
@@ -299,11 +326,19 @@ class FleetRunner:
     def run(self) -> FleetReport:
         started = time.perf_counter()
         records = self._load_records()
-        snapshot = self.snapshot
-        if snapshot is None:
-            snapshot = boot_machine(platform=Platform.KVM).snapshot()
-            self.snapshot = snapshot
-        forked_before = snapshot.fork_count
+        configs = self._guest_configs()
+        # one snapshot per guest variant: booted once, forked many times
+        snapshots: Dict[str, MachineSnapshot] = {}
+        if self.snapshot is not None:
+            snapshots[self.snapshot.guest_digest] = self.snapshot
+        for digest, config in configs.items():
+            if digest not in snapshots:
+                snapshots[digest] = boot_machine(config=config).snapshot()
+        if self.snapshot is None and len(configs) == 1:
+            self.snapshot = next(iter(snapshots.values()))
+        forked_before = {
+            digest: snap.fork_count for digest, snap in snapshots.items()
+        }
         bus = None
         if self.streaming:
             # created before the pool so fork-started workers inherit it
@@ -314,7 +349,7 @@ class FleetRunner:
         self._bus = bus
         # workers inherit this through fork() / share it with threads
         _configure_workers(
-            snapshot,
+            snapshots,
             records,
             self.spec.seed,
             bus=bus,
@@ -328,6 +363,7 @@ class FleetRunner:
                 "seed": job.seed,
                 "max_cycles": job.max_cycles,
                 "timeout": job.timeout,
+                "guest": job.guest.to_dict() if job.guest is not None else None,
                 "name": job.name,
             }
             for job in self.spec.jobs
@@ -354,6 +390,10 @@ class FleetRunner:
             [r.get("telemetry", {}) for r in results if r.get("telemetry")],
             sources=[r["name"] for r in results if r.get("telemetry")],
         )
+        variant_jobs: Dict[str, int] = {}
+        for job in self.spec.jobs:
+            digest = job.guest_config().digest()
+            variant_jobs[digest] = variant_jobs.get(digest, 0) + 1
         report = FleetReport(
             spec_name=self.spec.name,
             workers=self.spec.workers,
@@ -364,11 +404,21 @@ class FleetRunner:
             # under processes the forks happen in worker address spaces;
             # a job that shipped telemetry necessarily ran on a clone
             forked=(
-                snapshot.fork_count - forked_before
+                sum(
+                    snap.fork_count - forked_before[digest]
+                    for digest, snap in snapshots.items()
+                )
                 if mode != "processes"
                 else sum(1 for r in results if r.get("telemetry"))
             ),
-            base_frames=snapshot.frame_count,
+            base_frames=sum(snap.frame_count for snap in snapshots.values()),
+            variants={
+                digest[:12]: {
+                    "label": configs[digest].label(),
+                    "jobs": count,
+                }
+                for digest, count in sorted(variant_jobs.items())
+            },
             journal_paths=journal_paths,
         )
         return report

@@ -28,8 +28,9 @@ profiles *per clone*, after forking.
 from __future__ import annotations
 
 import copy
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.guest.config import GuestConfig
 from repro.guest.machine import Machine
 from repro.kernel.registry import REGISTRY
 from repro.memory.physmem import PhysicalMemory
@@ -111,6 +112,10 @@ class MachineSnapshot:
         self._template = template
         self._base_frames = base_frames
         self.fork_count = 0
+        #: the guest build this snapshot was captured from
+        self.config: GuestConfig = template.config
+        self.guest_digest: str = template.config.digest()
+        self.build_digest: str = template.config.build_digest()
 
     @classmethod
     def capture(cls, machine: Machine) -> "MachineSnapshot":
@@ -134,8 +139,20 @@ class MachineSnapshot:
         """Number of frames in the shared base image."""
         return len(self._base_frames)
 
-    def fork(self) -> Machine:
-        """Produce an independent clone sharing frames copy-on-write."""
+    def fork(self, expect_digest: Optional[str] = None) -> Machine:
+        """Produce an independent clone sharing frames copy-on-write.
+
+        ``expect_digest`` pins the fork to a guest variant: when given
+        and it does not match this snapshot's config digest, the fork is
+        refused instead of silently running the job on the wrong kernel
+        build.
+        """
+        if expect_digest is not None and expect_digest != self.guest_digest:
+            raise SnapshotError(
+                "guest variant mismatch: job is pinned to guest digest "
+                f"{expect_digest[:12]} but this snapshot was captured from "
+                f"{self.config.label()} (digest {self.guest_digest[:12]})"
+            )
         template = self._template
         clone = _clone_with_cow_physmem(
             template,

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.guest.config import GuestConfig, GuestConfigError, resolve_guest
+
 #: Fleet-wide default base seed (the paper's publication date).
 DEFAULT_SEED = 20140623
 #: Default per-guest virtual-cycle budget.
@@ -61,12 +63,25 @@ class FleetJob:
     seed: Optional[int] = None
     max_cycles: int = DEFAULT_MAX_CYCLES
     timeout: float = DEFAULT_TIMEOUT
+    #: guest build to run on; None means the default build
+    guest: Optional[GuestConfig] = None
     #: unique within the spec; auto-assigned as ``app[+attack]#i``
     name: str = ""
 
+    def __post_init__(self) -> None:
+        if self.guest is not None and not isinstance(self.guest, GuestConfig):
+            self.guest = resolve_guest(self.guest)
+
     def identity(self) -> str:
         suffix = f"+{self.attack}" if self.attack else ""
-        return f"{self.app}{suffix}"
+        variant = f"@{self.guest.label()}" if self.guest is not None else ""
+        return f"{self.app}{suffix}{variant}"
+
+    def guest_config(self) -> GuestConfig:
+        """The job's guest build (the default build when unpinned)."""
+        from repro.guest.config import DEFAULT_GUEST_CONFIG
+
+        return self.guest if self.guest is not None else DEFAULT_GUEST_CONFIG
 
     def effective_seed(self, base: int) -> int:
         if self.seed is not None:
@@ -85,11 +100,85 @@ class FleetJob:
             data["attack"] = self.attack
         if self.seed is not None:
             data["seed"] = self.seed
+        if self.guest is not None:
+            data["guest"] = self.guest.to_dict()
         return data
 
 
-_JOB_KEYS = {"name", "app", "scale", "attack", "seed", "max_cycles", "timeout"}
-_SPEC_KEYS = {"name", "workers", "seed", "jobs", "scale", "max_cycles", "timeout"}
+_JOB_KEYS = {
+    "name", "app", "scale", "attack", "seed", "max_cycles", "timeout", "guest",
+}
+_SPEC_KEYS = {
+    "name", "workers", "seed", "jobs", "scale", "max_cycles", "timeout",
+    "guest", "matrix",
+}
+_MATRIX_KEYS = {"apps", "attacks", "guests"}
+
+
+def _resolve_guest_field(ref: object, where: str) -> GuestConfig:
+    """Resolve a guest reference, re-prefixing errors with spec context."""
+    try:
+        return resolve_guest(ref)  # type: ignore[arg-type]
+    except GuestConfigError as exc:
+        field = f".{exc.field}" if exc.field else ""
+        raise FleetSpecError(f"{where}{field}: {exc.message}") from exc
+
+
+def expand_matrix(
+    matrix: Dict[str, object], attacks: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Expand an app x attack x guest-variant cross-product into raw jobs.
+
+    Every guest variant gets, per app, one clean job plus one job per
+    listed attack hosted by that app.  Attacks whose host app is not in
+    the matrix are an error (they would silently never run).
+    """
+    if not isinstance(matrix, dict):
+        raise FleetSpecError(
+            f"matrix: must be an object, got {type(matrix).__name__}"
+        )
+    unknown = set(matrix) - _MATRIX_KEYS
+    if unknown:
+        raise FleetSpecError(
+            f"matrix: unknown keys: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(_MATRIX_KEYS))})"
+        )
+    apps = matrix.get("apps")
+    if not isinstance(apps, list) or not apps:
+        raise FleetSpecError("matrix.apps: must be a non-empty list")
+    raw_attacks = matrix.get("attacks", [])
+    if not isinstance(raw_attacks, list):
+        raise FleetSpecError("matrix.attacks: must be a list")
+    for j, attack_name in enumerate(raw_attacks):
+        attack = attacks.get(attack_name)
+        if attack is None:
+            raise FleetSpecError(
+                f"matrix.attacks[{j}]: unknown malware sample {attack_name!r} "
+                f"(available: {', '.join(sorted(attacks))})"
+            )
+        if attack.host_app not in apps:
+            raise FleetSpecError(
+                f"matrix.attacks[{j}]: {attack_name!r} infects "
+                f"{attack.host_app!r}, which is not in matrix.apps"
+            )
+    raw_guests = matrix.get("guests", [None])
+    if not isinstance(raw_guests, list) or not raw_guests:
+        raise FleetSpecError("matrix.guests: must be a non-empty list")
+    guests = [
+        _resolve_guest_field(ref, f"matrix.guests[{g}]") if ref is not None else None
+        for g, ref in enumerate(raw_guests)
+    ]
+    jobs: List[Dict[str, object]] = []
+    for guest in guests:
+        for app in apps:
+            base: Dict[str, object] = {"app": app}
+            if guest is not None:
+                base["guest"] = guest
+            jobs.append(dict(base))
+            for attack_name in raw_attacks:
+                if attacks[attack_name].host_app == app:
+                    jobs.append(dict(base, attack=attack_name))
+    return jobs
 
 
 @dataclass
@@ -131,26 +220,31 @@ class FleetSpec:
         unknown = set(data) - _SPEC_KEYS
         if unknown:
             raise FleetSpecError(f"unknown spec keys: {', '.join(sorted(unknown))}")
-        raw_jobs = data.get("jobs")
-        if not isinstance(raw_jobs, list) or not raw_jobs:
-            raise FleetSpecError("fleet spec needs a non-empty 'jobs' list")
         attacks = {attack.name: attack for attack in ALL_ATTACKS}
+        raw_jobs = list(data.get("jobs") or [])
+        if "matrix" in data:
+            raw_jobs.extend(expand_matrix(data["matrix"], attacks))
+        if not raw_jobs:
+            raise FleetSpecError("fleet spec needs a non-empty 'jobs' list")
+        spec_guest: Optional[GuestConfig] = None
+        if data.get("guest") is not None:
+            spec_guest = _resolve_guest_field(data["guest"], "guest")
         default_scale = int(data.get("scale", 2))
         default_cycles = int(data.get("max_cycles", DEFAULT_MAX_CYCLES))
         default_timeout = float(data.get("timeout", DEFAULT_TIMEOUT))
         jobs: List[FleetJob] = []
         for i, raw in enumerate(raw_jobs):
             if not isinstance(raw, dict):
-                raise FleetSpecError(f"job {i} must be an object")
+                raise FleetSpecError(f"jobs[{i}]: must be an object")
             unknown = set(raw) - _JOB_KEYS
             if unknown:
                 raise FleetSpecError(
-                    f"job {i}: unknown keys: {', '.join(sorted(unknown))}"
+                    f"jobs[{i}]: unknown keys: {', '.join(sorted(unknown))}"
                 )
             app = raw.get("app")
             if app not in APP_CATALOG:
                 raise FleetSpecError(
-                    f"job {i}: unknown application {app!r} "
+                    f"jobs[{i}].app: unknown application {app!r} "
                     f"(available: {', '.join(sorted(APP_CATALOG))})"
                 )
             attack_name = raw.get("attack")
@@ -158,14 +252,17 @@ class FleetSpec:
                 attack = attacks.get(attack_name)
                 if attack is None:
                     raise FleetSpecError(
-                        f"job {i}: unknown malware sample {attack_name!r} "
+                        f"jobs[{i}].attack: unknown malware sample {attack_name!r} "
                         f"(available: {', '.join(sorted(attacks))})"
                     )
                 if attack.host_app != app:
                     raise FleetSpecError(
-                        f"job {i}: {attack_name!r} infects "
+                        f"jobs[{i}].attack: {attack_name!r} infects "
                         f"{attack.host_app!r}, not {app!r}"
                     )
+            guest = spec_guest
+            if raw.get("guest") is not None:
+                guest = _resolve_guest_field(raw["guest"], f"jobs[{i}].guest")
             jobs.append(
                 FleetJob(
                     app=app,
@@ -174,6 +271,7 @@ class FleetSpec:
                     seed=raw.get("seed"),
                     max_cycles=int(raw.get("max_cycles", default_cycles)),
                     timeout=float(raw.get("timeout", default_timeout)),
+                    guest=guest,
                     name=str(raw.get("name", "")),
                 )
             )
@@ -209,10 +307,12 @@ def uniform_spec(
     repeat: int = 1,
     seed: int = DEFAULT_SEED,
     name: str = "fleet",
+    guest: Union[None, str, Dict[str, object], GuestConfig] = None,
 ) -> FleetSpec:
     """Convenience: ``repeat`` identical jobs per app, no injections."""
+    guest_config = resolve_guest(guest) if guest is not None else None
     jobs = [
-        FleetJob(app=app, scale=scale)
+        FleetJob(app=app, scale=scale, guest=guest_config)
         for _ in range(repeat)
         for app in apps
     ]

@@ -1,5 +1,20 @@
 """Whole-guest assembly: boot a simulated VM ready to run workloads."""
 
+from repro.guest.config import (
+    DEFAULT_GUEST_CONFIG,
+    VARIANTS,
+    GuestConfig,
+    GuestConfigError,
+    resolve_guest,
+)
 from repro.guest.machine import Machine, boot_machine
 
-__all__ = ["Machine", "boot_machine"]
+__all__ = [
+    "DEFAULT_GUEST_CONFIG",
+    "GuestConfig",
+    "GuestConfigError",
+    "Machine",
+    "VARIANTS",
+    "boot_machine",
+    "resolve_guest",
+]

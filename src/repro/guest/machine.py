@@ -1,27 +1,33 @@
 """Machine builder: physical memory + EPT + VCPU + kernel image + runtime.
 
 ``boot_machine()`` produces a fully wired guest: the synthetic kernel is
-assembled into guest memory, the boot modules (jbd2, ext4, e1000) are
-loaded, the kernel page table covers text/data/stacks/module space, the
-idle task is running, and the hypervisor exit loop is connected.  From
-there, ``spawn()`` adds user processes and ``run()`` advances the world.
+assembled into guest memory, the configured boot modules are loaded, the
+kernel page table covers text/data/stacks/module space, the idle task is
+running, and the hypervisor exit loop is connected.  From there,
+``spawn()`` adds user processes and ``run()`` advances the world.
+
+Which kernel gets built is governed by a :class:`repro.guest.config.
+GuestConfig` (module subset, scheduler/timer variant, vCPU count,
+platform); the default config reproduces the historical hard-coded build
+bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fleet.snapshot import MachineSnapshot
 
+from repro.guest.config import GuestConfig, resolve_guest
 from repro.hypervisor.kvm import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vmi import Introspector
 from repro.isa.assembler import Assembler, NameRegistry
-from repro.kernel.catalog import BASE_FUNCTIONS, MODULES
 from repro.kernel.image import KernelImage
 from repro.kernel.objects import Packet, Task
-from repro.kernel.runtime import KernelRuntime, Platform
+from repro.kernel.runtime import KernelRuntime
 from repro.memory.ept import ExtendedPageTable
 from repro.memory.layout import (
     KERNEL_BASE,
@@ -55,11 +61,30 @@ class Machine:
     ``vcpu_count > 1`` boots an SMP guest (the paper's §V-C future work):
     each vCPU owns its own EPT, so FACE-CHANGE performs *per-vCPU* kernel
     view switching.
+
+    The guest build comes from ``config`` (a :class:`GuestConfig`, a
+    named variant string, an inline dict, or ``None`` for the default
+    build).  ``platform`` and ``vcpu_count`` remain as overrides layered
+    on top of the config, so existing callers keep working.
     """
 
-    def __init__(self, platform: str = Platform.KVM, vcpu_count: int = 1) -> None:
-        self.platform = platform
-        self.vcpu_count = max(1, vcpu_count)
+    def __init__(
+        self,
+        platform: Optional[str] = None,
+        vcpu_count: Optional[int] = None,
+        config: Union[None, str, dict, GuestConfig] = None,
+    ) -> None:
+        guest = resolve_guest(config)
+        overrides: dict = {}
+        if vcpu_count is not None and vcpu_count != guest.vcpus:
+            overrides["vcpus"] = max(1, vcpu_count)
+        if overrides:
+            guest = replace(guest, name="", **overrides)
+        if platform is not None and guest.runtime_platform() != platform:
+            guest = guest.with_platform(platform)
+        self.config = guest
+        self.platform = guest.runtime_platform()
+        self.vcpu_count = guest.vcpus
         self.physmem = PhysicalMemory()
         self.hypervisor = Hypervisor(self.physmem)
         self.epts: List[ExtendedPageTable] = [
@@ -77,6 +102,16 @@ class Machine:
     def ept(self) -> ExtendedPageTable:
         """CPU 0's EPT (the only one on a uniprocessor guest)."""
         return self.epts[0]
+
+    @property
+    def guest_digest(self) -> str:
+        """Full config digest (machine identity, platform included)."""
+        return self.config.digest()
+
+    @property
+    def build_digest(self) -> str:
+        """Kernel-build digest (platform excluded; profiles pin to this)."""
+        return self.config.build_digest()
 
     @property
     def telemetry(self) -> Telemetry:
@@ -124,8 +159,8 @@ class Machine:
     # -- boot -----------------------------------------------------------------
 
     def boot(self) -> "Machine":
-        self.image.build_base(BASE_FUNCTIONS)
-        for name, functions in MODULES.items():
+        self.image.build_base(self.config.base_functions())
+        for name, functions in self.config.module_functions():
             self.image.load_module(name, functions)
         self._map_kernel_regions()
         self._install_user_stub()
@@ -135,6 +170,8 @@ class Machine:
             self.kernel_page_table,
             platform=self.platform,
             num_cpus=self.vcpu_count,
+            timer_period=self.config.timer_period,
+            timeslice_ticks=self.config.timeslice_ticks,
         )
         self.hypervisor.set_idle_handler(self.runtime.on_idle)
         for cpu_id in range(self.vcpu_count):
@@ -261,6 +298,10 @@ class Machine:
         )
 
 
-def boot_machine(platform: str = Platform.KVM, vcpu_count: int = 1) -> Machine:
-    """Build and boot a guest VM (optionally SMP)."""
-    return Machine(platform=platform, vcpu_count=vcpu_count).boot()
+def boot_machine(
+    platform: Optional[str] = None,
+    vcpu_count: Optional[int] = None,
+    config: Union[None, str, dict, GuestConfig] = None,
+) -> Machine:
+    """Build and boot a guest VM from a guest config (optionally SMP)."""
+    return Machine(platform=platform, vcpu_count=vcpu_count, config=config).boot()

@@ -57,9 +57,9 @@ from repro.memory.layout import (
 )
 from repro.memory.paging import GuestPageTable
 
-#: Periodic tick interval in simulated cycles.
+#: Periodic tick interval in simulated cycles (default guest build).
 TIMER_PERIOD_CYCLES = 200_000
-#: Time slice, in ticks, before the scheduler preempts a task.
+#: Time slice, in ticks, before the scheduler preempts a task (default).
 TIMESLICE_TICKS = 4
 #: Kernel stack stride per task (2 pages, like 32-bit Linux THREAD_SIZE).
 KSTACK_STRIDE = 0x2000
@@ -127,7 +127,7 @@ class SchedState:
             and t.state == TaskState.RUNNABLE
         ]
         if current.timeslice <= 0 and others:
-            current.timeslice = TIMESLICE_TICKS
+            current.timeslice = rt.timeslice_ticks
             self.need_resched = True
 
 
@@ -154,7 +154,12 @@ class _DriverBox:
 class CpuState:
     """Per-CPU kernel state: current task, scheduler, interrupts, timer."""
 
-    def __init__(self, cpu_id: int, idle_task: Task) -> None:
+    def __init__(
+        self,
+        cpu_id: int,
+        idle_task: Task,
+        timer_period: int = TIMER_PERIOD_CYCLES,
+    ) -> None:
         self.cpu_id = cpu_id
         self.idle_task = idle_task
         self.current: Task = idle_task
@@ -162,8 +167,8 @@ class CpuState:
         self.irq_nesting = 0
         self.current_irq: Optional[str] = None
         self.softirq_pending: Set[str] = set()
-        self.next_timer = TIMER_PERIOD_CYCLES
-        self.next_event = TIMER_PERIOD_CYCLES
+        self.next_timer = timer_period
+        self.next_event = timer_period
         self.timer_interrupts = 0
 
 
@@ -178,11 +183,16 @@ class KernelRuntime(SemanticsBridge):
         platform: str = Platform.KVM,
         registry: SemanticRegistry = REGISTRY,
         num_cpus: int = 1,
+        timer_period: int = TIMER_PERIOD_CYCLES,
+        timeslice_ticks: int = TIMESLICE_TICKS,
     ) -> None:
         self.image = image
         self.names = names
         self.registry = registry
         self.platform = platform
+        #: scheduler/timer variant (from the guest config)
+        self.timer_period = timer_period
+        self.timeslice_ticks = timeslice_ticks
         self.kernel_page_table = kernel_page_table
         self.vcpus: List[Vcpu] = []
         self.active_vcpu: Optional[Vcpu] = None
@@ -204,7 +214,7 @@ class KernelRuntime(SemanticsBridge):
         self.cpus: List[CpuState] = []
         for cpu_id in range(max(1, num_cpus)):
             idle = self._make_idle_task(cpu_id)
-            self.cpus.append(CpuState(cpu_id, idle))
+            self.cpus.append(CpuState(cpu_id, idle, timer_period=timer_period))
         self.active_cpu: CpuState = self.cpus[0]
         self._spawn_cpu_rr = 0
         # syscall dispatch (rootkits hook entries of this table)
@@ -326,7 +336,7 @@ class KernelRuntime(SemanticsBridge):
         pid = 0 if cpu_id == 0 else 1_000_000 + cpu_id
         task = Task(pid, comm, page_table, self._alloc_kstack(), driver=None)
         task.state = TaskState.RUNNING
-        task.timeslice = TIMESLICE_TICKS
+        task.timeslice = self.timeslice_ticks
         task.cpu = cpu_id
         task.is_idle = True
         self.tasks[task.pid] = task
@@ -349,7 +359,7 @@ class KernelRuntime(SemanticsBridge):
         page_table.map_page(USER_STACK_TOP - 0x1000, 0x000A0000)
         task = Task(pid, comm, page_table, self._alloc_kstack(), driver=None)
         task.drivers = [_DriverBox(driver_factory())]
-        task.timeslice = TIMESLICE_TICKS
+        task.timeslice = self.timeslice_ticks
         task.regs.eip = self.image.address_of("ret_from_fork")
         task.regs.esp = task.kstack_top
         task.regs.ebp = 0
@@ -602,7 +612,7 @@ class KernelRuntime(SemanticsBridge):
         if irq == "timer":
             cpu.timer_interrupts += 1
             while cpu.next_timer <= vcpu.cycles:
-                cpu.next_timer += TIMER_PERIOD_CYCLES
+                cpu.next_timer += self.timer_period
         self.refresh_next_event()
         cpu.current_irq = irq
         task = cpu.current
@@ -656,7 +666,7 @@ class KernelRuntime(SemanticsBridge):
                 if v is not None and i != vcpu.cpu_id
             ]
             if others:
-                target = min(target, min(others) + TIMER_PERIOD_CYCLES)
+                target = min(target, min(others) + self.timer_period)
         if target > vcpu.cycles:
             vcpu.cycles = target
         else:

@@ -40,6 +40,8 @@ class HotUnprofiled:
     rel_start: int
     rel_end: int
     samples: int
+    #: guest-config digest prefix of the kernel variant sampled ("" = legacy)
+    guest: str = ""
 
 
 @dataclass
@@ -52,6 +54,8 @@ class AppHeat:
     sampled_bytes: int
     covered_bytes: int  # profiled ∩ sampled
     hot_unprofiled: List[HotUnprofiled] = field(default_factory=list)
+    #: guest-config digest prefix the rows were computed against
+    guest: str = ""
 
     @property
     def bloat_bytes(self) -> int:
@@ -107,6 +111,7 @@ def analyze_heat(
     snapshot: Dict,
     configs: Dict[str, "KernelViewConfig"],  # noqa: F821 - lazy type
     profile: Optional[SampleProfile] = None,
+    guest: Optional[str] = None,
 ) -> HeatReport:
     """Join a telemetry snapshot's samples against per-app view configs.
 
@@ -114,13 +119,30 @@ def analyze_heat(
     :class:`~repro.core.kernel_view.KernelViewConfig` (the profile
     library's entries).  ``profile`` defaults to the one embedded in
     the snapshot's labelled counters.
+
+    ``guest`` (a guest-digest prefix) restricts the join to samples
+    from that kernel variant; required when the snapshot merges several
+    variants, since view ranges only make sense against the build they
+    were profiled on.  When omitted and the profile holds exactly one
+    variant, rows are labelled with it automatically.
     """
     if profile is None:
         profile = SampleProfile.from_snapshot(snapshot)
+    sampled_guests = profile.guests()
+    if guest is None and len(sampled_guests) > 1:
+        raise ValueError(
+            "snapshot mixes samples from several guest variants "
+            f"({', '.join(g or 'unlabelled' for g in sampled_guests)}); "
+            "pass guest=<digest prefix> to pick one"
+        )
+    row_filter = guest
+    label = guest if guest is not None else (
+        sampled_guests[0] if sampled_guests else ""
+    )
     apps: Dict[str, AppHeat] = {}
     for comm, config in sorted(configs.items()):
         kernel_profile = config.profile
-        rows = profile.function_rows(comm=comm)
+        rows = profile.function_rows(comm=comm, guest=row_filter)
         # sampled function ranges per segment
         sampled: Dict[str, RangeList] = {}
         samples = 0
@@ -140,6 +162,7 @@ def analyze_heat(
             profiled_bytes=profiled_bytes,
             sampled_bytes=sampled_bytes,
             covered_bytes=covered,
+            guest=label,
         )
         for symbol, segment, count, rel_start, rel_end in rows:
             profiled = kernel_profile.segments.get(segment)
@@ -157,6 +180,7 @@ def analyze_heat(
                         rel_start=rel_start,
                         rel_end=rel_end,
                         samples=count,
+                        guest=label,
                     )
                 )
         heat.hot_unprofiled.sort(key=lambda h: (-h.samples, h.symbol))
@@ -179,15 +203,19 @@ def analyze_heat(
 def format_heat_report(report: HeatReport, limit: int = 10) -> str:
     """Render a heat report as the text block ``repro report`` embeds."""
     lines: List[str] = []
+    labelled = any(heat.guest for heat in report.apps.values())
+    guest_head = f" {'GUEST':<12}" if labelled else ""
     lines.append(
         f"{'APP':<14} {'SAMPLES':>8} {'PROFILED':>9} {'COVERED':>8} "
-        f"{'BLOAT':>7} {'BLOAT%':>7} {'HOT-UNPROF':>10}"
+        f"{'BLOAT':>7} {'BLOAT%':>7} {'HOT-UNPROF':>10}{guest_head}"
     )
     for comm, heat in sorted(report.apps.items()):
+        guest_cell = f" {heat.guest:<12}" if labelled else ""
         lines.append(
             f"{comm:<14} {heat.samples:>8} {heat.profiled_bytes:>9} "
             f"{heat.covered_bytes:>8} {heat.bloat_bytes:>7} "
-            f"{100 * heat.bloat_ratio:>6.1f}% {len(heat.hot_unprofiled):>10}"
+            f"{100 * heat.bloat_ratio:>6.1f}% "
+            f"{len(heat.hot_unprofiled):>10}{guest_cell}"
         )
     hot = report.hot_unprofiled[:limit]
     if hot:

@@ -49,14 +49,44 @@ SAMPLES_COUNTER = "profile.samples"
 #: Label field separator (symbols are identifier-like; '\t' never occurs).
 SEP = "\t"
 
+#: Length of the guest-digest prefix carried in sample labels.
+GUEST_PREFIX_LEN = 12
+
+
+def split_stack_label(label: str) -> Tuple[str, str, str, str, str]:
+    """``(guest, comm, view, cpu, folded)`` from a stacks label.
+
+    New labels carry a leading guest-digest field; legacy labels (four
+    fields) parse with ``guest == ""``.  Field counts are unambiguous
+    because ``SEP`` never occurs inside a field.
+    """
+    parts = label.split(SEP)
+    if len(parts) >= 5:
+        return parts[0], parts[1], parts[2], parts[3], SEP.join(parts[4:])
+    comm, view, cpu, folded = parts
+    return "", comm, view, cpu, folded
+
+
+def split_function_key(key: str) -> Tuple[str, str, str, str, str, str]:
+    """``(guest, comm, segment, rel_start, rel_end, symbol)`` from a key."""
+    parts = key.split(SEP)
+    if len(parts) >= 6:
+        return parts[0], parts[1], parts[2], parts[3], parts[4], parts[5]
+    comm, segment, rel_start, rel_end, symbol = parts
+    return "", comm, segment, rel_start, rel_end, symbol
+
 
 class SampleProfile:
     """Accumulated samples, keyed the way the telemetry snapshot keys them.
 
-    ``stacks`` maps ``comm\\tview\\tcpu\\tfolded`` to a sample count;
-    ``functions`` maps ``comm\\tsegment\\trel_start\\trel_end\\tsymbol``
-    to the number of samples whose *leaf* frame fell inside that
-    function while that application was current.
+    ``stacks`` maps ``guest\\tcomm\\tview\\tcpu\\tfolded`` to a sample
+    count; ``functions`` maps
+    ``guest\\tcomm\\tsegment\\trel_start\\trel_end\\tsymbol`` to the
+    number of samples whose *leaf* frame fell inside that function while
+    that application was current.  ``guest`` is the 12-hex guest-config
+    digest prefix of the kernel variant the sample came from (legacy
+    labels omit it), so merging fleet snapshots never folds samples from
+    different kernel variants into one row.
     Both are plain count maps, so :meth:`merge` is associative and
     commutative -- merging per-worker profiles in any grouping equals
     one profile of the concatenated samples (property-tested).
@@ -77,9 +107,16 @@ class SampleProfile:
         frames: List[str],
         function_key: Optional[str] = None,
         count: int = 1,
+        guest: str = "",
     ) -> None:
-        """Record one sample: root-first ``frames`` under (comm, view, cpu)."""
+        """Record one sample: root-first ``frames`` under (comm, view, cpu).
+
+        ``guest`` (a guest-digest prefix) keys the sample to its kernel
+        variant; omitted, the label takes the legacy unlabelled form.
+        """
         label = f"{comm}{SEP}{view}{SEP}{cpu}{SEP}{encode_folded(frames)}"
+        if guest:
+            label = f"{guest}{SEP}{label}"
         self.stacks[label] = self.stacks.get(label, 0) + count
         if function_key is not None:
             self.functions[function_key] = (
@@ -118,30 +155,42 @@ class SampleProfile:
     # -- views over the data -------------------------------------------------
 
     def folded(
-        self, comm: Optional[str] = None, view: Optional[int] = None
+        self,
+        comm: Optional[str] = None,
+        view: Optional[int] = None,
+        guest: Optional[str] = None,
     ) -> Dict[str, int]:
-        """Aggregate folded stacks, optionally filtered by comm/view."""
+        """Aggregate folded stacks, optionally filtered by comm/view/guest."""
         out: Dict[str, int] = {}
         for label, count in self.stacks.items():
-            l_comm, l_view, _cpu, folded = label.split(SEP, 3)
+            l_guest, l_comm, l_view, _cpu, folded = split_stack_label(label)
             if comm is not None and l_comm != comm:
                 continue
             if view is not None and l_view != str(view):
+                continue
+            if guest is not None and l_guest != guest:
                 continue
             out[folded] = out.get(folded, 0) + count
         return out
 
     def function_rows(
-        self, comm: Optional[str] = None
+        self, comm: Optional[str] = None, guest: Optional[str] = None
     ) -> List[Tuple[str, str, int, int, int]]:
         """(symbol, segment, count, rel_start, rel_end), hottest first.
 
-        Aggregates over applications unless ``comm`` filters to one.
+        Aggregates over applications unless ``comm`` filters to one, and
+        over guest variants unless ``guest`` filters to one -- pass it
+        when the profile mixes kernel variants, since segment-relative
+        ranges are only comparable within one build.
         """
         merged: Dict[Tuple[str, str, int, int], int] = {}
         for key, count in self.functions.items():
-            l_comm, segment, rel_start, rel_end, symbol = key.split(SEP, 4)
+            l_guest, l_comm, segment, rel_start, rel_end, symbol = (
+                split_function_key(key)
+            )
             if comm is not None and l_comm != comm:
+                continue
+            if guest is not None and l_guest != guest:
                 continue
             mkey = (symbol, segment, int(rel_start), int(rel_end))
             merged[mkey] = merged.get(mkey, 0) + count
@@ -153,7 +202,15 @@ class SampleProfile:
         return rows
 
     def comms(self) -> List[str]:
-        return sorted({label.split(SEP, 1)[0] for label in self.stacks})
+        return sorted(
+            {split_stack_label(label)[1] for label in self.stacks}
+        )
+
+    def guests(self) -> List[str]:
+        """Guest-digest prefixes present in the profile ("" = legacy)."""
+        return sorted(
+            {split_stack_label(label)[0] for label in self.stacks}
+        )
 
     # -- rendering -----------------------------------------------------------
 
@@ -195,6 +252,8 @@ class SamplingProfiler:
         self.machine = machine
         self.interval = interval
         self.view_provider = view_provider
+        #: guest-config digest prefix stamped on every sample label
+        self.guest = machine.guest_digest[:GUEST_PREFIX_LEN]
         self.profile = SampleProfile()
         self._module_ranges: List[Tuple[int, int, str]] = []
         self._installed = False
@@ -260,8 +319,8 @@ class SamplingProfiler:
             return None
         segment, rel = self._classify(symbol.address)
         return (
-            f"{comm}{SEP}{segment}{SEP}{rel}{SEP}{rel + symbol.size}{SEP}"
-            f"{self._frame_name(addr)}"
+            f"{self.guest}{SEP}{comm}{SEP}{segment}{SEP}{rel}{SEP}"
+            f"{rel + symbol.size}{SEP}{self._frame_name(addr)}"
         )
 
     # -- the hook ------------------------------------------------------------
@@ -307,11 +366,14 @@ class SamplingProfiler:
                 else NO_VIEW
             )
             key = self._function_key(eip, comm)
-            self.profile.add_sample(comm, view, cpu, frames, key)
+            self.profile.add_sample(
+                comm, view, cpu, frames, key, guest=self.guest
+            )
             telemetry = self.machine.telemetry
             telemetry.counter(SAMPLES_COUNTER).inc()
             stack_label = (
-                f"{comm}{SEP}{view}{SEP}{cpu}{SEP}{encode_folded(frames)}"
+                f"{self.guest}{SEP}{comm}{SEP}{view}{SEP}{cpu}{SEP}"
+                f"{encode_folded(frames)}"
             )
             telemetry.labelled_counter(STACKS_COUNTER).inc(stack_label)
             if key is not None:

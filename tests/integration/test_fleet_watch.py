@@ -39,6 +39,9 @@ def stale_library(tmp_path_factory):
     library.put(
         KernelViewConfig(app="gzip", profile=truncated, notes="stale"),
         baseline=[],
+        # supersede the pinned record for gzip's build, not just the
+        # app-level current digest: fleet lookups match (app, build)
+        guest_digest=record.guest_digest,
     )
     return library
 

@@ -220,3 +220,43 @@ def test_report_rejects_unknown_section(capsys):
     err = capsys.readouterr().err
     assert "unknown report section" in err
     assert "nonsense" in err
+
+
+def test_guest_list_shows_variants(capsys):
+    assert main(["guest", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("default", "no-net", "smp2-nonet", "qemu-tsc"):
+        assert name in out
+
+
+def test_guest_show_and_digest(capsys):
+    from repro.guest.config import VARIANTS
+
+    assert main(["guest", "show", "no-net"]) == 0
+    assert "jbd2, ext4" in capsys.readouterr().out
+    assert main(["guest", "digest", "no-net"]) == 0
+    assert capsys.readouterr().out.strip() == VARIANTS["no-net"].digest()
+    assert main(["guest", "digest", "no-net", "--build"]) == 0
+    assert capsys.readouterr().out.strip() == VARIANTS["no-net"].build_digest()
+
+
+def test_guest_diff_and_identical(capsys):
+    assert main(["guest", "diff", "default", "no-net"]) == 0
+    assert "modules:" in capsys.readouterr().out
+    assert main(["guest", "diff", "default", "default"]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_guest_show_unknown_variant_fails(capsys):
+    assert main(["guest", "show", "nosuch"]) != 0
+    assert "unknown guest variant" in capsys.readouterr().err
+
+
+def test_trace_rejects_bad_guest_flags(capsys):
+    assert main(["trace", "top", "--guest", "nosuch"]) != 0
+    assert "unknown guest variant" in capsys.readouterr().err
+
+
+def test_fleet_matrix_requires_apps(capsys):
+    assert main(["fleet", "--matrix"]) != 0
+    assert "--matrix needs --apps" in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""Fleet matrix expansion and per-job guest validation errors."""
+
+import pytest
+
+from repro.fleet.spec import (
+    FleetJob,
+    FleetSpec,
+    FleetSpecError,
+    uniform_spec,
+)
+from repro.guest.config import DEFAULT_GUEST_CONFIG, VARIANTS
+
+
+# ---------------------------------------------------------------------------
+# matrix expansion
+# ---------------------------------------------------------------------------
+
+
+def test_matrix_expands_guest_x_app_x_attack():
+    spec = FleetSpec.from_dict({
+        "matrix": {
+            "apps": ["top"],
+            "attacks": ["Injectso"],
+            "guests": ["default", "no-net"],
+        }
+    })
+    assert [job.name for job in spec.jobs] == [
+        "top@default#0",
+        "top+Injectso@default#0",
+        "top@no-net#0",
+        "top+Injectso@no-net#0",
+    ]
+    digests = {job.guest_config().digest() for job in spec.jobs}
+    assert digests == {
+        DEFAULT_GUEST_CONFIG.digest(), VARIANTS["no-net"].digest()
+    }
+
+
+def test_matrix_without_guests_yields_unpinned_jobs():
+    spec = FleetSpec.from_dict({"matrix": {"apps": ["top", "gzip"]}})
+    assert [job.name for job in spec.jobs] == ["top#0", "gzip#0"]
+    assert all(job.guest is None for job in spec.jobs)
+
+
+def test_matrix_attack_only_lands_on_its_host_app():
+    spec = FleetSpec.from_dict({
+        "matrix": {"apps": ["top", "gzip"], "attacks": ["Injectso"]}
+    })
+    infected = [job for job in spec.jobs if job.attack]
+    assert [job.app for job in infected] == ["top"]
+
+
+def test_matrix_attack_with_absent_host_is_an_error():
+    with pytest.raises(
+        FleetSpecError, match=r"matrix\.attacks\[0\].*not in matrix\.apps"
+    ):
+        FleetSpec.from_dict(
+            {"matrix": {"apps": ["gzip"], "attacks": ["Injectso"]}}
+        )
+
+
+def test_matrix_unknown_attack_names_index():
+    with pytest.raises(
+        FleetSpecError, match=r"matrix\.attacks\[1\]: unknown malware sample"
+    ):
+        FleetSpec.from_dict({
+            "matrix": {
+                "apps": ["top"], "attacks": ["Injectso", "Stuxnet"]
+            }
+        })
+
+
+def test_matrix_unknown_guest_names_index():
+    with pytest.raises(
+        FleetSpecError, match=r"matrix\.guests\[1\]: unknown guest variant"
+    ):
+        FleetSpec.from_dict({
+            "matrix": {"apps": ["top"], "guests": ["default", "nosuch"]}
+        })
+
+
+def test_matrix_rejects_unknown_keys_and_empty_apps():
+    with pytest.raises(FleetSpecError, match=r"matrix: unknown keys"):
+        FleetSpec.from_dict({"matrix": {"apps": ["top"], "variants": []}})
+    with pytest.raises(FleetSpecError, match=r"matrix\.apps: .*non-empty"):
+        FleetSpec.from_dict({"matrix": {"apps": []}})
+
+
+def test_matrix_composes_with_explicit_jobs():
+    spec = FleetSpec.from_dict({
+        "jobs": [{"app": "gzip"}],
+        "matrix": {"apps": ["top"], "guests": ["no-net"]},
+    })
+    assert [job.name for job in spec.jobs] == ["gzip#0", "top@no-net#0"]
+
+
+# ---------------------------------------------------------------------------
+# per-job guest validation errors (field-addressed)
+# ---------------------------------------------------------------------------
+
+
+def test_job_guest_error_names_job_index_and_field():
+    with pytest.raises(
+        FleetSpecError,
+        match=r"jobs\[3\]\.guest\.modules: unknown module 'jbd3'",
+    ):
+        FleetSpec.from_dict({
+            "jobs": [
+                {"app": "top"},
+                {"app": "top"},
+                {"app": "gzip"},
+                {"app": "top", "guest": {"modules": ["jbd3"]}},
+            ]
+        })
+
+
+def test_job_app_and_attack_errors_name_index():
+    with pytest.raises(
+        FleetSpecError, match=r"jobs\[0\]\.app: unknown application"
+    ):
+        FleetSpec.from_dict({"jobs": [{"app": "nginx"}]})
+    with pytest.raises(
+        FleetSpecError, match=r"jobs\[1\]\.attack: 'Injectso' infects 'top'"
+    ):
+        FleetSpec.from_dict(
+            {"jobs": [{"app": "top"},
+                      {"app": "gzip", "attack": "Injectso"}]}
+        )
+
+
+def test_spec_level_guest_is_the_default_for_all_jobs():
+    spec = FleetSpec.from_dict({
+        "guest": "no-net",
+        "jobs": [
+            {"app": "top"},
+            {"app": "top", "guest": {"vcpus": 2, "name": "smp"}},
+        ],
+    })
+    assert spec.jobs[0].guest is VARIANTS["no-net"]
+    assert spec.jobs[1].guest.vcpus == 2
+
+
+def test_spec_level_guest_error_is_field_addressed():
+    with pytest.raises(FleetSpecError, match=r"guest\.vcpus: "):
+        FleetSpec.from_dict(
+            {"guest": {"vcpus": 0}, "jobs": [{"app": "top"}]}
+        )
+
+
+# ---------------------------------------------------------------------------
+# job identity / serialization with guests
+# ---------------------------------------------------------------------------
+
+
+def test_job_identity_includes_guest_label():
+    job = FleetJob(app="top", attack="Injectso", guest=VARIANTS["no-net"])
+    assert job.identity() == "top+Injectso@no-net"
+    assert FleetJob(app="top").identity() == "top"
+
+
+def test_job_guest_round_trips_through_spec_dict():
+    spec = FleetSpec.from_dict({
+        "jobs": [{"app": "top", "guest": "no-net"}]
+    })
+    clone = FleetSpec.from_dict(spec.to_dict())
+    assert clone.jobs[0].guest_config().digest() == VARIANTS["no-net"].digest()
+
+
+def test_job_accepts_guest_references_directly():
+    assert FleetJob(app="top", guest="no-net").guest is VARIANTS["no-net"]
+    assert FleetJob(app="top", guest={"vcpus": 2}).guest.vcpus == 2
+    assert FleetJob(app="top").guest_config() is DEFAULT_GUEST_CONFIG
+
+
+def test_uniform_spec_pins_every_job_to_the_guest():
+    spec = uniform_spec(["top", "gzip"], guest="no-net", repeat=2)
+    assert all(job.guest is VARIANTS["no-net"] for job in spec.jobs)
+    assert len(spec.jobs) == 4

@@ -1,0 +1,178 @@
+"""GuestConfig validation, digests, round-trips, and variant resolution."""
+
+import json
+
+import pytest
+
+from repro.guest.config import (
+    CATALOG_LOAD_ORDER,
+    DEFAULT_GUEST_CONFIG,
+    KVM_PVCLOCK,
+    MAX_VCPUS,
+    QEMU_TSC,
+    VARIANTS,
+    GuestConfig,
+    GuestConfigError,
+    module_dependencies,
+    resolve_guest,
+)
+from repro.kernel.runtime import TIMER_PERIOD_CYCLES, TIMESLICE_TICKS, Platform
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def test_default_config_matches_historical_build():
+    assert DEFAULT_GUEST_CONFIG.modules == CATALOG_LOAD_ORDER
+    assert DEFAULT_GUEST_CONFIG.platform == KVM_PVCLOCK
+    assert DEFAULT_GUEST_CONFIG.vcpus == 1
+    assert DEFAULT_GUEST_CONFIG.timer_period == TIMER_PERIOD_CYCLES
+    assert DEFAULT_GUEST_CONFIG.timeslice_ticks == TIMESLICE_TICKS
+
+
+def test_unknown_module_rejected_with_field():
+    with pytest.raises(GuestConfigError, match="modules: unknown module 'jbd3'"):
+        GuestConfig(modules=("jbd3",))
+
+
+def test_duplicate_modules_rejected():
+    with pytest.raises(GuestConfigError, match="duplicate module"):
+        GuestConfig(modules=("jbd2", "jbd2"))
+
+
+def test_dependency_closure_ext4_requires_jbd2():
+    deps = module_dependencies()
+    assert "jbd2" in deps["ext4"]
+    with pytest.raises(GuestConfigError, match="'ext4' requires jbd2"):
+        GuestConfig(modules=("ext4",))
+
+
+def test_module_order_normalized_to_load_order():
+    config = GuestConfig(modules=("ext4", "jbd2"))
+    assert config.modules == ("jbd2", "ext4")
+
+
+def test_platform_aliases_canonicalized():
+    assert GuestConfig(platform=Platform.KVM).platform == KVM_PVCLOCK
+    assert GuestConfig(platform=Platform.QEMU).platform == QEMU_TSC
+    assert GuestConfig(platform="qemu-tsc").runtime_platform() == Platform.QEMU
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(GuestConfigError, match="platform: unknown platform"):
+        GuestConfig(platform="xen")
+
+
+@pytest.mark.parametrize("vcpus", [0, -1, MAX_VCPUS + 1, "2"])
+def test_vcpus_bounds(vcpus):
+    with pytest.raises(GuestConfigError, match="vcpus"):
+        GuestConfig(vcpus=vcpus)
+
+
+@pytest.mark.parametrize("field", ["timer_period", "timeslice_ticks"])
+def test_timer_fields_must_be_positive(field):
+    with pytest.raises(GuestConfigError, match=field):
+        GuestConfig(**{field: 0})
+
+
+def test_error_carries_field_and_message():
+    with pytest.raises(GuestConfigError) as excinfo:
+        GuestConfig(modules=("nosuch",))
+    assert excinfo.value.field == "modules"
+    assert str(excinfo.value) == f"modules: {excinfo.value.message}"
+
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+
+
+def test_digest_is_stable_and_name_independent():
+    assert GuestConfig().digest() == DEFAULT_GUEST_CONFIG.digest()
+    assert GuestConfig(name="renamed").digest() == DEFAULT_GUEST_CONFIG.digest()
+
+
+def test_platform_changes_digest_but_not_build_digest():
+    kvm = DEFAULT_GUEST_CONFIG
+    qemu = kvm.with_platform(QEMU_TSC)
+    assert kvm.digest() != qemu.digest()
+    assert kvm.build_digest() == qemu.build_digest()
+
+
+def test_build_fields_change_both_digests():
+    smp = GuestConfig(vcpus=2)
+    assert smp.digest() != DEFAULT_GUEST_CONFIG.digest()
+    assert smp.build_digest() != DEFAULT_GUEST_CONFIG.build_digest()
+
+
+def test_label_prefers_name_then_digest_prefix():
+    assert DEFAULT_GUEST_CONFIG.label() == "default"
+    unnamed = GuestConfig(vcpus=2)
+    assert unnamed.label() == unnamed.digest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip
+# ---------------------------------------------------------------------------
+
+
+def test_dict_round_trip_preserves_identity():
+    config = VARIANTS["smp2-nonet"]
+    clone = GuestConfig.from_dict(config.to_dict())
+    assert clone == config
+    assert clone.digest() == config.digest()
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "guest.json"
+    VARIANTS["no-net"].save(path)
+    assert GuestConfig.load(path) == VARIANTS["no-net"]
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(GuestConfigError, match="unknown guest config key"):
+        GuestConfig.from_dict({"vcpu": 2})
+
+
+def test_from_dict_rejects_non_integer_scalars():
+    with pytest.raises(GuestConfigError, match="vcpus must be an integer"):
+        GuestConfig.from_dict({"vcpus": True})
+    with pytest.raises(GuestConfigError, match="modules must be a list"):
+        GuestConfig.from_dict({"modules": "ext4"})
+
+
+# ---------------------------------------------------------------------------
+# variants / resolution / diff
+# ---------------------------------------------------------------------------
+
+
+def test_named_variants_are_valid_and_distinct():
+    digests = {config.digest() for config in VARIANTS.values()}
+    assert len(digests) == len(VARIANTS)
+    for name, config in VARIANTS.items():
+        assert config.name == name
+
+
+def test_resolve_guest_forms(tmp_path):
+    assert resolve_guest(None) is DEFAULT_GUEST_CONFIG
+    assert resolve_guest("no-net") is VARIANTS["no-net"]
+    assert resolve_guest(DEFAULT_GUEST_CONFIG) is DEFAULT_GUEST_CONFIG
+    assert resolve_guest({"vcpus": 2}).vcpus == 2
+    path = tmp_path / "v.json"
+    path.write_text(json.dumps({"vcpus": 3, "name": "three"}))
+    assert resolve_guest(str(path)).vcpus == 3
+
+
+def test_resolve_guest_unknown_name_lists_variants():
+    with pytest.raises(GuestConfigError, match="unknown guest variant"):
+        resolve_guest("nosuch-variant")
+
+
+def test_diff_reports_changed_fields_only():
+    rows = DEFAULT_GUEST_CONFIG.diff(VARIANTS["smp2-nonet"])
+    assert any(row.startswith("modules:") for row in rows)
+    assert any(row.startswith("vcpus:") for row in rows)
+    assert not any(row.startswith("platform:") for row in rows)
+    assert DEFAULT_GUEST_CONFIG.diff(GuestConfig(name="other")) == []
