@@ -13,6 +13,10 @@ that accidentally charges guest time for tracing will show up as a
 ratio drift here).  Host-side wall time for both modes is recorded too,
 as the honest measure of what tracing costs the simulator itself.
 
+Both passes run with block translation pinned off (``REPRO_JIT=0``):
+the ``telemetry_off`` wall clock doubles as the interpreter reference
+that ``benchmarks/record_switch_latency.py`` gates its speedup against.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record_telemetry_baseline.py
@@ -45,6 +49,10 @@ def _run_suite(tracing: bool, scale: int) -> dict:
         os.environ["REPRO_TRACE"] = "1"
     else:
         os.environ.pop("REPRO_TRACE", None)
+    # Pin block translation off: this file is the *interpreter* reference
+    # that BENCH_switching.json's speedup gate compares against, and the
+    # tracing on/off ratio must be measured on one fixed execution mode.
+    os.environ["REPRO_JIT"] = "0"
 
     # imported lazily so each pass sees the right environment from boot
     from repro.analysis.similarity import profile_applications

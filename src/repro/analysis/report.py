@@ -136,6 +136,18 @@ def _section_caches(out: io.StringIO, configs, scale: int) -> None:
         total = hits + misses
         rate = f"{hits / total:.4f}" if total else "n/a"
         out.write(f"| {label} | {hits} | {misses} | {evictions} | {rate} |\n")
+    out.write("\n### Block translation (JIT)\n\n")
+    out.write("| counter | value |\n")
+    out.write("|---|---|\n")
+    out.write(f"| enabled | {machine.jit_enabled} |\n")
+    for name in ("jit.blocks", "jit.superblocks", "jit.promotions"):
+        out.write(f"| {name} | {machine.telemetry.counter(name).value} |\n")
+    invalidations = machine.telemetry.labelled.get("jit.invalidations")
+    causes = invalidations.values if invalidations is not None else {}
+    for cause in sorted(causes):
+        out.write(f"| jit.invalidations[{cause}] | {causes[cause]} |\n")
+    if not causes:
+        out.write("| jit.invalidations | 0 |\n")
     out.write("\n(invalidation rules: docs/PERFORMANCE.md)\n\n")
 
 

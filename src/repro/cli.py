@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -45,6 +46,23 @@ def _add_guest_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vcpus", type=int, help="SMP vCPU count override"
     )
+
+
+def _add_jit_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="disable block translation (superblock JIT); guest state "
+        "and virtual-cycle scores are bit-identical either way",
+    )
+
+
+def _apply_jit_flag(args: argparse.Namespace) -> None:
+    """Export ``--no-jit`` as ``REPRO_JIT=0`` so everything downstream
+    -- machine boots in this process *and* forked fleet workers, which
+    re-read the environment in ``FaceChange.enable()`` -- agrees."""
+    if getattr(args, "no_jit", False):
+        os.environ["REPRO_JIT"] = "0"
 
 
 def _guest_config(args: argparse.Namespace):
@@ -696,6 +714,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="re-profile even if the library already has this app",
     )
     _add_guest_flags(p)
+    _add_jit_flag(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -727,6 +746,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(the app must be the sample's host)",
     )
     _add_guest_flags(p)
+    _add_jit_flag(p)
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -752,6 +772,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.add_argument("-o", "--output", help="save the telemetry snapshot JSON")
     _add_guest_flags(p)
+    _add_jit_flag(p)
     p.set_defaults(fn=_cmd_flame)
 
     p = sub.add_parser(
@@ -851,6 +872,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker heartbeat interval in seconds (default 0.5)",
     )
     p.add_argument("-o", "--output", help="write the fleet report JSON")
+    _add_jit_flag(p)
     p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser(
@@ -888,6 +910,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(fn=_cmd_report)
 
     args = parser.parse_args(argv)
+    _apply_jit_flag(args)
     return args.fn(args)
 
 

@@ -130,10 +130,16 @@ class FaceChange:
 
         ``REPRO_SAMPLE_INTERVAL=<cycles>`` installs the sampling
         profiler wired to this instance's view switcher;
-        ``REPRO_PROBE_FUNCS=<sym>[,<sym>...]`` arms observer probes.
-        Both are how the benchmark suite and fleet workers turn the
-        statistical layer on without touching call sites.
+        ``REPRO_PROBE_FUNCS=<sym>[,<sym>...]`` arms observer probes;
+        ``REPRO_JIT=0`` forces block translation off (guest state is
+        bit-identical either way, see :mod:`repro.hypervisor.jit`).
+        All are how the benchmark suite and fleet workers turn these
+        layers on without touching call sites.
         """
+        if "REPRO_JIT" in os.environ:
+            from repro.hypervisor.jit import env_jit_enabled
+
+            self.machine.set_jit(env_jit_enabled())
         interval = os.environ.get("REPRO_SAMPLE_INTERVAL", "")
         if interval:
             from repro.obs.profiling.sampler import SamplingProfiler

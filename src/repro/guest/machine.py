@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fleet.snapshot import MachineSnapshot
 
 from repro.guest.config import GuestConfig, resolve_guest
+from repro.hypervisor.jit import env_jit_enabled
 from repro.hypervisor.kvm import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vmi import Introspector
@@ -73,6 +74,7 @@ class Machine:
         platform: Optional[str] = None,
         vcpu_count: Optional[int] = None,
         config: Union[None, str, dict, GuestConfig] = None,
+        jit: Optional[bool] = None,
     ) -> None:
         guest = resolve_guest(config)
         overrides: dict = {}
@@ -97,6 +99,7 @@ class Machine:
         self.runtime: Optional[KernelRuntime] = None
         self.vcpus: List[Vcpu] = []
         self.introspector: Optional[Introspector] = None
+        self.jit_enabled = env_jit_enabled() if jit is None else bool(jit)
 
     @property
     def ept(self) -> ExtendedPageTable:
@@ -156,6 +159,17 @@ class Machine:
     def vcpu(self) -> Optional[Vcpu]:
         return self.vcpus[0] if self.vcpus else None
 
+    def set_jit(self, enabled: bool) -> None:
+        """Toggle block translation on every vCPU (see ``hypervisor.jit``).
+
+        Safe at any point: disabling drops the translation caches, and
+        re-enabling rebuilds them lazily from the hotness counters.
+        Guest-visible state is bit-identical either way.
+        """
+        self.jit_enabled = bool(enabled)
+        for vcpu in self.vcpus:
+            vcpu.set_jit(self.jit_enabled)
+
     # -- boot -----------------------------------------------------------------
 
     def boot(self) -> "Machine":
@@ -180,6 +194,7 @@ class Machine:
             self.vcpus.append(vcpu)
             self.hypervisor.attach_vcpu(vcpu, self.epts[cpu_id])
             self.runtime.attach_vcpu(vcpu)
+            vcpu.set_jit(self.jit_enabled)
         self.runtime.set_active_vcpu(self.vcpus[0])
         self.introspector = Introspector(self.vcpus[0].mmu)
         return self
@@ -302,6 +317,9 @@ def boot_machine(
     platform: Optional[str] = None,
     vcpu_count: Optional[int] = None,
     config: Union[None, str, dict, GuestConfig] = None,
+    jit: Optional[bool] = None,
 ) -> Machine:
     """Build and boot a guest VM from a guest config (optionally SMP)."""
-    return Machine(platform=platform, vcpu_count=vcpu_count, config=config).boot()
+    return Machine(
+        platform=platform, vcpu_count=vcpu_count, config=config, jit=jit
+    ).boot()

@@ -19,13 +19,16 @@ in Python.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.isa.decoder import decode
 from repro.isa.opcodes import Instr, Op
 from repro.memory.layout import PAGE_SIZE, is_kernel_address
 from repro.memory.mmu import Mmu, TranslationError
+from repro.hypervisor.jit import BAIL as _JIT_BAIL
+from repro.hypervisor.jit import STALE as _JIT_STALE
+from repro.hypervisor.jit import JitState
 from repro.hypervisor.vmexit import VmExit, VmExitReason
 from repro.telemetry import Counter, Telemetry
 
@@ -33,6 +36,15 @@ from repro.telemetry import Counter, Telemetry
 #: fused into a single step at decode time, so a large cap keeps big
 #: synthetic function bodies cheap to execute.
 _MAX_BLOCK_INSNS = 4096
+#: Process-wide ``(page bytes, offset, limit) -> block`` memo.  The
+#: per-machine decode cache fronts this, so it only sees each machine's
+#: cold misses; identical guest builds (benchmark reboots, fleet
+#: workers) then share one decode of every page.  Blocks are treated as
+#: immutable everywhere (the per-machine cache already shares them
+#: between vCPUs), and the key's page-bytes copy is computed by
+#: ``_decode_block`` anyway.
+_block_memo: Dict[tuple, "_Block"] = {}
+_MAX_BLOCK_MEMO = 8192
 #: Ops that terminate a decoded block (control transfer or host interaction).
 _BLOCK_TERMINATORS = frozenset(
     {
@@ -199,6 +211,10 @@ class Vcpu:
         # hypervisor wiring
         self.trap_addresses: Set[int] = set()
         self._sorted_traps: List[int] = []
+        #: bumped on every trap arm/disarm; translated page tables pin
+        #: the epoch they were built under (fused successors are proven
+        #: trap-free at build time, valid only while the set is stable)
+        self._trap_epoch = 0
         self._skip_trap_once: Optional[int] = None
         self.block_tracer: Optional[BlockTracer] = None
         #: virtual-cycle sampler hook; ``None`` until a profiler installs
@@ -206,6 +222,10 @@ class Vcpu:
         #: due mark; the callback returns the next due cycle count.
         self._cycle_sampler: Optional[CycleSampler] = None
         self._sample_due = _NEVER_DUE
+        #: the bridge's per-CPU interrupt source (set by the kernel
+        #: runtime at attach); lets hot paths read ``next_event``
+        #: directly instead of calling ``bridge.interrupt_pending``
+        self.irq_state = None
         # decoded-block cache: private until the hypervisor swaps in the
         # machine-level shared cache via use_block_cache()
         self.block_cache = DecodeCache()
@@ -215,6 +235,10 @@ class Vcpu:
         # one-entry code page cache, same shape plus (hpfn, frame)
         self._code_cache = None
         self._frame_versions = mmu.physmem._versions
+        #: block-translation state; ``None`` runs the pure interpreter
+        #: (the default for directly constructed vCPUs -- machines wire
+        #: it through ``Machine.set_jit`` / the ``REPRO_JIT`` env var)
+        self._jit: Optional[JitState] = None
 
     # -- register/stack helpers ----------------------------------------------
     #
@@ -291,12 +315,36 @@ class Vcpu:
                 shared.value += standalone.value
                 setattr(self, attr, shared)
         self.mmu.attach_telemetry(telemetry)
+        if self._jit is not None:
+            self._jit.attach_telemetry(telemetry)
         self.telemetry = telemetry
 
     def use_block_cache(self, cache: DecodeCache) -> None:
         """Adopt the machine-level shared decode cache."""
         self.block_cache = cache
         self._code_cache = None
+        if self._jit is not None:
+            self._jit.code_pages.clear()
+
+    def set_jit(self, enabled: bool) -> None:
+        """Enable or disable block translation for this vCPU.
+
+        Enabling installs a fresh :class:`JitState`; disabling drops it
+        (translations rebuild from scratch on re-enable).  Either way
+        execution semantics are bit-identical -- only wall-clock speed
+        and the ``jit.*`` counters change.
+        """
+        if enabled:
+            if self._jit is None:
+                self._jit = JitState()
+                if self.telemetry is not None:
+                    self._jit.attach_telemetry(self.telemetry)
+        else:
+            self._jit = None
+
+    @property
+    def jit_enabled(self) -> bool:
+        return self._jit is not None
 
     @property
     def corruption_executed(self) -> int:
@@ -324,43 +372,73 @@ class Vcpu:
         if address not in self.trap_addresses:
             self.trap_addresses.add(address)
             insort(self._sorted_traps, address)
+            self._trap_epoch += 1
 
     def disarm_trap(self, address: int) -> None:
         if address in self.trap_addresses:
             self.trap_addresses.discard(address)
             self._sorted_traps.remove(address)
+            self._trap_epoch += 1
 
     def resume_past_trap(self) -> None:
         """Resume after an ADDRESS_TRAP without immediately re-trapping."""
         self._skip_trap_once = self.eip
 
+    def _page_trap_sig(self, vfn: int) -> Tuple[int, ...]:
+        """Armed trap addresses that shape translations of page ``vfn``.
+
+        Covers ``[page, page + 2*PAGE_SIZE)``: a trap up to one page
+        *beyond* still truncates blocks near the page end (the decode
+        limit looks ahead ``PAGE_SIZE`` bytes), and fused-successor
+        decisions only concern targets inside the page itself.
+        """
+        traps = self._sorted_traps
+        if not traps:
+            return ()
+        base = vfn << 12
+        lo = bisect_left(traps, base)
+        hi = bisect_left(traps, base + 2 * PAGE_SIZE)
+        return tuple(traps[lo:hi])
+
     def flush_block_cache(self) -> None:
         self.block_cache.flush()
         self._code_cache = None
+        if self._jit is not None:
+            self._jit.flush()
 
     def invalidate_translation_caches(self) -> None:
-        """Drop the stack/code page caches and the MMU's TLB.
+        """Drop the stack/code page caches, the MMU's TLB and the
+        translated page tables.
 
         Host-side administrative flush (snapshot capture/fork): these
         caches hold direct frame bytearray references that must not
-        survive a CoW re-basing of physical memory.
+        survive a CoW re-basing of physical memory.  Translated members
+        hold no frame references (only constants), but their
+        ``(hpfn, version)`` keys are meaningless across a re-based
+        physical memory, so they are dropped too and rebuild warm.
         """
         self._stack_cache = None
         self._code_cache = None
         self.mmu.invalidate_cache()
+        if self._jit is not None:
+            self._jit.flush()
 
     # -- block decode ----------------------------------------------------------
 
     def _decode_block(
         self, frame: bytearray, offset: int, limit: Optional[int] = None
     ) -> _Block:
+        data = bytes(frame)
+        mkey = (data, offset, limit)
+        memo = _block_memo.get(mkey)
+        if memo is not None:
+            return memo
         steps: List[object] = []
         terminator: Optional[Instr] = None
         pos = offset
         fill_insns = 0
         fill_bytes = 0
         count = 0
-        data = bytes(frame)
         stop_at = PAGE_SIZE if limit is None else min(PAGE_SIZE, offset + limit)
         while count < _MAX_BLOCK_INSNS:
             if pos >= stop_at:
@@ -373,10 +451,40 @@ class Vcpu:
                 break
             instr = decode(data, pos)
             if instr.op is Op.FILL:
+                ln = instr.length
                 fill_insns += 1
-                fill_bytes += instr.length
-                pos += instr.length
+                fill_bytes += ln
+                pos += ln
                 count += 1
+                # Filler decodes depend only on the instruction's own
+                # bytes, so a run of identical encodings (the common
+                # shape of synthesized function bodies) can be consumed
+                # without re-decoding; the run re-checks every loop-head
+                # bound, and any differing bytes fall back to decode().
+                if ln == 1:
+                    b = data[pos - 1]
+                    while (
+                        count < _MAX_BLOCK_INSNS
+                        and pos < stop_at
+                        and pos + 8 <= PAGE_SIZE
+                        and data[pos] == b
+                    ):
+                        fill_insns += 1
+                        fill_bytes += 1
+                        pos += 1
+                        count += 1
+                else:
+                    enc = data[pos - ln:pos]
+                    while (
+                        count < _MAX_BLOCK_INSNS
+                        and pos < stop_at
+                        and pos + 8 <= PAGE_SIZE
+                        and data[pos:pos + ln] == enc
+                    ):
+                        fill_insns += 1
+                        fill_bytes += ln
+                        pos += ln
+                        count += 1
                 continue
             if fill_insns:
                 steps.append(("fill", fill_insns, fill_bytes))
@@ -394,7 +502,11 @@ class Vcpu:
         # block_len covers the terminator too, so tracers see the full
         # basic-block byte range; terminator execution advances eip itself.
         block_len = pos - offset
-        return (steps, terminator, block_len)
+        block = (steps, terminator, block_len)
+        if len(_block_memo) > _MAX_BLOCK_MEMO:
+            _block_memo.clear()
+        _block_memo[mkey] = block
+        return block
 
     def _fetch_block(self) -> Tuple[_Block, bool]:
         """Return (block, is_kernel) for the current ``eip``."""
@@ -461,7 +573,11 @@ class Vcpu:
         mmu = self.mmu
         offset = eip & (PAGE_SIZE - 1)
         first = PAGE_SIZE - offset
-        if first >= 8:  # pragma: no cover - only reached on spanning fetches
+        if first >= 8:
+            # Eight bytes available on the first page: every encoding
+            # fits, so decode straight from a linear read (no second
+            # page to validate; not cached -- block decode covers these
+            # offsets on the normal path).
             return decode(mmu.read(eip, 8), 0)
         entry1 = mmu.resolve_entry(eip)
         entry2 = mmu.resolve_entry((eip + first) & 0xFFFFFFFF)
@@ -491,6 +607,8 @@ class Vcpu:
         after an exit, so a zero-cost exit -- an observer probe trap --
         would shift every later slice boundary and break bit-identity.
         """
+        if self._jit is not None:
+            return self._run_jit(budget)
         start = self.instructions
         while self.instructions - start < budget:
             # statistical sampler, checked at block boundaries; reads
@@ -509,6 +627,190 @@ class Vcpu:
                     return self.snapshot_exit(VmExitReason.ADDRESS_TRAP)
             else:
                 self._skip_trap_once = None
+            try:
+                block, _in_kernel = self._fetch_block()
+            except TranslationError as exc:
+                return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+            steps, terminator, block_len = block
+            if self.block_tracer is not None:
+                self.block_tracer(self.eip, self.eip + block_len)
+            try:
+                exit_ = self._execute_block(steps, terminator, block_len)
+            except TranslationError as exc:
+                return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+            if exit_ is not None:
+                return exit_
+        return self.snapshot_exit(VmExitReason.BUDGET)
+
+    def _run_jit(self, budget: int) -> VmExit:
+        """The translated run loop (see :mod:`repro.hypervisor.jit`).
+
+        The outer iteration replicates :meth:`run`'s boundary checks in
+        the same order (budget, sampler due-mark, interrupt window,
+        trap), then resolves the code page and dispatches a translated
+        member if the page is hot, falling back to one interpreted block
+        otherwise.  The inner loop chains members of the same page
+        ("superblock executor"), re-checking the boundary conditions
+        between members; cold blocks count heat toward promotion.
+        """
+        jit = self._jit
+        stop = self.instructions + budget
+        mmu = self.mmu
+        bridge = self.bridge
+        traps = self.trap_addresses
+        versions = self._frame_versions
+        tables = jit.tables
+        heat = jit.heat
+        code_pages = jit.code_pages
+        irq = self.irq_state
+        while self.instructions < stop:
+            if self.cycles >= self._sample_due:
+                self._sample_due = self._cycle_sampler(self)
+            if self.if_enabled and (
+                self.cycles >= irq.next_event
+                if irq is not None
+                else bridge.interrupt_pending(self)
+            ):
+                bridge.deliver_interrupt(self)
+            eip = self.eip
+            if eip in traps:
+                if self._skip_trap_once == eip:
+                    self._skip_trap_once = None
+                else:
+                    return self.snapshot_exit(VmExitReason.ADDRESS_TRAP)
+            else:
+                self._skip_trap_once = None
+            # resolve the code page; validated like _fetch_block's
+            # one-entry cache but per-vfn, because translated execution
+            # ping-pongs between the user stub page and kernel handler
+            # pages every interrupt/syscall
+            vfn = eip >> 12
+            ckey = (id(mmu.cr3), vfn)
+            cache = code_pages.get(ckey)
+            if (
+                cache is not None
+                and cache[0] is mmu.cr3
+                and cache[1] == mmu.cr3.generation
+                and cache[2][0] == cache[3]
+            ):
+                hpfn = cache[4]
+                frame = cache[5]
+            else:
+                try:
+                    entry = mmu.resolve_entry(eip)
+                except TranslationError as exc:
+                    return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+                hpfn = entry[0]
+                frame = entry[1]
+                if len(code_pages) > 2048:
+                    code_pages.clear()
+                code_pages[ckey] = (
+                    mmu.cr3, mmu.cr3.generation, entry[2], entry[3],
+                    hpfn, frame,
+                )
+            version = versions.get(hpfn, 0)
+            key = (hpfn, version)
+            group = tables.get(key)
+            fn = None
+            members = None
+            if group is not None:
+                table = group.active
+                if table.epoch != self._trap_epoch or table.vfn != vfn:
+                    table = jit.revalidate(self, group, vfn)
+                members = table.members
+                fn = members.get(eip & 0xFFF)
+                if fn is None and len(members) < jit.max_members:
+                    fn = jit.translate(self, frame, hpfn, version, eip, table)
+            else:
+                n = heat.get(key, 0) + 1
+                if n >= jit.threshold:
+                    table = jit.promote(self, hpfn, version, vfn)
+                    members = table.members
+                    fn = jit.translate(self, frame, hpfn, version, eip, table)
+                else:
+                    if len(heat) > 8192:
+                        heat.clear()
+                    heat[key] = n
+            if fn is not None:
+                # superblock executor: chain members of this page until
+                # a boundary condition or a non-member target
+                r = None
+                try:
+                    while True:
+                        r = fn(self, stop)
+                        if r is not None:
+                            break
+                        if (
+                            self.instructions >= stop
+                            or self.cycles >= self._sample_due
+                            or (
+                                self.if_enabled
+                                and (
+                                    self.cycles >= irq.next_event
+                                    if irq is not None
+                                    else bridge.interrupt_pending(self)
+                                )
+                            )
+                        ):
+                            break
+                        nip = self.eip
+                        if nip in traps:
+                            break
+                        nvfn = nip >> 12
+                        if nvfn != vfn:
+                            # cross-page chain: swap to the target
+                            # page's table without re-running the
+                            # boundary checks (they just ran above);
+                            # any cache/table miss defers to the
+                            # outer loop's slow path
+                            cr3 = mmu.cr3
+                            c2 = code_pages.get((id(cr3), nvfn))
+                            if (
+                                c2 is None
+                                or c2[0] is not cr3
+                                or c2[1] != cr3.generation
+                                or c2[2][0] != c2[3]
+                            ):
+                                break
+                            nhpfn = c2[4]
+                            nversion = versions.get(nhpfn, 0)
+                            ngroup = tables.get((nhpfn, nversion))
+                            if ngroup is None:
+                                break
+                            ntable = ngroup.active
+                            if (
+                                ntable.epoch != self._trap_epoch
+                                or ntable.vfn != nvfn
+                            ):
+                                break
+                            vfn = nvfn
+                            hpfn = nhpfn
+                            version = nversion
+                            frame = c2[5]
+                            table = ntable
+                            members = ntable.members
+                        fn = members.get(nip & 0xFFF)
+                        if fn is None:
+                            if len(members) < jit.max_members:
+                                fn = jit.translate(
+                                    self, frame, hpfn, version, nip, table
+                                )
+                            if fn is None:
+                                break
+                except TranslationError as exc:
+                    return self.snapshot_exit(VmExitReason.ERROR, detail=str(exc))
+                if r is _JIT_STALE:
+                    # stale cross-page guard: the member made no
+                    # progress; drop it and interpret this block (the
+                    # boundary checks for it already ran)
+                    members.pop(self.eip & 0xFFF, None)
+                    jit.invalidations.inc("cross-page")
+                elif r is None or r is _JIT_BAIL:
+                    continue
+                else:
+                    return r
+            # interpreted fallback: cold page, untranslatable entry, or
+            # a dropped stale member -- one block, exactly as run() does
             try:
                 block, _in_kernel = self._fetch_block()
             except TranslationError as exc:

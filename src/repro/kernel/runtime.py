@@ -236,6 +236,7 @@ class KernelRuntime(SemanticsBridge):
             self.vcpus.append(None)  # type: ignore[arg-type]
         self.vcpus[vcpu.cpu_id] = vcpu
         cpu = self.cpus[vcpu.cpu_id]
+        vcpu.irq_state = cpu  # interrupt_pending == cycles >= cpu.next_event
         vcpu.mmu.set_cr3(cpu.idle_task.page_table)
         vcpu.user_mode = False
         vcpu.eip = self.image.address_of("cpu_idle")

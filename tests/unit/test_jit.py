@@ -1,0 +1,263 @@
+"""Unit tests for the block-translation layer (repro.hypervisor.jit)."""
+
+import pytest
+
+from repro.core.facechange import FaceChange
+from repro.guest.machine import boot_machine
+from repro.hypervisor.jit import env_jit_enabled
+from repro.hypervisor.vcpu import SemanticsBridge, Vcpu
+from repro.hypervisor.vmexit import VmExitReason
+from repro.kernel.runtime import Platform
+from repro.memory.ept import ExtendedPageTable
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.mmu import Mmu
+from repro.memory.paging import GuestPageTable
+from repro.memory.physmem import PhysicalMemory
+
+CODE_BASE = 0x00010000
+STACK_TOP = 0x00020FF0
+
+
+class NullBridge(SemanticsBridge):
+    def interrupt_pending(self, vcpu):
+        return False
+
+
+def make_world(jit=True, threshold=1):
+    physmem = PhysicalMemory()
+    ept = ExtendedPageTable()
+    pt = GuestPageTable()
+    for gva in range(0x10000, 0x22000, PAGE_SIZE):
+        pt.map_page(gva, gva)
+    mmu = Mmu(physmem, ept)
+    mmu.set_cr3(pt)
+    vcpu = Vcpu(0, mmu, NullBridge())
+    vcpu.esp = STACK_TOP
+    vcpu.ebp = STACK_TOP
+    vcpu.eip = CODE_BASE
+    if jit:
+        vcpu.set_jit(True)
+        vcpu._jit.threshold = threshold
+    return physmem, vcpu
+
+
+def write_loop(physmem):
+    """Two basic blocks jumping at each other: a fused superblock whose
+    final transfer is a back-edge to the member entry."""
+    a = b"\x90" * 4 + b"\xe9" + (0x17).to_bytes(4, "little")  # 0x0 -> 0x20
+    b = b"\x90" * 4 + b"\xe9" + (-0x29 & 0xFFFFFFFF).to_bytes(4, "little")
+    physmem.write(CODE_BASE, a)
+    physmem.write(CODE_BASE + 0x20, b)
+
+
+# -- env toggle ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "raw,expected",
+    [
+        (None, True),
+        ("1", True),
+        ("on", True),
+        ("yes", True),
+        ("0", False),
+        ("off", False),
+        ("false", False),
+        ("no", False),
+        ("", False),
+        ("  OFF  ", False),
+    ],
+)
+def test_env_jit_enabled(monkeypatch, raw, expected):
+    if raw is None:
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_JIT", raw)
+    assert env_jit_enabled() is expected
+
+
+def test_env_jit_enabled_custom_default(monkeypatch):
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    assert env_jit_enabled(default=False) is False
+
+
+# -- promotion and counters ------------------------------------------------
+
+
+def test_cold_page_is_interpreted_then_promoted():
+    physmem, vcpu = make_world(threshold=3)
+    write_loop(physmem)
+    jit = vcpu._jit
+    vcpu.run(budget=1)
+    assert jit.promotions.value == 0  # heat 1 of 3
+    vcpu.run(budget=1)
+    assert jit.promotions.value == 0
+    vcpu.run(budget=50)
+    assert jit.promotions.value == 1
+    assert jit.blocks.value >= 1
+    assert len(jit.tables) == 1
+
+
+def test_superblock_fuses_loop_and_counts():
+    physmem, vcpu = make_world()
+    write_loop(physmem)
+    exit_ = vcpu.run(budget=200)
+    jit = vcpu._jit
+    assert exit_.reason is VmExitReason.BUDGET
+    # budget overshoot is block-granular, exactly like the interpreter
+    physmem2, ref = make_world(jit=False)
+    write_loop(physmem2)
+    ref.run(budget=200)
+    assert vcpu.instructions == ref.instructions
+    assert vcpu.cycles == ref.cycles
+    assert jit.superblocks.value >= 1
+    # the loop body became a member of the page's table
+    group = next(iter(jit.tables.values()))
+    assert 0 in group.active.members
+    assert group.active.keys[0]  # constituent decode keys registered
+
+
+def test_set_jit_off_drops_state_and_stays_identical():
+    physmem, vcpu = make_world()
+    write_loop(physmem)
+    vcpu.run(budget=100)
+    vcpu.set_jit(False)
+    assert vcpu._jit is None and not vcpu.jit_enabled
+    vcpu.run(budget=100)  # interpreted continuation
+    assert vcpu.instructions == 200
+    physmem2, ref = make_world(jit=False)
+    write_loop(physmem2)
+    ref.run(budget=200)
+    assert (ref.eip, ref.cycles, ref.instructions) == (
+        vcpu.eip,
+        vcpu.cycles,
+        vcpu.instructions,
+    )
+
+
+# -- invalidation sources --------------------------------------------------
+
+
+def test_trap_arming_revalidates_with_alternates():
+    physmem, vcpu = make_world()
+    write_loop(physmem)
+    vcpu.run(budget=100)
+    jit = vcpu._jit
+    group = next(iter(jit.tables.values()))
+    first = group.active
+    # arm a trap inside the page: signature changes, new table
+    trap = CODE_BASE + 4
+    vcpu.arm_trap(trap)
+    exit_ = vcpu.run(budget=100)
+    assert exit_.reason is VmExitReason.ADDRESS_TRAP
+    assert exit_.rip == trap
+    assert group.active is not first
+    assert jit.invalidations.values.get("trap") == 1
+    # disarm: the original table is an alternate, no re-translation
+    vcpu.resume_past_trap()
+    vcpu.disarm_trap(trap)
+    vcpu.run(budget=100)
+    assert group.active is first
+    assert jit.invalidations.values.get("trap") == 1  # unchanged
+
+
+def test_version_bump_orphans_the_old_table():
+    physmem, vcpu = make_world()
+    write_loop(physmem)
+    vcpu.run(budget=100)
+    jit = vcpu._jit
+    (old_key,) = jit.tables.keys()
+    physmem.bump_version(CODE_BASE >> 12)
+    vcpu.run(budget=100)
+    assert jit.promotions.value == 2  # re-promoted under the new version
+    new_keys = set(jit.tables)
+    assert old_key in new_keys  # orphaned until capacity sweep
+    assert any(k != old_key for k in new_keys)
+
+
+def test_flush_counts_invalidations():
+    physmem, vcpu = make_world()
+    write_loop(physmem)
+    vcpu.run(budget=100)
+    jit = vcpu._jit
+    assert jit.tables
+    vcpu.invalidate_translation_caches()
+    assert not jit.tables and not jit.heat and not jit.code_pages
+    assert jit.invalidations.values.get("flush", 0) >= 1
+
+
+# -- cross-page fetch (first >= 8 fast path + spanning offsets) ------------
+
+
+def test_fetch_cross_page_boundary_offsets():
+    """decode via _fetch_cross_page at every offset near the page end:
+    >= 8 bytes left takes the linear-read fast path, < 8 the two-page
+    stitch; both must yield the same instruction."""
+    for off in range(PAGE_SIZE - 16, PAGE_SIZE - 4):
+        physmem, vcpu = make_world(jit=False)
+        imm = 0xDEAD0000 | off
+        instr_bytes = b"\x68" + imm.to_bytes(4, "little")  # push imm32
+        physmem.write(CODE_BASE + off, instr_bytes)
+        vcpu.eip = CODE_BASE + off
+        instr = vcpu._fetch_cross_page()
+        assert instr.length == 5
+        assert instr.operand == imm, hex(off)
+
+
+def test_spanning_instruction_executes_identically():
+    results = []
+    for jit in (False, True):
+        physmem, vcpu = make_world(jit=jit)
+        off = PAGE_SIZE - 2  # push imm32 spanning the page boundary
+        imm = 0x11223344
+        physmem.write(CODE_BASE + off, b"\x68" + imm.to_bytes(4, "little"))
+        physmem.write(CODE_BASE + off + 5, b"\xf4")  # hlt on page 2
+        # jump from the entry straight to the spanning instruction
+        rel = off - 5
+        physmem.write(CODE_BASE, b"\xe9" + (rel & 0xFFFFFFFF).to_bytes(4, "little"))
+        for _ in range(6):  # heat + translated re-execution
+            exit_ = vcpu.run(budget=100)
+            assert exit_.reason is VmExitReason.HLT
+            vcpu.eip = CODE_BASE
+        results.append((vcpu.esp, vcpu.cycles, vcpu.instructions))
+        assert vcpu.read_stack_u32(vcpu.esp) == imm
+    assert results[0] == results[1]
+
+
+# -- machine / facechange / fork wiring ------------------------------------
+
+
+def test_machine_jit_default_and_override(monkeypatch):
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    machine = boot_machine(platform=Platform.KVM)
+    assert machine.jit_enabled
+    assert all(v.jit_enabled for v in machine.vcpus)
+    off = boot_machine(platform=Platform.KVM, jit=False)
+    assert not off.jit_enabled
+    assert not any(v.jit_enabled for v in off.vcpus)
+    off.set_jit(True)
+    assert all(v.jit_enabled for v in off.vcpus)
+
+
+def test_machine_jit_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    machine = boot_machine(platform=Platform.KVM)
+    assert not machine.jit_enabled
+
+
+def test_facechange_enable_picks_up_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    machine = boot_machine(platform=Platform.KVM, jit=True)
+    fc = FaceChange(machine)
+    fc.enable()
+    assert not machine.jit_enabled
+    assert not any(v.jit_enabled for v in machine.vcpus)
+
+
+def test_fork_keeps_jit_enabled_with_flushed_tables(monkeypatch):
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    machine = boot_machine(platform=Platform.KVM)
+    clone = machine.snapshot().fork()
+    vcpu = clone.vcpu
+    assert vcpu.jit_enabled
+    assert not vcpu._jit.tables and not vcpu._jit.code_pages
