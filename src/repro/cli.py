@@ -596,6 +596,177 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant fleet daemon (see repro.serve)."""
+    from repro.fleet import ProfileLibrary
+    from repro.guest.config import GuestConfigError, resolve_guest
+    from repro.serve import DEFAULT_SOCKET, ServeDaemon, TenantPolicy
+
+    socket_path = args.socket or DEFAULT_SOCKET
+    if args.apps:
+        problem = _unknown_apps(args.apps)
+        if problem:
+            return _fail(problem)
+    try:
+        for ref in args.guests or []:
+            resolve_guest(ref)
+    except GuestConfigError as exc:
+        return _fail(str(exc))
+    policy = TenantPolicy(
+        max_in_flight=args.tenant_in_flight,
+        cycle_budget=args.tenant_budget,
+    )
+    daemon = ServeDaemon(
+        ProfileLibrary(args.library),
+        socket_path=socket_path,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        max_queue_depth=args.queue_depth,
+        default_policy=policy,
+        warm_target=args.warm,
+        base_seed=args.seed,
+        heartbeat_interval=args.heartbeat,
+        auto_profile=args.auto_profile,
+        profile_scale=args.scale,
+    )
+    daemon.start(apps=args.apps, guests=args.guests)
+    print(
+        f"serve: pid {os.getpid()} listening on {socket_path} "
+        f"({len(daemon.pool.variants())} warm variant(s), "
+        f"workers {args.min_workers}..{args.max_workers}, "
+        f"queue depth {args.queue_depth})",
+        flush=True,
+    )
+    daemon.serve_forever()
+    print("serve: stopped")
+    return 0
+
+
+def _ctl_client(args: argparse.Namespace):
+    from repro.serve import DEFAULT_SOCKET, ServeClient
+
+    return ServeClient(args.socket or DEFAULT_SOCKET)
+
+
+def _print_job_row(job: dict) -> None:
+    print(
+        f"{job['id']:<10} {job['state']:<10} {job['tenant']:<10} "
+        f"{job.get('name', ''):<28} {job.get('app', '')}"
+    )
+
+
+def _cmd_ctl(args: argparse.Namespace) -> int:
+    """Control a running serve daemon; exit 2 on client-side failures
+    (daemon unreachable, unknown job, rejected submission), 1 when the
+    daemon reports a failed job."""
+    from repro.serve.client import ServeClientError
+
+    try:
+        return _ctl_dispatch(args)
+    except ServeClientError as exc:
+        return _fail(str(exc))
+
+
+def _ctl_dispatch(args: argparse.Namespace) -> int:
+    client = _ctl_client(args)
+    cmd = args.ctl_command
+    if cmd == "ping":
+        info = client.ping()
+        print(
+            f"ok: daemon pid {info['pid']} protocol v{info['version']} "
+            f"({'accepting' if info.get('accepting') else 'draining'})"
+        )
+        return 0
+    if cmd == "submit":
+        response = client.submit(
+            args.app,
+            scale=args.scale,
+            attack=args.attack,
+            guest=args.guest,
+            tenant=args.tenant,
+            priority=args.priority,
+            name=args.name or "",
+            seed=args.seed,
+        )
+        print(f"submitted {response['id']} ({response['name']})")
+        if not args.wait:
+            return 0
+        response = client.result(
+            response["id"], wait=True, timeout=args.timeout
+        )
+        return _print_result(response)
+    if cmd == "status":
+        if args.id:
+            job = client.status(args.id)["job"]
+            for key in sorted(job):
+                print(f"{key:<16} {job[key]}")
+            return 0
+        jobs = client.status()["jobs"]
+        print(f"{'ID':<10} {'STATE':<10} {'TENANT':<10} {'NAME':<28} APP")
+        for job in jobs:
+            _print_job_row(job)
+        return 0
+    if cmd == "result":
+        response = client.result(args.id, wait=args.wait, timeout=args.timeout)
+        return _print_result(response)
+    if cmd == "cancel":
+        response = client.cancel(args.id)
+        print(f"{args.id}: {response['action']}")
+        return 0
+    if cmd == "stats":
+        stats = client.stats()
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if cmd == "watch":
+        from repro.obs import LiveFleetView
+
+        view = LiveFleetView()
+        import time as time_mod
+
+        started = time_mod.monotonic()
+        try:
+            for event in client.watch():
+                now = time_mod.monotonic() - started
+                for notice in view.update(event, now=now):
+                    print(notice, flush=True)
+        except KeyboardInterrupt:
+            pass
+        print()
+        print(view.render(now=time_mod.monotonic() - started))
+        return 0
+    if cmd == "shutdown":
+        summary = client.shutdown(drain=not args.no_drain, timeout=args.timeout)
+        states = summary.get("jobs", {})
+        drained = "drained" if summary.get("drained") else "NOT fully drained"
+        jobs = ", ".join(
+            f"{k}={v}" for k, v in sorted(states.items())
+        ) or "none"
+        print(f"daemon stopped ({drained}; jobs: {jobs})")
+        return 0
+    return _fail(f"unknown ctl command {args.ctl_command!r}")
+
+
+def _print_result(response: dict) -> int:
+    job = response["job"]
+    result = response.get("result") or {}
+    state = job["state"]
+    if state == "done":
+        line = (
+            f"{job['id']} done: {result.get('name', job.get('name', ''))} "
+            f"cycles={result.get('cycles')} syscalls={result.get('syscalls')}"
+        )
+        if result.get("attack"):
+            verdict = "DETECTED" if result.get("detected") else "missed"
+            line += f" attack={result['attack']} {verdict}"
+        print(line)
+        return 0
+    print(
+        f"error: {job['id']} {state}: {job.get('error') or '(no detail)'}",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _resolve_guest_ref(ref: str):
     from repro.guest.config import resolve_guest
 
@@ -874,6 +1045,138 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("-o", "--output", help="write the fleet report JSON")
     _add_jit_flag(p)
     p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant fleet daemon (warm snapshot pools, "
+        "priority job queue, autoscaling workers; control with ctl)",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help="control address: unix socket path or host:port "
+        "(default .repro-serve.sock)",
+    )
+    p.add_argument(
+        "--library",
+        default=".fleet-library",
+        help="profile library directory (default .fleet-library)",
+    )
+    p.add_argument(
+        "--apps", nargs="+",
+        help="profile these apps up front (once per kernel build)",
+    )
+    p.add_argument(
+        "--guests", nargs="+",
+        help="guest variants to pre-boot warm snapshot pools for "
+        "(default: the default variant)",
+    )
+    p.add_argument(
+        "--min-workers", type=int, default=1,
+        help="worker pool floor (default 1)",
+    )
+    p.add_argument(
+        "--max-workers", type=int, default=4,
+        help="worker pool ceiling (default 4)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission cap on queued jobs (default 64)",
+    )
+    p.add_argument(
+        "--warm", type=int, default=2,
+        help="pre-forked clones kept warm per variant (default 2)",
+    )
+    p.add_argument(
+        "--tenant-in-flight", type=int,
+        help="per-tenant cap on queued+running jobs (default unlimited)",
+    )
+    p.add_argument(
+        "--tenant-budget", type=int,
+        help="per-tenant virtual-cycle budget across the daemon's "
+        "lifetime (default unlimited)",
+    )
+    p.add_argument(
+        "--auto-profile",
+        action="store_true",
+        help="profile unknown apps on first submission instead of "
+        "rejecting with no-profile",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=0.25,
+        help="streamed heartbeat interval in seconds (default 0.25)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=20140623,
+        help="base seed for derived per-job seeds (default 20140623, "
+        "matching repro fleet)",
+    )
+    _add_jit_flag(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "ctl", help="control a running serve daemon"
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help="daemon control address (default .repro-serve.sock)",
+    )
+    csub = p.add_subparsers(dest="ctl_command", required=True)
+    c = csub.add_parser("ping", help="check the daemon is alive")
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("submit", help="submit one job")
+    c.add_argument("app", help="application to run")
+    c.add_argument("--attack", help="malware sample to inject (host app)")
+    c.add_argument("--guest", help="guest variant name or config JSON path")
+    c.add_argument("--tenant", default="default", help="tenant id")
+    c.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first (default 0)",
+    )
+    c.add_argument("--name", help="explicit job name (default auto)")
+    c.add_argument("--seed", type=int, help="explicit job seed")
+    c.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    c.add_argument(
+        "--timeout", type=float, help="with --wait: give up after this long"
+    )
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("status", help="list jobs, or show one")
+    c.add_argument("id", nargs="?", help="job id (omit for the full table)")
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("result", help="fetch a job's result")
+    c.add_argument("id", help="job id")
+    c.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    c.add_argument(
+        "--timeout", type=float, help="with --wait: give up after this long"
+    )
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("cancel", help="cancel a queued or running job")
+    c.add_argument("id", help="job id")
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("stats", help="dump daemon stats as JSON")
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser(
+        "watch",
+        help="stream daemon events through the live fleet view "
+        "(Ctrl-C to stop)",
+    )
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser("shutdown", help="stop the daemon")
+    c.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="cancel queued jobs instead of draining them",
+    )
+    c.add_argument(
+        "--timeout", type=float, help="give up waiting after this long"
+    )
+    c.set_defaults(fn=_cmd_ctl)
 
     p = sub.add_parser(
         "guest", help="inspect guest build variants (configs and digests)"

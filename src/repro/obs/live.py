@@ -26,7 +26,7 @@ class JobStatus:
 
     name: str
     app: str = ""
-    state: str = "pending"  # pending | running | done | failed
+    state: str = "pending"  # pending | running | done | failed | cancelled
     started: Optional[float] = None
     last_seen: Optional[float] = None
     cycles: int = 0
@@ -79,13 +79,46 @@ class LiveFleetView:
     # -- message intake --------------------------------------------------------
 
     def update(self, message: Dict[str, Any], now: float = 0.0) -> List[str]:
-        """Fold one worker message in; returns new notice lines."""
+        """Fold one worker (or serve-daemon) message in; returns new
+        notice lines.  Batch fleet workers emit ``start`` / ``heartbeat``
+        / ``journal`` / ``done``; the serve daemon additionally streams
+        ``queued`` / ``cancelled`` / ``rejected`` and ``serve-*``
+        lifecycle events, all folded here so ``repro ctl watch`` and
+        ``repro fleet --watch`` share one live view."""
         kind = message.get("type")
+        if kind == "rejected":
+            # no job was created; surface the admission decision only
+            notice = (
+                f"[fleet] submission rejected "
+                f"({message.get('reason', '?')}): "
+                f"{message.get('error', '')}".rstrip()
+            )
+            self.notices.append(notice)
+            return [notice]
+        if kind in ("serve-started", "serve-draining", "serve-stopped"):
+            notice = f"[serve] {kind.split('-', 1)[1]}"
+            if kind == "serve-started" and message.get("variants"):
+                notice += f" ({len(message['variants'])} warm variant(s))"
+            self.notices.append(notice)
+            return [notice]
+        if kind == "scaled":
+            notice = (
+                f"[serve] scaled workers to {message.get('workers', '?')} "
+                f"(pressure {message.get('pressure', '?')})"
+            )
+            self.notices.append(notice)
+            return [notice]
         name = message.get("job", "?")
         status = self.expect(name, app=message.get("app", ""))
         notices: List[str] = []
         status.last_seen = now
-        if kind == "start":
+        if kind == "queued":
+            notices.append(f"[fleet] {name}: queued")
+        elif kind == "cancelled":
+            status.state = "cancelled"
+            status.note = message.get("error", "")
+            notices.append(f"[fleet] {name}: CANCELLED")
+        elif kind == "start":
             status.state = "running"
             status.started = now
             notices.append(f"[fleet] {name}: started")

@@ -1,0 +1,883 @@
+"""The serve daemon: a long-lived, multi-tenant fleet control plane.
+
+``repro serve`` turns the batch fleet into a service.  One daemon
+process owns:
+
+* a :class:`~repro.serve.queue.JobQueue` -- priority scheduling with
+  admission control and per-tenant virtual-cycle budgets;
+* a :class:`~repro.serve.pool.WarmPool` -- per-guest-variant machine
+  snapshots booted once, plus pre-forked clones refilled in the
+  background, so a submission's critical path is just the workload;
+* an **autoscaling worker pool** -- in-process worker threads grown and
+  shrunk between configured bounds by queue pressure (the fleet's
+  threaded mode already proved thread workers bit-identical);
+* a **JSON-lines control socket** (``repro ctl``) -- submit, status,
+  result, cancel, stats, watch (streamed heartbeats + journal
+  segments), shutdown-with-drain.
+
+Jobs execute through exactly the same :func:`repro.fleet.jobs.execute_job`
+path as the batch fleet, on forks pinned by config digest, with seeds
+derived from the same ``identity()#index`` naming convention -- so a
+daemon-submitted job's virtual-cycle score is bit-identical to the same
+job in a ``repro fleet`` batch (``benchmarks/record_serve_throughput.py``
+enforces it).
+
+Telemetry: the daemon keeps its own ``serve.*`` registry (submissions,
+rejections by reason, pool hits/misses/refills, worker scale events)
+and folds every finished job's guest registry into one lifetime merge
+via :func:`repro.telemetry.merge.merge_into`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fleet.jobs import execute_job, prepare_offline_phase
+from repro.fleet.library import ProfileLibrary, ProfileRecord
+from repro.fleet.spec import DEFAULT_SEED, FleetJob
+from repro.guest.config import GuestConfigError, resolve_guest
+from repro.serve import protocol
+from repro.serve.pool import WarmPool
+from repro.serve.queue import (
+    REASON_NO_PROFILE,
+    AdmissionError,
+    JobQueue,
+    QueuedJob,
+    TenantPolicy,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.export import snapshot as telemetry_snapshot
+from repro.telemetry.merge import empty_merge, merge_into
+
+#: Capacity of each job's in-memory journal between segment drains.
+_JOB_JOURNAL_CAPACITY = 4096
+
+#: Events retained for late ``watch`` subscribers.
+_EVENT_BACKLOG = 8192
+
+
+class ServeError(Exception):
+    """Daemon-side operational failure (not an admission rejection)."""
+
+
+class JobAborted(Exception):
+    """Raised from the progress hook to stop a running job.
+
+    ``reason`` is ``"cancelled"`` or ``"tenant-budget"``;
+    ``consumed_cycles`` is charged against the tenant either way.
+    """
+
+    def __init__(self, reason: str, consumed_cycles: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.consumed_cycles = consumed_cycles
+
+
+class ServeDaemon:
+    """The long-lived fleet service (see module docstring)."""
+
+    def __init__(
+        self,
+        library: ProfileLibrary,
+        socket_path: Optional[str] = None,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        max_queue_depth: int = 64,
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        warm_target: int = 2,
+        base_seed: int = DEFAULT_SEED,
+        heartbeat_interval: float = 0.25,
+        auto_profile: bool = False,
+        profile_scale: int = 4,
+        executor: Optional[Callable[[QueuedJob], Any]] = None,
+        scale_interval: float = 0.05,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) < min_workers ({min_workers})"
+            )
+        self.library = library
+        self.socket_path = socket_path
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.base_seed = base_seed
+        self.heartbeat_interval = heartbeat_interval
+        self.auto_profile = auto_profile
+        self.profile_scale = profile_scale
+        self.scale_interval = scale_interval
+        #: the daemon's own registry: serve.* control-plane counters
+        self.telemetry = Telemetry()
+        self.queue = JobQueue(
+            max_depth=max_queue_depth,
+            default_policy=default_policy,
+            policies=policies,
+            telemetry=self.telemetry,
+        )
+        self.pool = WarmPool(warm_target=warm_target, telemetry=self.telemetry)
+        self._executor = executor or self._execute
+        self._records: Dict[Any, ProfileRecord] = {}
+        self._records_lock = threading.Lock()
+        #: merged guest telemetry across every finished job, ever
+        self._lifetime = empty_merge()
+        self._lifetime_lock = threading.Lock()
+        # event stream
+        self._event_lock = threading.Lock()
+        self._event_seq = 0
+        self._events: List[Dict[str, Any]] = []
+        self._subscribers: List[Any] = []
+        # worker pool
+        self._workers: Dict[int, threading.Thread] = {}
+        self._workers_lock = threading.Lock()
+        self._desired_workers = min_workers
+        self._stop_workers = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        # server
+        self._server_socket = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self.started_at: Optional[float] = None
+        self._stopping = threading.Event()
+        self.stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(
+        self,
+        apps: Optional[List[str]] = None,
+        guests: Optional[List[Any]] = None,
+    ) -> None:
+        """Bring the daemon up: profiles, warm pools, workers, socket.
+
+        ``apps`` are profiled into the library up front (once per kernel
+        build); ``guests`` name the variants whose snapshot + warm-clone
+        buffers are booted before the first submission arrives.
+        """
+        self.started_at = time.time()
+        configs = [resolve_guest(ref) for ref in (guests or [None])]
+        seen = set()
+        for config in configs:
+            if config.digest() in seen:
+                continue
+            seen.add(config.digest())
+            if apps:
+                prepare_offline_phase(
+                    self.library, sorted(set(apps)),
+                    scale=self.profile_scale, guest=config,
+                )
+            self.pool.ensure(config)
+        self.pool.prewarm()
+        self.pool.start_refill_thread()
+        self._scale_to(self.min_workers)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        if self.socket_path is not None:
+            self._server_socket = protocol.listen(self.socket_path)
+            self._server_thread = threading.Thread(
+                target=self._accept_loop, name="serve-accept", daemon=True
+            )
+            self._server_thread.start()
+        self._emit(
+            {
+                "type": "serve-started",
+                "pid": os.getpid(),
+                "variants": self.pool.variants(),
+                "min_workers": self.min_workers,
+                "max_workers": self.max_workers,
+            }
+        )
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Stop the daemon.  With ``drain``, queued and running jobs all
+        finish first (no result is ever lost to a shutdown); without,
+        queued jobs are cancelled and only running jobs complete."""
+        if self._stopping.is_set():
+            self.stopped.wait(timeout=timeout)
+            return {"drained": True, "jobs": self.queue.describe()["states"]}
+        self._stopping.set()
+        self.queue.stop_accepting()
+        self._emit({"type": "serve-draining", "drain": drain})
+        if not drain:
+            for job in self.queue.jobs():
+                if job.state == "queued":
+                    try:
+                        self.queue.cancel(job.id)
+                    except (KeyError, ValueError):
+                        pass
+        drained = self.queue.wait_drained(timeout=timeout)
+        self._stop_workers.set()
+        self._desired_workers = 0
+        with self._workers_lock:
+            workers = list(self._workers.values())
+        for thread in workers:
+            thread.join(timeout=5.0)
+        self.pool.stop()
+        if self._server_socket is not None:
+            try:
+                self._server_socket.close()
+            except OSError:
+                pass
+            if (
+                self.socket_path
+                and not protocol.is_tcp_address(self.socket_path)
+                and os.path.exists(self.socket_path)
+            ):
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+        summary = {
+            "drained": drained,
+            "jobs": self.queue.describe()["states"],
+        }
+        self._emit({"type": "serve-stopped", **summary})
+        self.stopped.set()
+        return summary
+
+    def serve_forever(self) -> None:
+        """Block until a ``shutdown`` request (or KeyboardInterrupt)."""
+        try:
+            while not self.stopped.is_set():
+                self.stopped.wait(timeout=0.2)
+        except KeyboardInterrupt:
+            self.shutdown(drain=True)
+
+    # -- event stream ---------------------------------------------------------
+
+    def _emit(self, message: Dict[str, Any]) -> None:
+        with self._event_lock:
+            self._event_seq += 1
+            event = {"seq": self._event_seq, **message}
+            self._events.append(event)
+            if len(self._events) > _EVENT_BACKLOG:
+                del self._events[: len(self._events) - _EVENT_BACKLOG]
+            subscribers = list(self._subscribers)
+        for sink in subscribers:
+            sink.put(event)
+
+    def subscribe(self, since: int = 0):
+        """Register a live event sink; returns (queue, backlog)."""
+        import queue as queue_mod
+
+        sink: Any = queue_mod.Queue()
+        with self._event_lock:
+            backlog = [e for e in self._events if e["seq"] > since]
+            self._subscribers.append(sink)
+        return sink, backlog
+
+    def unsubscribe(self, sink) -> None:
+        with self._event_lock:
+            if sink in self._subscribers:
+                self._subscribers.remove(sink)
+
+    # -- submission ------------------------------------------------------------
+
+    def _build_job(self, params: Dict[str, Any]) -> FleetJob:
+        """Validate submission params into a FleetJob (ValueError on bad)."""
+        from repro.apps.catalog import APP_CATALOG
+        from repro.malware import ALL_ATTACKS
+
+        app = params.get("app")
+        if app not in APP_CATALOG:
+            raise ValueError(
+                f"unknown application {app!r} "
+                f"(available: {', '.join(sorted(APP_CATALOG))})"
+            )
+        attack_name = params.get("attack")
+        if attack_name is not None:
+            attack = next(
+                (a for a in ALL_ATTACKS if a.name == attack_name), None
+            )
+            if attack is None:
+                raise ValueError(
+                    f"unknown malware sample {attack_name!r} (available: "
+                    f"{', '.join(sorted(a.name for a in ALL_ATTACKS))})"
+                )
+            if attack.host_app != app:
+                raise ValueError(
+                    f"{attack_name!r} infects {attack.host_app!r}, not {app!r}"
+                )
+        guest = None
+        if params.get("guest") is not None:
+            try:
+                guest = resolve_guest(params["guest"])
+            except GuestConfigError as exc:
+                raise ValueError(f"guest: {exc}") from exc
+        kwargs: Dict[str, Any] = {}
+        if params.get("max_cycles") is not None:
+            kwargs["max_cycles"] = int(params["max_cycles"])
+        if params.get("timeout") is not None:
+            kwargs["timeout"] = float(params["timeout"])
+        return FleetJob(
+            app=app,
+            scale=int(params.get("scale", 2)),
+            attack=attack_name,
+            seed=params.get("seed"),
+            guest=guest,
+            name=str(params.get("name", "")),
+            **kwargs,
+        )
+
+    def _has_profile(self, app: str, build_digest: str) -> bool:
+        if (app, build_digest) in self._records:
+            return True
+        return (
+            self.library.digest_of(app, build_digest) is not None
+            or self.library.has(app)
+        )
+
+    def submit(
+        self,
+        params: Dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> QueuedJob:
+        """Admit one job (raises ValueError / AdmissionError)."""
+        job = self._build_job(params)
+        build = job.guest_config().build_digest()
+        try:
+            if not self.auto_profile and not self._has_profile(job.app, build):
+                self.queue.reject(
+                    tenant,
+                    REASON_NO_PROFILE,
+                    f"library has no profile for {job.app!r} on this kernel "
+                    f"build; run 'repro.cli profile {job.app} --library ...' "
+                    "or start the daemon with --auto-profile",
+                )
+            self.queue.assign_name(job)
+            queued = self.queue.submit(job, tenant=tenant, priority=priority)
+        except AdmissionError as exc:
+            self._emit(
+                {
+                    "type": "rejected",
+                    "app": job.app,
+                    "tenant": tenant,
+                    "reason": exc.reason,
+                    "error": exc.message,
+                }
+            )
+            raise
+        self._emit(
+            {
+                "type": "queued",
+                "id": queued.id,
+                "job": job.name,
+                "app": job.app,
+                "tenant": tenant,
+                "priority": priority,
+            }
+        )
+        return queued
+
+    # -- worker pool ------------------------------------------------------------
+
+    def _scale_to(self, desired: int) -> None:
+        self._desired_workers = desired
+        with self._workers_lock:
+            alive = {
+                wid for wid, t in self._workers.items() if t.is_alive()
+            }
+            for wid in range(desired):
+                if wid not in alive:
+                    thread = threading.Thread(
+                        target=self._worker_loop,
+                        args=(wid,),
+                        name=f"serve-worker-{wid}",
+                        daemon=True,
+                    )
+                    self._workers[wid] = thread
+                    thread.start()
+                    self.telemetry.counter("serve.workers.spawned").inc()
+
+    def _supervise(self) -> None:
+        """Autoscale between bounds by queue pressure."""
+        while not self._stop_workers.is_set():
+            pressure = self.queue.pressure()
+            desired = min(self.max_workers, max(self.min_workers, pressure))
+            if desired > self._desired_workers:
+                self._scale_to(desired)
+                self._emit(
+                    {
+                        "type": "scaled",
+                        "workers": desired,
+                        "pressure": pressure,
+                    }
+                )
+            elif desired < self._desired_workers:
+                # shrink lazily: idle workers with ids past the target
+                # retire themselves on their next queue timeout
+                self._desired_workers = desired
+                self._emit(
+                    {
+                        "type": "scaled",
+                        "workers": desired,
+                        "pressure": pressure,
+                    }
+                )
+            self._stop_workers.wait(timeout=self.scale_interval)
+
+    def worker_count(self) -> int:
+        with self._workers_lock:
+            return sum(1 for t in self._workers.values() if t.is_alive())
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            if self._stop_workers.is_set():
+                break
+            if worker_id >= self._desired_workers:
+                # scaled down: retire only while idle
+                with self._workers_lock:
+                    self._workers.pop(worker_id, None)
+                self.telemetry.counter("serve.workers.retired").inc()
+                break
+            job = self.queue.next_job(timeout=0.05)
+            if job is None:
+                continue
+            self._run_one(job)
+
+    # -- job execution -----------------------------------------------------------
+
+    def _record_for(self, job: FleetJob) -> ProfileRecord:
+        config = job.guest_config()
+        key = (job.app, config.build_digest())
+        with self._records_lock:
+            record = self._records.get(key)
+            if record is not None:
+                return record
+            if not self._has_profile(*key):
+                if not self.auto_profile:
+                    raise ServeError(
+                        f"no profile for {job.app!r} on build "
+                        f"{config.build_digest()[:12]}"
+                    )
+                prepare_offline_phase(
+                    self.library, [job.app],
+                    scale=self.profile_scale, guest=config,
+                )
+            record = self.library.get(job.app, config.build_digest())
+            self._records[key] = record
+            return record
+
+    def _execute(self, qjob: QueuedJob):
+        """Default executor: warm clone + the batch fleet's job path."""
+        job = qjob.job
+        record = self._record_for(job)
+        clone = self.pool.acquire(job.guest_config())
+        journal = clone.start_recording(capacity=_JOB_JOURNAL_CAPACITY)
+        start_cycles = clone.cycles
+        last_beat = [time.monotonic()]
+        name = job.name or job.identity()
+
+        def beat(machine) -> None:
+            tel = machine.telemetry
+            recoveries = tel.counters.get("recovery.recoveries")
+            verdicts = tel.labelled.get("recovery.verdicts")
+            self._emit(
+                {
+                    "type": "heartbeat",
+                    "id": qjob.id,
+                    "job": name,
+                    "tenant": qjob.tenant,
+                    "cycles": machine.cycles,
+                    "recoveries": recoveries.value if recoveries else 0,
+                    "verdicts": (
+                        {str(k): v for k, v in verdicts.values.items()}
+                        if verdicts
+                        else {}
+                    ),
+                }
+            )
+            records_seg, dropped = journal.drain_segment()
+            if records_seg or dropped:
+                self._emit(
+                    {
+                        "type": "journal",
+                        "id": qjob.id,
+                        "job": name,
+                        "records": records_seg,
+                        "dropped": dropped,
+                    }
+                )
+
+        def progress(machine, fc) -> None:
+            consumed = machine.cycles - start_cycles
+            if qjob.cancel_requested:
+                raise JobAborted("cancelled", consumed)
+            remaining = self.queue.remaining_budget(qjob.tenant)
+            if remaining is not None and consumed > remaining:
+                raise JobAborted("tenant-budget", consumed)
+            now = time.monotonic()
+            if now - last_beat[0] < self.heartbeat_interval:
+                return
+            last_beat[0] = now
+            beat(machine)
+
+        try:
+            result = execute_job(
+                clone, job, record,
+                base_seed=self.base_seed, progress=progress,
+            )
+        finally:
+            # final journal segment, success or abort
+            records_seg, dropped = journal.drain_segment()
+            if records_seg or dropped:
+                self._emit(
+                    {
+                        "type": "journal",
+                        "id": qjob.id,
+                        "job": name,
+                        "records": records_seg,
+                        "dropped": dropped,
+                    }
+                )
+            clone.stop_recording()
+        return result
+
+    def _run_one(self, qjob: QueuedJob) -> None:
+        job = qjob.job
+        name = job.name or job.identity()
+        self._emit(
+            {
+                "type": "start",
+                "id": qjob.id,
+                "job": name,
+                "app": job.app,
+                "tenant": qjob.tenant,
+            }
+        )
+        try:
+            result = self._executor(qjob)
+        except JobAborted as abort:
+            state = "cancelled" if abort.reason == "cancelled" else "failed"
+            error = (
+                "cancelled while running"
+                if abort.reason == "cancelled"
+                else "tenant virtual-cycle budget exhausted mid-job"
+            )
+            self.queue.finish(
+                qjob, state, error=error,
+                charged_cycles=abort.consumed_cycles,
+            )
+            self._emit(
+                {
+                    "type": "cancelled" if state == "cancelled" else "done",
+                    "id": qjob.id,
+                    "job": name,
+                    "tenant": qjob.tenant,
+                    "ok": False,
+                    "error": error,
+                }
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - crash isolation boundary
+            error = (
+                f"{type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc(limit=4)}"
+            )
+            self.queue.finish(qjob, "failed", error=error)
+            self._emit(
+                {
+                    "type": "done",
+                    "id": qjob.id,
+                    "job": name,
+                    "tenant": qjob.tenant,
+                    "ok": False,
+                    "error": error.splitlines()[0],
+                }
+            )
+            return
+        data = result.to_dict()
+        data["id"] = qjob.id
+        data["tenant"] = qjob.tenant
+        if result.telemetry:
+            with self._lifetime_lock:
+                merge_into(self._lifetime, result.telemetry, source=name)
+        state = "done" if result.ok else "failed"
+        self.queue.finish(
+            qjob,
+            state,
+            result=data,
+            error=result.error,
+            charged_cycles=result.job_cycles,
+        )
+        self._emit(
+            {
+                "type": "done",
+                "id": qjob.id,
+                "job": name,
+                "tenant": qjob.tenant,
+                "ok": result.ok,
+                "error": result.error,
+                "cycles": result.cycles,
+                "detected": result.detected,
+            }
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lifetime_lock:
+            import copy
+
+            lifetime = copy.deepcopy(self._lifetime)
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "queue": self.queue.describe(),
+            "pool": self.pool.stats(),
+            "workers": {
+                "alive": self.worker_count(),
+                "desired": self._desired_workers,
+                "min": self.min_workers,
+                "max": self.max_workers,
+            },
+            "serve": telemetry_snapshot(self.telemetry, events=False),
+            "jobs_telemetry": lifetime,
+        }
+
+    # -- control socket ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        server = self._server_socket
+        while not self._stopping.is_set():
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                break  # socket closed during shutdown
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ] + [thread]
+
+    def _handle_connection(self, conn) -> None:
+        try:
+            reader = conn.makefile("rb")
+            request = protocol.recv_message(reader)
+            if request is None:
+                return
+            self._dispatch_request(conn, reader, request)
+        except (OSError, protocol.ProtocolError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch_request(self, conn, reader, request: Dict[str, Any]) -> None:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                protocol.send_message(
+                    conn,
+                    {
+                        "ok": True,
+                        "version": protocol.PROTOCOL_VERSION,
+                        "pid": os.getpid(),
+                        "accepting": self.queue.accepting,
+                    },
+                )
+            elif op == "submit":
+                self._handle_submit(conn, request)
+            elif op == "status":
+                self._handle_status(conn, request)
+            elif op == "result":
+                self._handle_result(conn, request)
+            elif op == "cancel":
+                self._handle_cancel(conn, request)
+            elif op == "stats":
+                protocol.send_message(conn, {"ok": True, "stats": self.stats()})
+            elif op == "watch":
+                self._handle_watch(conn, request)
+            elif op == "shutdown":
+                summary = self.shutdown(
+                    drain=bool(request.get("drain", True)),
+                    timeout=request.get("timeout"),
+                )
+                protocol.send_message(conn, {"ok": True, **summary})
+            else:
+                protocol.send_message(
+                    conn,
+                    {
+                        "ok": False,
+                        "reason": "unknown-op",
+                        "error": f"unknown op {op!r}",
+                    },
+                )
+        except (OSError, protocol.ProtocolError):
+            pass  # client went away mid-response
+
+    def _handle_submit(self, conn, request: Dict[str, Any]) -> None:
+        tenant = str(request.get("tenant", "default"))
+        priority = int(request.get("priority", 0))
+        try:
+            queued = self.submit(
+                request.get("job") or {}, tenant=tenant, priority=priority
+            )
+        except ValueError as exc:
+            protocol.send_message(
+                conn,
+                {"ok": False, "reason": "bad-request", "error": str(exc)},
+            )
+            return
+        except AdmissionError as exc:
+            protocol.send_message(
+                conn,
+                {"ok": False, "reason": exc.reason, "error": exc.message},
+            )
+            return
+        protocol.send_message(
+            conn,
+            {
+                "ok": True,
+                "id": queued.id,
+                "name": queued.job.name,
+                "state": queued.state,
+            },
+        )
+
+    def _handle_status(self, conn, request: Dict[str, Any]) -> None:
+        job_id = request.get("id")
+        if job_id is None:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": True,
+                    "jobs": [
+                        j.describe()
+                        for j in sorted(
+                            self.queue.jobs(), key=lambda j: j.id
+                        )
+                    ],
+                },
+            )
+            return
+        job = self.queue.get(str(job_id))
+        if job is None:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": False,
+                    "reason": "unknown-job",
+                    "error": f"unknown job id {job_id!r}",
+                },
+            )
+            return
+        protocol.send_message(conn, {"ok": True, "job": job.describe()})
+
+    def _handle_result(self, conn, request: Dict[str, Any]) -> None:
+        job_id = str(request.get("id", ""))
+        wait = bool(request.get("wait", False))
+        timeout = request.get("timeout")
+        job = self.queue.get(job_id)
+        if job is None:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": False,
+                    "reason": "unknown-job",
+                    "error": f"unknown job id {job_id!r}",
+                },
+            )
+            return
+        if wait:
+            job = self.queue.wait_terminal(
+                job_id, timeout=float(timeout) if timeout else None
+            )
+            if job is None:
+                protocol.send_message(
+                    conn,
+                    {
+                        "ok": False,
+                        "reason": "timeout",
+                        "error": f"job {job_id} not finished within timeout",
+                    },
+                )
+                return
+        elif not job.terminal:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": False,
+                    "reason": "not-finished",
+                    "error": f"job {job_id} is {job.state}; "
+                    "pass wait to block for the result",
+                },
+            )
+            return
+        protocol.send_message(
+            conn,
+            {
+                "ok": True,
+                "job": job.describe(),
+                "result": job.result,
+            },
+        )
+
+    def _handle_cancel(self, conn, request: Dict[str, Any]) -> None:
+        job_id = str(request.get("id", ""))
+        try:
+            action = self.queue.cancel(job_id)
+        except KeyError:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": False,
+                    "reason": "unknown-job",
+                    "error": f"unknown job id {job_id!r}",
+                },
+            )
+            return
+        except ValueError as exc:
+            protocol.send_message(
+                conn,
+                {"ok": False, "reason": "already-terminal", "error": str(exc)},
+            )
+            return
+        if action == "cancelled":
+            job = self.queue.get(job_id)
+            self._emit(
+                {
+                    "type": "cancelled",
+                    "id": job_id,
+                    "job": job.job.name if job else job_id,
+                    "tenant": job.tenant if job else "",
+                    "ok": False,
+                    "error": "cancelled while queued",
+                }
+            )
+        protocol.send_message(conn, {"ok": True, "action": action})
+
+    def _handle_watch(self, conn, request: Dict[str, Any]) -> None:
+        import queue as queue_mod
+
+        since = int(request.get("since", 0))
+        sink, backlog = self.subscribe(since=since)
+        try:
+            protocol.send_message(conn, {"ok": True, "streaming": True})
+            for event in backlog:
+                protocol.send_message(conn, event)
+            while not self.stopped.is_set():
+                try:
+                    event = sink.get(timeout=0.2)
+                except queue_mod.Empty:
+                    continue
+                protocol.send_message(conn, event)
+        finally:
+            self.unsubscribe(sink)

@@ -29,7 +29,7 @@ from repro.telemetry.journal import (
     load_journal,
     parse_journal,
 )
-from repro.telemetry.merge import merge_snapshots
+from repro.telemetry.merge import empty_merge, merge_into, merge_snapshots
 from repro.telemetry.spans import Span, SpanRecorder
 
 __all__ = [
@@ -47,9 +47,11 @@ __all__ = [
     "TraceBuffer",
     "TraceEvent",
     "build_span_trees",
+    "empty_merge",
     "format_counters",
     "format_timeline",
     "load_journal",
+    "merge_into",
     "merge_snapshots",
     "parse_journal",
     "snapshot",

@@ -66,6 +66,63 @@ def _thin(events: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any]]:
     return [events[int(i * stride)] for i in range(limit)]
 
 
+def empty_merge() -> Dict[str, Any]:
+    """A zero-source accumulator for :func:`merge_into`."""
+    return {
+        "counters": {},
+        "labelled_counters": {},
+        "histograms": {},
+        "trace": {"dropped": 0, "events": []},
+        "journal": {"written": 0, "dropped": 0},
+        "sources": 0,
+    }
+
+
+def merge_into(
+    accumulator: Dict[str, Any],
+    snap: Dict[str, Any],
+    source: str,
+    trace_limit: int = 512,
+) -> Dict[str, Any]:
+    """Fold one more registry snapshot into ``accumulator`` in place.
+
+    The incremental counterpart to :func:`merge_snapshots`, for
+    long-lived consumers (the serve daemon) that cannot afford to keep
+    every source snapshot alive for a batch merge.  Counters, labelled
+    counters, histograms and journal totals fold exactly as the batch
+    merge would; the trace is re-thinned to ``trace_limit`` after each
+    fold (already-merged events keep their original source tags), so
+    kept + dropped always accounts for every event ever seen.
+    """
+    _merge_counters(accumulator["counters"], snap.get("counters", {}))
+    _merge_labelled(
+        accumulator["labelled_counters"], snap.get("labelled_counters", {})
+    )
+    for name, hist in snap.get("histograms", {}).items():
+        if name in accumulator["histograms"]:
+            _merge_histogram(accumulator["histograms"][name], hist)
+        else:
+            accumulator["histograms"][name] = _copy_histogram(hist)
+    journal = snap.get("journal")
+    if journal:
+        accumulator["journal"]["written"] += journal.get("written", 0)
+        accumulator["journal"]["dropped"] += journal.get("dropped", 0)
+    trace = snap.get("trace")
+    if trace:
+        accumulator["trace"]["dropped"] += trace.get("dropped", 0)
+        events = list(accumulator["trace"]["events"])
+        for event in trace.get("events", []):
+            events.append({**event, "source": source})
+        events.sort(
+            key=lambda e: (e.get("cycles", 0), e.get("source", ""), e.get("seq", 0))
+        )
+        kept = _thin(events, trace_limit)
+        accumulator["trace"]["dropped"] += len(events) - len(kept)
+        accumulator["trace"]["events"] = kept
+    accumulator["sources"] += 1
+    return accumulator
+
+
 def merge_snapshots(
     snapshots: Sequence[Dict[str, Any]],
     sources: Optional[Sequence[str]] = None,

@@ -1,0 +1,139 @@
+"""Exit-code hygiene for ``repro ctl`` (the PR 3 convention).
+
+Client-side failures -- daemon unreachable, unknown job id, rejected
+submission -- must return non-zero with an ``error:`` line on stderr;
+a daemon-reported failed job returns 1.  The daemon behind these tests
+uses a fake executor, so they stay fast.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import ProfileLibrary
+from repro.fleet.jobs import JobResult
+from repro.serve import ServeDaemon
+
+
+@pytest.fixture()
+def live_daemon(tmp_path):
+    def executor(qjob):
+        time.sleep(0.01)
+        ok = qjob.job.app != "gzip"  # gzip jobs "fail" for the exit-1 case
+        return JobResult(
+            name=qjob.job.name, app=qjob.job.app, ok=ok,
+            cycles=1000, syscalls=5, job_cycles=1000,
+            error="" if ok else "workload crashed",
+        )
+
+    sock = str(tmp_path / "serve.sock")
+    daemon = ServeDaemon(
+        ProfileLibrary(str(tmp_path / "lib")),
+        socket_path=sock,
+        auto_profile=True,
+        executor=executor,
+        max_queue_depth=64,
+        warm_target=0,
+    )
+    daemon.start()
+    yield sock
+    daemon.shutdown(timeout=10.0)
+
+
+def test_ctl_unreachable_daemon_exits_2(tmp_path, capsys):
+    code = main(["ctl", "--socket", str(tmp_path / "nope.sock"), "ping"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no serve daemon reachable" in err
+
+
+def test_ctl_unknown_job_id_exits_2(live_daemon, capsys):
+    code = main(["ctl", "--socket", live_daemon, "result", "job-9999"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown job id" in err
+
+
+def test_ctl_rejected_submission_exits_2(live_daemon, capsys):
+    code = main(["ctl", "--socket", live_daemon, "submit", "nosuchapp"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown application" in err
+
+
+def test_ctl_submit_wait_success_exits_0(live_daemon, capsys):
+    code = main([
+        "ctl", "--socket", live_daemon,
+        "submit", "top", "--wait", "--timeout", "30",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "submitted job-0001 (top#0)" in out
+    assert "done" in out
+
+
+def test_ctl_failed_job_result_exits_1(live_daemon, capsys):
+    code = main([
+        "ctl", "--socket", live_daemon,
+        "submit", "gzip", "--wait", "--timeout", "30",
+    ])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "workload crashed" in captured.err
+
+
+def test_ctl_status_and_cancel_flow(live_daemon, capsys):
+    assert main(
+        ["ctl", "--socket", live_daemon, "submit", "top"]
+    ) == 0
+    assert main(["ctl", "--socket", live_daemon, "status"]) == 0
+    out = capsys.readouterr().out
+    assert "job-0001" in out and "top#0" in out
+    # already-terminal cancel surfaces as a client error (exit 2)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        main(["ctl", "--socket", live_daemon, "status", "job-0001"])
+        if "state            done" in capsys.readouterr().out:
+            break
+        time.sleep(0.02)
+    code = main(["ctl", "--socket", live_daemon, "cancel", "job-0001"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ctl_shutdown_drains(tmp_path, capsys):
+    def executor(qjob):
+        time.sleep(0.01)
+        return JobResult(
+            name=qjob.job.name, app=qjob.job.app, ok=True,
+            cycles=1, syscalls=1, job_cycles=1,
+        )
+
+    sock = str(tmp_path / "serve.sock")
+    daemon = ServeDaemon(
+        ProfileLibrary(str(tmp_path / "lib")),
+        socket_path=sock,
+        auto_profile=True,
+        executor=executor,
+        warm_target=0,
+    )
+    daemon.start()
+    shutdown_done = threading.Event()
+    try:
+        for _ in range(3):
+            assert main(["ctl", "--socket", sock, "submit", "top"]) == 0
+        assert main(["ctl", "--socket", sock, "shutdown"]) == 0
+        shutdown_done.set()
+        out = capsys.readouterr().out
+        assert "drained" in out and "done=3" in out
+        # and now the daemon is gone: unreachable is exit 2
+        assert main(["ctl", "--socket", sock, "ping"]) == 2
+    finally:
+        if not shutdown_done.is_set():
+            daemon.shutdown(timeout=10.0)

@@ -110,3 +110,57 @@ def test_render_lists_every_expected_job():
     rendered = view.render(now=0.0)
     assert "a#0" in rendered and "b#0" in rendered
     assert "pending" in rendered
+
+
+# ---------------------------------------------------------------------------
+# serve-daemon event folding (repro ctl watch)
+# ---------------------------------------------------------------------------
+
+
+def test_queued_event_registers_pending_job():
+    view = LiveFleetView()
+    notices = view.update(
+        {"type": "queued", "id": "job-0001", "job": "top#0", "app": "top"},
+        now=1.0,
+    )
+    assert notices == ["[fleet] top#0: queued"]
+    assert view.jobs["top#0"].state == "pending"
+
+
+def test_cancelled_event_is_terminal_with_note():
+    view = LiveFleetView()
+    view.update({"type": "queued", "job": "top#0", "app": "top"}, now=0.0)
+    notices = view.update(
+        {"type": "cancelled", "job": "top#0",
+         "error": "cancelled while queued"},
+        now=1.0,
+    )
+    assert notices == ["[fleet] top#0: CANCELLED"]
+    status = view.jobs["top#0"]
+    assert status.state == "cancelled"
+    assert status.note == "cancelled while queued"
+
+
+def test_rejected_event_creates_no_job_row():
+    view = LiveFleetView()
+    notices = view.update(
+        {"type": "rejected", "app": "top", "tenant": "acme",
+         "reason": "queue-full", "error": "queue is full (64 queued)"},
+        now=1.0,
+    )
+    assert len(notices) == 1
+    assert "rejected (queue-full)" in notices[0]
+    assert view.jobs == {}
+
+
+def test_serve_lifecycle_events_are_notices_only():
+    view = LiveFleetView()
+    started = view.update(
+        {"type": "serve-started", "pid": 42, "variants": ["a", "b"]}, now=0.0
+    )
+    assert started == ["[serve] started (2 warm variant(s))"]
+    scaled = view.update({"type": "scaled", "workers": 3, "pressure": 7}, now=1.0)
+    assert scaled == ["[serve] scaled workers to 3 (pressure 7)"]
+    stopped = view.update({"type": "serve-stopped", "drained": True}, now=2.0)
+    assert stopped == ["[serve] stopped"]
+    assert view.jobs == {}

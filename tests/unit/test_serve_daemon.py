@@ -1,0 +1,301 @@
+"""Serve daemon: workers, cancel/budget aborts, drain, control socket.
+
+Everything here runs against a **fake executor** so the daemon's
+control plane (queue, events, workers, socket) is exercised without
+booting guests; the real execution path (and its bit-identity with the
+batch fleet) is covered by ``tests/integration/test_serve_e2e.py`` and
+``benchmarks/record_serve_throughput.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet import ProfileLibrary
+from repro.fleet.jobs import JobResult
+from repro.serve import (
+    AdmissionError,
+    JobAborted,
+    ServeClient,
+    ServeDaemon,
+    SubmissionRejected,
+    TenantPolicy,
+    UnknownJob,
+)
+from repro.serve.queue import REASON_NO_PROFILE, REASON_TENANT_BUDGET
+from repro.telemetry import Telemetry, snapshot
+
+
+def _result(qjob, cycles=1000):
+    registry = Telemetry()
+    registry.counter("hv.exits").inc(7)
+    return JobResult(
+        name=qjob.job.name,
+        app=qjob.job.app,
+        ok=True,
+        cycles=cycles,
+        syscalls=5,
+        job_cycles=cycles,
+        telemetry=snapshot(registry),
+    )
+
+
+def _daemon(tmp_path, executor, workers=1, **kw):
+    daemon = ServeDaemon(
+        ProfileLibrary(str(tmp_path / "lib")),
+        auto_profile=True,
+        executor=executor,
+        min_workers=1,
+        max_workers=max(1, workers),
+        **kw,
+    )
+    daemon._scale_to(workers)
+    return daemon
+
+
+def _events(daemon, kind):
+    return [e for e in daemon._events if e["type"] == kind]
+
+
+# ---------------------------------------------------------------------------
+# happy path
+# ---------------------------------------------------------------------------
+
+
+def test_submit_runs_and_merges_lifetime_telemetry(tmp_path):
+    daemon = _daemon(tmp_path, _result)
+    try:
+        first = daemon.submit({"app": "top", "scale": 1})
+        second = daemon.submit({"app": "top", "scale": 1})
+        for qjob in (first, second):
+            done = daemon.queue.wait_terminal(qjob.id, timeout=5.0)
+            assert done is not None and done.state == "done"
+        # fleet-spec naming convention -> fleet-identical derived seeds
+        assert [first.job.name, second.job.name] == ["top#0", "top#1"]
+        assert first.result["id"] == first.id
+        lifetime = daemon.stats()["jobs_telemetry"]
+        assert lifetime["sources"] == 2
+        assert lifetime["counters"]["hv.exits"] == 14
+        assert [e["job"] for e in _events(daemon, "done")] == ["top#0", "top#1"]
+    finally:
+        daemon.shutdown(timeout=5.0)
+
+
+def test_submit_validates_app_attack_guest(tmp_path):
+    daemon = _daemon(tmp_path, _result, workers=0)
+    try:
+        with pytest.raises(ValueError, match="unknown application"):
+            daemon.submit({"app": "nosuch"})
+        with pytest.raises(ValueError, match="unknown malware"):
+            daemon.submit({"app": "top", "attack": "nosuch"})
+        with pytest.raises(ValueError, match="infects"):
+            daemon.submit({"app": "gzip", "attack": "Injectso"})
+        with pytest.raises(ValueError, match="guest"):
+            daemon.submit({"app": "top", "guest": "nosuch-variant"})
+    finally:
+        daemon.shutdown(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# aborts: cancel-while-running, budget exhaustion mid-job
+# ---------------------------------------------------------------------------
+
+
+def _blocking_executor(release, started):
+    def executor(qjob):
+        started.set()
+        while not release.is_set():
+            if qjob.cancel_requested:
+                raise JobAborted("cancelled", 123)
+            time.sleep(0.005)
+        return _result(qjob)
+
+    return executor
+
+
+def test_cancel_running_job_aborts_and_charges(tmp_path):
+    release, started = threading.Event(), threading.Event()
+    daemon = _daemon(tmp_path, _blocking_executor(release, started))
+    try:
+        qjob = daemon.submit({"app": "top", "scale": 1})
+        assert started.wait(timeout=5.0)
+        assert daemon.queue.cancel(qjob.id) == "cancel-requested"
+        done = daemon.queue.wait_terminal(qjob.id, timeout=5.0)
+        assert done.state == "cancelled"
+        assert "cancelled while running" in done.error
+        tenants = daemon.queue.describe()["tenants"]
+        assert tenants["default"]["charged_cycles"] == 123
+        assert _events(daemon, "cancelled")
+    finally:
+        release.set()
+        daemon.shutdown(timeout=5.0)
+
+
+def test_budget_exhaustion_mid_job_fails_and_blocks_tenant(tmp_path):
+    consumed = 750
+
+    def executor(qjob):
+        raise JobAborted("tenant-budget", consumed)
+
+    daemon = _daemon(
+        tmp_path, executor,
+        default_policy=TenantPolicy(cycle_budget=1000),
+    )
+    try:
+        qjob = daemon.submit({"app": "top", "scale": 1})
+        done = daemon.queue.wait_terminal(qjob.id, timeout=5.0)
+        assert done.state == "failed"
+        assert "budget exhausted mid-job" in done.error
+        # the partial run is still charged...
+        assert daemon.queue.remaining_budget("default") == 1000 - consumed
+        # ...and a second over-budget abort pins the tenant at zero
+        second = daemon.submit({"app": "top", "scale": 1})
+        daemon.queue.wait_terminal(second.id, timeout=5.0)
+        with pytest.raises(AdmissionError) as err:
+            daemon.submit({"app": "top", "scale": 1})
+        assert err.value.reason == REASON_TENANT_BUDGET
+    finally:
+        daemon.shutdown(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# admission / rejection events
+# ---------------------------------------------------------------------------
+
+
+def test_no_profile_rejection_without_auto_profile(tmp_path):
+    daemon = ServeDaemon(
+        ProfileLibrary(str(tmp_path / "lib")), auto_profile=False
+    )
+    try:
+        with pytest.raises(AdmissionError) as err:
+            daemon.submit({"app": "top", "scale": 1})
+        assert err.value.reason == REASON_NO_PROFILE
+        rejected = _events(daemon, "rejected")
+        assert rejected and rejected[0]["reason"] == REASON_NO_PROFILE
+    finally:
+        daemon.shutdown(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# shutdown semantics
+# ---------------------------------------------------------------------------
+
+
+def test_graceful_shutdown_drains_every_queued_job(tmp_path):
+    def executor(qjob):
+        time.sleep(0.01)
+        return _result(qjob)
+
+    daemon = _daemon(tmp_path, executor)
+    jobs = [daemon.submit({"app": "top", "scale": 1}) for _ in range(4)]
+    summary = daemon.shutdown(drain=True, timeout=10.0)
+    assert summary["drained"]
+    assert summary["jobs"] == {"done": 4}
+    for qjob in jobs:
+        assert qjob.state == "done" and qjob.result is not None
+    with pytest.raises(AdmissionError, match="shutting down"):
+        daemon.submit({"app": "top", "scale": 1})
+
+
+def test_no_drain_shutdown_cancels_queued_keeps_running(tmp_path):
+    release, started = threading.Event(), threading.Event()
+    daemon = _daemon(tmp_path, _blocking_executor(release, started))
+    running = daemon.submit({"app": "top", "scale": 1})
+    queued = daemon.submit({"app": "top", "scale": 1})
+    assert started.wait(timeout=5.0)
+    shutdown = threading.Thread(
+        target=daemon.shutdown, kwargs={"drain": False, "timeout": 10.0}
+    )
+    shutdown.start()
+    release.set()
+    shutdown.join(timeout=10.0)
+    assert not shutdown.is_alive()
+    assert running.state == "done"
+    assert queued.state == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# control socket end-to-end (fake executor, real unix socket + client)
+# ---------------------------------------------------------------------------
+
+
+def test_control_socket_end_to_end(tmp_path):
+    release, started = threading.Event(), threading.Event()
+    sock = str(tmp_path / "serve.sock")
+    daemon = ServeDaemon(
+        ProfileLibrary(str(tmp_path / "lib")),
+        socket_path=sock,
+        auto_profile=True,
+        executor=_blocking_executor(release, started),
+        min_workers=1,
+        max_workers=2,
+        warm_target=0,
+        scale_interval=0.01,
+    )
+    daemon.start()
+    client = ServeClient(sock)
+    try:
+        info = client.ping()
+        assert info["accepting"] and info["version"] == 1
+
+        first = client.submit("top", scale=1)
+        assert first["name"] == "top#0"
+        assert started.wait(timeout=5.0)
+        backlog = [client.submit("top", scale=1) for _ in range(3)]
+
+        # queue pressure grows the worker pool to its bound
+        deadline = time.monotonic() + 5.0
+        while daemon.worker_count() < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert daemon.worker_count() == 2
+
+        jobs = client.status()["jobs"]
+        assert len(jobs) == 4
+        assert {j["id"] for j in jobs} == {
+            first["id"], *(b["id"] for b in backlog)
+        }
+
+        with pytest.raises(UnknownJob):
+            client.status("job-9999")
+        with pytest.raises(UnknownJob):
+            client.result("job-9999")
+        with pytest.raises(SubmissionRejected) as err:
+            client.submit("nosuchapp")
+        assert err.value.reason == "bad-request"
+
+        cancelled = client.cancel(backlog[-1]["id"])
+        assert cancelled["action"] == "cancelled"
+
+        watched = []
+        watcher = threading.Thread(
+            target=lambda: watched.extend(client.watch()), daemon=True
+        )
+        watcher.start()
+        release.set()
+        done = client.result(first["id"], wait=True, timeout=10.0)
+        assert done["job"]["state"] == "done"
+        assert done["result"]["cycles"] == 1000
+
+        stats = client.stats()
+        assert stats["queue"]["max_depth"] == 64
+        assert stats["workers"]["max"] == 2
+
+        summary = client.shutdown(drain=True, timeout=10.0)
+        assert summary["drained"]
+        assert summary["jobs"] == {"done": 3, "cancelled": 1}
+        watcher.join(timeout=5.0)
+        kinds = {e["type"] for e in watched}
+        assert "done" in kinds and "serve-stopped" in kinds
+    finally:
+        release.set()
+        daemon.shutdown(timeout=5.0)
+
+
+def test_client_unreachable_raises(tmp_path):
+    from repro.serve.client import DaemonUnreachable
+
+    client = ServeClient(str(tmp_path / "nope.sock"))
+    with pytest.raises(DaemonUnreachable):
+        client.ping()

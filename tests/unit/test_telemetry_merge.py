@@ -119,3 +119,66 @@ def test_merge_of_empty_list_is_empty():
     assert merged["counters"] == {}
     assert merged["trace"]["events"] == []
     assert merged["sources"] == 0
+
+
+# ---------------------------------------------------------------------------
+# incremental merge (the serve daemon's lifetime accumulator)
+# ---------------------------------------------------------------------------
+
+
+def test_merge_into_equals_batch_merge():
+    from repro.telemetry import empty_merge, merge_into
+
+    left, right = Telemetry(), Telemetry()
+    _observe(left, STREAM_A)
+    _observe(right, STREAM_B)
+    snaps = [snapshot(left), snapshot(right)]
+
+    batch = merge_snapshots(snaps, sources=["job-a", "job-b"])
+    incremental = empty_merge()
+    merge_into(incremental, snaps[0], source="job-a")
+    merge_into(incremental, snaps[1], source="job-b")
+
+    assert incremental["counters"] == batch["counters"]
+    assert incremental["labelled_counters"] == batch["labelled_counters"]
+    assert incremental["journal"] == batch["journal"]
+    assert incremental["sources"] == batch["sources"]
+    for name, ref in batch["histograms"].items():
+        got = incremental["histograms"][name]
+        for key in ("count", "total", "min", "max"):
+            assert got[key] == ref[key]
+
+
+def test_merge_into_preserves_earlier_source_tags():
+    from repro.telemetry import empty_merge, merge_into
+
+    first, second = Telemetry(), Telemetry()
+    for registry in (first, second):
+        registry.enable_tracing()
+    for i in range(4):
+        first.emit(kind="exit", cycles=i * 10, cpu=0)
+        second.emit(kind="exit", cycles=i * 10 + 5, cpu=0)
+    acc = empty_merge()
+    merge_into(acc, snapshot(first), source="job-a")
+    merge_into(acc, snapshot(second), source="job-b")
+    sources = {e["source"] for e in acc["trace"]["events"]}
+    assert sources == {"job-a", "job-b"}
+    cycles = [e["cycles"] for e in acc["trace"]["events"]]
+    assert cycles == sorted(cycles)
+
+
+def test_merge_into_rethinning_accounts_for_every_event():
+    from repro.telemetry import empty_merge, merge_into
+
+    acc = empty_merge()
+    total = 0
+    for job in range(5):
+        registry = Telemetry()
+        registry.enable_tracing()
+        for i in range(30):
+            registry.emit(kind="exit", cycles=job * 1000 + i, cpu=0)
+        total += 30
+        merge_into(acc, snapshot(registry), source=f"job-{job}", trace_limit=20)
+    kept = len(acc["trace"]["events"])
+    assert kept <= 20
+    assert kept + acc["trace"]["dropped"] == total
