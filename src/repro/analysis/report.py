@@ -238,6 +238,45 @@ def _section_figure7(out: io.StringIO, configs, connections: int) -> None:
     out.write("\n(paper: flat below ~55 req/s, degrading beyond)\n\n")
 
 
+def generate_prometheus(
+    scale: int = 4,
+    app: str = "top",
+    configs: Optional[Dict[str, KernelViewConfig]] = None,
+) -> str:
+    """One enforced run rendered as Prometheus text exposition.
+
+    ``repro report --format prom``: profiles and runs a single app under
+    its kernel view and exports the machine's whole telemetry registry
+    through the same :func:`repro.telemetry.export.format_prometheus`
+    path the serve daemon's scrape endpoint uses -- so batch-run and
+    daemon metrics share one exposition format.
+    """
+    from repro.apps.base import launch
+    from repro.apps.catalog import APP_CATALOG
+    from repro.core.facechange import FaceChange
+    from repro.guest.machine import boot_machine
+    from repro.kernel.runtime import Platform
+    from repro.telemetry.export import format_prometheus
+    from repro.telemetry.export import snapshot as telemetry_snapshot
+
+    if app not in APP_CATALOG:
+        raise ValueError(
+            f"unknown application {app!r} "
+            f"(available: {', '.join(sorted(APP_CATALOG))})"
+        )
+    if configs is None:
+        configs = profile_applications(apps=[app], scale=scale)
+    machine = boot_machine(platform=Platform.KVM)
+    fc = FaceChange(machine)
+    fc.enable()
+    fc.load_view(configs[app], comm=app)
+    handle = launch(machine, app, APP_CATALOG[app], scale=scale)
+    handle.run_to_completion(max_cycles=200_000_000_000)
+    return format_prometheus(
+        telemetry_snapshot(machine.telemetry, events=False), prefix="repro"
+    )
+
+
 def generate_report(
     scale: int = 4,
     views: Sequence[int] = (1, 3, 6, 11),

@@ -616,6 +616,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.tenant_in_flight,
         cycle_budget=args.tenant_budget,
     )
+    alert_rules = None
+    if args.alert_rules:
+        from repro.obs.metrics import MetricsError, load_rules
+
+        try:
+            alert_rules = load_rules(args.alert_rules)
+        except MetricsError as exc:
+            return _fail(str(exc))
     daemon = ServeDaemon(
         ProfileLibrary(args.library),
         socket_path=socket_path,
@@ -628,13 +636,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_interval=args.heartbeat,
         auto_profile=args.auto_profile,
         profile_scale=args.scale,
+        metrics_interval=(
+            args.metrics_interval if args.metrics_interval > 0 else None
+        ),
+        metrics_addr=args.metrics_addr,
+        slo_latency=args.slo_latency,
+        alert_rules=alert_rules,
+        ops_journal=args.ops_journal,
     )
     daemon.start(apps=args.apps, guests=args.guests)
+    scrape = (
+        f", metrics on port {daemon.metrics_port}"
+        if daemon.metrics_port is not None
+        else ""
+    )
     print(
         f"serve: pid {os.getpid()} listening on {socket_path} "
         f"({len(daemon.pool.variants())} warm variant(s), "
         f"workers {args.min_workers}..{args.max_workers}, "
-        f"queue depth {args.queue_depth})",
+        f"queue depth {args.queue_depth}{scrape})",
         flush=True,
     )
     daemon.serve_forever()
@@ -715,8 +735,25 @@ def _ctl_dispatch(args: argparse.Namespace) -> int:
         return 0
     if cmd == "stats":
         stats = client.stats()
-        print(json.dumps(stats, indent=2, sort_keys=True))
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(_render_stats_table(stats))
         return 0
+    if cmd == "metrics":
+        if args.prom:
+            print(client.metrics(format="prom"), end="")
+        elif args.series:
+            print(json.dumps(
+                client.metrics(format="series"), indent=2, sort_keys=True
+            ))
+        else:
+            print(json.dumps(
+                client.metrics(), indent=2, sort_keys=True
+            ))
+        return 0
+    if cmd == "top":
+        return _ctl_top(client, args)
     if cmd == "watch":
         from repro.obs import LiveFleetView
 
@@ -744,6 +781,105 @@ def _ctl_dispatch(args: argparse.Namespace) -> int:
         print(f"daemon stopped ({drained}; jobs: {jobs})")
         return 0
     return _fail(f"unknown ctl command {args.ctl_command!r}")
+
+
+def _render_stats_table(stats: dict) -> str:
+    """Human-readable ``ctl stats`` (``--json`` keeps the raw dump)."""
+    queue = stats.get("queue", {})
+    workers = stats.get("workers", {})
+    states = queue.get("states", {})
+    lines = [
+        f"daemon     pid {stats.get('pid', '?')}  "
+        f"protocol v{stats.get('version', '?')}  "
+        f"up {stats.get('uptime_seconds', 0.0):.0f}s  "
+        f"{'accepting' if queue.get('accepting') else 'draining'}",
+        f"queue      depth {queue.get('depth', 0)}/"
+        f"{queue.get('max_depth', 0)}  running {queue.get('running', 0)}  "
+        + (
+            "jobs " + ", ".join(
+                f"{state}={count}" for state, count in sorted(states.items())
+            )
+            if states
+            else "no jobs yet"
+        ),
+        f"workers    alive {workers.get('alive', 0)}  "
+        f"desired {workers.get('desired', 0)}  "
+        f"bounds {workers.get('min', 0)}..{workers.get('max', 0)}",
+    ]
+    pool = stats.get("pool", {})
+    for digest in sorted(pool, key=lambda d: pool[d].get("label", d)):
+        entry = pool[digest]
+        lines.append(
+            f"pool       {entry.get('label', digest):<14} "
+            f"warm {entry.get('warm', 0)}/{entry.get('target', 0)}  "
+            f"hits {entry.get('hits', 0)}  misses {entry.get('misses', 0)}  "
+            f"refills {entry.get('refills', 0)}"
+        )
+    tenants = queue.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append(
+            f"{'tenant':<12} {'infl':>5} {'done':>6} {'fail':>5} "
+            f"{'cancel':>6} {'cycles':>14} {'budget-left':>12} {'rejected':>9}"
+        )
+        for name, tenant in sorted(tenants.items()):
+            remaining = tenant.get("remaining_cycles")
+            lines.append(
+                f"{name:<12} {tenant.get('in_flight', 0):>5} "
+                f"{tenant.get('completed', 0):>6} "
+                f"{tenant.get('failed', 0):>5} "
+                f"{tenant.get('cancelled', 0):>6} "
+                f"{tenant.get('charged_cycles', 0):>14} "
+                f"{remaining if remaining is not None else '-':>12} "
+                f"{sum(tenant.get('rejections', {}).values()):>9}"
+            )
+    serve = stats.get("serve", {})
+    counters = {
+        name: value
+        for name, value in serve.get("counters", {}).items()
+        if value
+    }
+    if counters:
+        lines.append("")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<40} {value:>12}")
+    for name, values in sorted(serve.get("labelled_counters", {}).items()):
+        if not values:
+            continue
+        lines.append(f"{name:<40} {sum(values.values()):>12}")
+        for label, count in sorted(values.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {label:<38} {count:>12}")
+    lifetime = stats.get("jobs_telemetry", {})
+    if lifetime.get("sources"):
+        lines.append("")
+        lines.append(
+            f"lifetime job telemetry: {lifetime['sources']} job(s) merged, "
+            f"{len(lifetime.get('counters', {}))} counters"
+        )
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def _ctl_top(client, args: argparse.Namespace) -> int:
+    """The refreshing terminal dashboard over the ``metrics`` op."""
+    from repro.obs import render_service_top
+
+    import time as time_mod
+
+    iterations = 1 if args.once else args.count
+    shown = 0
+    try:
+        while True:
+            frame = render_service_top(client.metrics())
+            if not args.once:
+                # ANSI clear + home keeps the table in place like top(1)
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _print_result(response: dict) -> int:
@@ -830,10 +966,15 @@ def _cmd_guest_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import generate_report
+    from repro.analysis.report import generate_prometheus, generate_report
 
     try:
-        text = generate_report(scale=args.scale, sections=args.sections)
+        if args.format == "prom":
+            if args.sections:
+                return _fail("--sections only applies to --format md")
+            text = generate_prometheus(scale=args.scale, app=args.app)
+        else:
+            text = generate_report(scale=args.scale, sections=args.sections)
     except ValueError as exc:
         return _fail(str(exc))
     if args.output:
@@ -1111,6 +1252,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="base seed for derived per-job seeds (default 20140623, "
         "matching repro fleet)",
     )
+    p.add_argument(
+        "--metrics-interval", type=float, default=1.0,
+        help="metrics sampling cadence in seconds; 0 disables the "
+        "recorder entirely (default 1.0)",
+    )
+    p.add_argument(
+        "--metrics-addr",
+        help="also expose Prometheus text over HTTP at host:port "
+        "(port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--slo-latency", type=float,
+        help="per-tenant submit->result latency SLO target in seconds",
+    )
+    p.add_argument(
+        "--alert-rules",
+        help="JSON file of alert rules (default: the built-in rule set)",
+    )
+    p.add_argument(
+        "--ops-journal",
+        help="append alert transitions to this journal file "
+        "(readable by repro forensics)",
+    )
     _add_jit_flag(p)
     p.set_defaults(fn=_cmd_serve)
 
@@ -1159,7 +1323,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     c = csub.add_parser("cancel", help="cancel a queued or running job")
     c.add_argument("id", help="job id")
     c.set_defaults(fn=_cmd_ctl)
-    c = csub.add_parser("stats", help="dump daemon stats as JSON")
+    c = csub.add_parser("stats", help="show daemon stats")
+    c.add_argument(
+        "--json", action="store_true",
+        help="raw JSON dump instead of the table",
+    )
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser(
+        "metrics", help="fetch the daemon's service metrics"
+    )
+    c.add_argument(
+        "--prom", action="store_true",
+        help="Prometheus text exposition instead of JSON",
+    )
+    c.add_argument(
+        "--series", action="store_true",
+        help="raw ring-buffer time series instead of the summary",
+    )
+    c.set_defaults(fn=_cmd_ctl)
+    c = csub.add_parser(
+        "top",
+        help="live service dashboard: queue, pools, tenants, SLOs, "
+        "alerts (Ctrl-C to stop)",
+    )
+    c.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    c.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh cadence in seconds (default 2.0)",
+    )
+    c.add_argument(
+        "--count", type=int, default=0,
+        help="stop after this many frames (default: until Ctrl-C)",
+    )
     c.set_defaults(fn=_cmd_ctl)
     c = csub.add_parser(
         "watch",
@@ -1209,6 +1407,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         help="subset of sections to run (see repro.analysis.report."
         "KNOWN_SECTIONS); unknown names fail with a non-zero exit",
+    )
+    p.add_argument(
+        "--format",
+        choices=("md", "prom"),
+        default="md",
+        help="md: markdown evaluation report (default); prom: run one "
+        "enforced workload and emit its telemetry as Prometheus text",
+    )
+    p.add_argument(
+        "--app",
+        default="top",
+        help="with --format prom: the application to run (default top)",
     )
     p.set_defaults(fn=_cmd_report)
 

@@ -8,8 +8,12 @@ Two consumers of the flight recorder (:mod:`repro.telemetry.journal`):
   journal segments into a live per-job view with profile-drift
   detection (``repro fleet --watch``).
 
-Statistical observability (sampling profiler, probes, heat analysis)
-lives in the :mod:`repro.obs.profiling` subpackage.
+Service-level observability for the serve daemon -- ring-buffer time
+series, per-tenant SLO quantiles, Prometheus exposition and the
+alert-rule engine -- lives in :mod:`repro.obs.metrics` (``repro ctl
+top``, ``repro serve --metrics-addr``).  Statistical observability
+(sampling profiler, probes, heat analysis) lives in the
+:mod:`repro.obs.profiling` subpackage.
 """
 
 from repro.obs.forensics import (
@@ -19,14 +23,35 @@ from repro.obs.forensics import (
     render_journal_narrative,
     render_legacy_snapshot,
 )
-from repro.obs.live import JobStatus, LiveFleetView
+from repro.obs.live import JobStatus, LiveFleetView, render_service_top
+from repro.obs.metrics import (
+    AlertCondition,
+    AlertEngine,
+    AlertRule,
+    MetricsRecorder,
+    QuantileWindow,
+    RingSeries,
+    SeriesBank,
+    default_rules,
+    load_rules,
+)
 
 __all__ = [
+    "AlertCondition",
+    "AlertEngine",
+    "AlertRule",
     "JobStatus",
     "LiveFleetView",
+    "MetricsRecorder",
+    "QuantileWindow",
+    "RingSeries",
+    "SeriesBank",
     "attack_trees",
+    "default_rules",
+    "load_rules",
     "narrate_tree",
     "render_forensics",
     "render_journal_narrative",
     "render_legacy_snapshot",
+    "render_service_top",
 ]

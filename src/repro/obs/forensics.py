@@ -157,6 +157,28 @@ def render_journal_narrative(
         )
     sections.append("\n".join(header))
 
+    incidents = [r for r in data.records if r.get("t") == "alert"]
+    if incidents:
+        # the serve daemon's ops journal interleaves alert-rule
+        # transitions with the flight recorder; narrate them as
+        # operational incidents alongside the attack chains
+        lines = [f"== operational incidents ({len(incidents)} transitions) =="]
+        for record in incidents:
+            label = f" ({record['label']})" if record.get("label") else ""
+            value = record.get("value")
+            detail = (
+                f" value={value:g} threshold={record.get('threshold')}"
+                if isinstance(value, (int, float))
+                else ""
+            )
+            lines.append(
+                f"  {record.get('state', '?').upper():<9} "
+                f"{record.get('rule', '?')}{label}{detail}"
+            )
+            if record.get("state") == "firing" and record.get("description"):
+                lines.append(f"            {record['description']}")
+        sections.append("\n".join(lines))
+
     if attacks:
         lines = [f"== captured attacks ({len(attacks)} chains) =="]
         for tree in attacks:

@@ -66,6 +66,12 @@ class LiveFleetView:
         self.stall_after = stall_after
         self.jobs: Dict[str, JobStatus] = {}
         self.notices: List[str] = []
+        #: daemon admission rejections folded by reason code
+        self.rejections: Dict[str, int] = {}
+        #: events the daemon dropped because this consumer fell behind
+        self.watch_dropped = 0
+        #: currently-firing daemon alerts by rule name
+        self.alerts: Dict[str, str] = {}
 
     def expect(self, name: str, app: str = "") -> JobStatus:
         """Pre-register a job so render() shows it as pending."""
@@ -87,12 +93,39 @@ class LiveFleetView:
         ``repro fleet --watch`` share one live view."""
         kind = message.get("type")
         if kind == "rejected":
-            # no job was created; surface the admission decision only
+            # no job was created; tally the reason and surface the
+            # admission decision
+            reason = message.get("reason", "?")
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
             notice = (
                 f"[fleet] submission rejected "
-                f"({message.get('reason', '?')}): "
+                f"({reason}): "
                 f"{message.get('error', '')}".rstrip()
             )
+            self.notices.append(notice)
+            return [notice]
+        if kind == "watch-dropped":
+            dropped = int(message.get("dropped", 0))
+            self.watch_dropped += dropped
+            notice = (
+                f"[serve] watch stream dropped {dropped} event(s) "
+                "(consumer fell behind)"
+            )
+            self.notices.append(notice)
+            return [notice]
+        if kind == "alert":
+            rule = message.get("rule", "?")
+            state = message.get("state", "?")
+            if state == "firing":
+                self.alerts[rule] = message.get("label", "")
+                notice = f"[serve] ALERT firing: {rule}"
+                if message.get("label"):
+                    notice += f" ({message['label']})"
+                if message.get("description"):
+                    notice += f" -- {message['description']}"
+            else:
+                self.alerts.pop(rule, None)
+                notice = f"[serve] alert resolved: {rule}"
             self.notices.append(notice)
             return [notice]
         if kind in ("serve-started", "serve-draining", "serve-stopped"):
@@ -205,4 +238,95 @@ class LiveFleetView:
                 f"{s.recoveries:>6} {s.journal_records:>6}  "
                 + ",".join(flags)
             )
+        footer = []
+        if self.rejections:
+            tallies = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.rejections.items())
+            )
+            footer.append(f"rejected: {tallies}")
+        if self.alerts:
+            footer.append(
+                "alerts firing: " + ", ".join(sorted(self.alerts))
+            )
+        if self.watch_dropped:
+            footer.append(f"watch events dropped: {self.watch_dropped}")
+        if footer:
+            lines.append("")
+            lines.extend(footer)
         return "\n".join(line.rstrip() for line in lines)
+
+
+def _fmt(value: Any, pattern: str = "{:.2f}", missing: str = "-") -> str:
+    if value is None:
+        return missing
+    try:
+        return pattern.format(value)
+    except (ValueError, TypeError):
+        return str(value)
+
+
+def render_service_top(metrics: Dict[str, Any]) -> str:
+    """One ``repro ctl top`` frame from a ``metrics`` op response.
+
+    Pure formatting over the compact dict produced by
+    :meth:`repro.obs.metrics.MetricsRecorder.describe` (plus the
+    daemon's pid/uptime) -- no client or daemon state, so it is
+    testable with a literal dict.
+    """
+    queue = metrics.get("queue") or {}
+    workers = metrics.get("workers") or {}
+    pool = metrics.get("pool") or {}
+    throughput = metrics.get("throughput") or {}
+    lines = [
+        f"repro serve  pid {metrics.get('pid', '?')}  "
+        f"up {_fmt(metrics.get('uptime_seconds'), '{:.0f}')}s  "
+        f"samples {metrics.get('samples', 0)} "
+        f"@ {_fmt(metrics.get('interval'), '{:g}')}s",
+        f"queue   depth {_fmt(queue.get('depth'), '{:.0f}')}  "
+        f"running {_fmt(queue.get('running'), '{:.0f}')}  "
+        f"utilization {_fmt(queue.get('utilization'), '{:.0%}')}",
+        f"workers alive {_fmt(workers.get('alive'), '{:.0f}')}"
+        f"/{_fmt(workers.get('desired'), '{:.0f}')} desired  "
+        f"utilization {_fmt(workers.get('utilization'), '{:.0%}')}",
+        f"pool    hit ratio {_fmt(pool.get('hit_ratio'), '{:.0%}')}  "
+        + "  ".join(
+            f"{label}: {_fmt(stats.get('warm'), '{:.0f}')} warm"
+            for label, stats in sorted(
+                (pool.get("variants") or {}).items()
+            )
+        ),
+        f"jobs    finished {_fmt(throughput.get('finished_total'), '{:.0f}')}"
+        f"  rate {_fmt(throughput.get('finished_per_min'), '{:.1f}')}/min",
+        "",
+        f"{'tenant':<12} {'infl':>5} {'cycles':>12} {'wait-p95':>9} "
+        f"{'lat-p50':>8} {'lat-p95':>8} {'lat-p99':>8} {'slo':>6} "
+        f"{'budget':>7} {'rej':>5}",
+    ]
+    for tenant, row in sorted((metrics.get("tenants") or {}).items()):
+        slo = row.get("slo") or {}
+        lines.append(
+            f"{tenant:<12} "
+            f"{_fmt(row.get('in_flight'), '{:.0f}'):>5} "
+            f"{_fmt(row.get('charged_cycles'), '{:.0f}'):>12} "
+            f"{_fmt((row.get('queue_wait') or {}).get('p95')):>9} "
+            f"{_fmt((row.get('latency') or {}).get('p50')):>8} "
+            f"{_fmt((row.get('latency') or {}).get('p95')):>8} "
+            f"{_fmt((row.get('latency') or {}).get('p99')):>8} "
+            f"{_fmt(slo.get('compliance'), '{:.0%}'):>6} "
+            f"{_fmt(row.get('budget_remaining_ratio'), '{:.0%}'):>7} "
+            f"{_fmt(row.get('rejected'), '{:.0f}'):>5}"
+        )
+    alerts = (metrics.get("alerts") or {}).get("active") or []
+    lines.append("")
+    if alerts:
+        lines.append("alerts:")
+        for alert in alerts:
+            label = f" ({alert['label']})" if alert.get("label") else ""
+            lines.append(
+                f"  FIRING {alert.get('rule', '?')}{label}  "
+                f"value {_fmt(alert.get('value'), '{:g}')}"
+            )
+    else:
+        lines.append("alerts: none firing")
+    return "\n".join(line.rstrip() for line in lines)

@@ -27,7 +27,7 @@ from repro.serve.client import (
     SubmissionRejected,
     UnknownJob,
 )
-from repro.serve.daemon import JobAborted, ServeDaemon, ServeError
+from repro.serve.daemon import EventSink, JobAborted, ServeDaemon, ServeError
 from repro.serve.pool import WarmPool
 from repro.serve.protocol import DEFAULT_SOCKET
 from repro.serve.queue import (
@@ -41,6 +41,7 @@ __all__ = [
     "AdmissionError",
     "DEFAULT_SOCKET",
     "DaemonUnreachable",
+    "EventSink",
     "JobAborted",
     "JobQueue",
     "QueuedJob",

@@ -182,6 +182,14 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["stats"]
 
+    def metrics(self, format: str = "json") -> Any:
+        """Service metrics: ``json`` (compact dict), ``series`` (full
+        ring dump) or ``prom`` (Prometheus text exposition)."""
+        response = self.request("metrics", format=format)
+        if format == "prom":
+            return response["text"]
+        return response["metrics"]
+
     def shutdown(
         self, drain: bool = True, timeout: Optional[float] = None
     ) -> Dict[str, Any]:

@@ -30,16 +30,19 @@ via :func:`repro.telemetry.merge.merge_into`.
 
 from __future__ import annotations
 
+import json
 import os
+import queue as queue_mod
 import threading
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.fleet.jobs import execute_job, prepare_offline_phase
 from repro.fleet.library import ProfileLibrary, ProfileRecord
 from repro.fleet.spec import DEFAULT_SEED, FleetJob
 from repro.guest.config import GuestConfigError, resolve_guest
+from repro.obs.metrics import AlertRule, MetricsRecorder
 from repro.serve import protocol
 from repro.serve.pool import WarmPool
 from repro.serve.queue import (
@@ -49,7 +52,7 @@ from repro.serve.queue import (
     QueuedJob,
     TenantPolicy,
 )
-from repro.telemetry import Telemetry
+from repro.telemetry import Journal, Telemetry
 from repro.telemetry.export import snapshot as telemetry_snapshot
 from repro.telemetry.merge import empty_merge, merge_into
 
@@ -58,6 +61,9 @@ _JOB_JOURNAL_CAPACITY = 4096
 
 #: Events retained for late ``watch`` subscribers.
 _EVENT_BACKLOG = 8192
+
+#: Per-subscriber bounded event buffer (slow watchers drop, not block).
+_WATCH_BUFFER = 1024
 
 
 class ServeError(Exception):
@@ -75,6 +81,49 @@ class JobAborted(Exception):
         super().__init__(reason)
         self.reason = reason
         self.consumed_cycles = consumed_cycles
+
+
+class EventSink:
+    """A bounded per-subscriber event buffer.
+
+    ``offer`` never blocks: a consumer that stops reading fills its own
+    buffer and starts *dropping its own copies* of events -- the daemon
+    and every other watcher are unaffected.  Drops are accounted per
+    sink (``take_dropped`` feeds the synthetic ``watch-dropped`` event
+    the stream handler sends when the consumer catches up) and in the
+    daemon's ``serve.watch.dropped`` counter.
+    """
+
+    def __init__(self, maxsize: int = _WATCH_BUFFER) -> None:
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self.dropped_total = 0
+        self._dropped_pending = 0
+
+    def offer(self, event: Dict[str, Any]) -> bool:
+        """Enqueue without blocking; False (and a drop) when full."""
+        try:
+            self._queue.put_nowait(event)
+            return True
+        except queue_mod.Full:
+            with self._lock:
+                self.dropped_total += 1
+                self._dropped_pending += 1
+            return False
+
+    # kept as an alias so anything treating the sink as a plain queue
+    # (older call sites, tests) still works
+    put = offer
+
+    def get(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._queue.get(timeout=timeout)
+
+    def take_dropped(self) -> int:
+        """Drops since the last call (consumed for drop-accounting)."""
+        with self._lock:
+            pending = self._dropped_pending
+            self._dropped_pending = 0
+            return pending
 
 
 class ServeDaemon:
@@ -96,6 +145,12 @@ class ServeDaemon:
         profile_scale: int = 4,
         executor: Optional[Callable[[QueuedJob], Any]] = None,
         scale_interval: float = 0.05,
+        metrics_interval: Optional[float] = 1.0,
+        metrics_addr: Optional[str] = None,
+        slo_latency: Optional[float] = None,
+        alert_rules: Optional[Iterable[AlertRule]] = None,
+        ops_journal: Optional[str] = None,
+        watch_buffer: int = _WATCH_BUFFER,
     ) -> None:
         if min_workers < 1:
             raise ValueError(f"min_workers must be >= 1, got {min_workers}")
@@ -131,7 +186,26 @@ class ServeDaemon:
         self._event_lock = threading.Lock()
         self._event_seq = 0
         self._events: List[Dict[str, Any]] = []
-        self._subscribers: List[Any] = []
+        self._subscribers: List[EventSink] = []
+        self.watch_buffer = watch_buffer
+        # service metrics: recorder, optional HTTP scrape, ops journal
+        if metrics_addr is not None and metrics_interval is None:
+            metrics_interval = 1.0  # a scrape endpoint implies sampling
+        self.metrics: Optional[MetricsRecorder] = None
+        if metrics_interval is not None:
+            self.metrics = MetricsRecorder(
+                interval=metrics_interval,
+                rules=alert_rules,
+                slo_latency=slo_latency,
+            )
+        self.metrics_addr = metrics_addr
+        self.metrics_port: Optional[int] = None
+        self._metrics_server = None
+        self._metrics_thread: Optional[threading.Thread] = None
+        self._stop_metrics = threading.Event()
+        self._metrics_lock = threading.Lock()
+        self._ops_journal_path = ops_journal
+        self._ops_journal: Optional[Journal] = None
         # worker pool
         self._workers: Dict[int, threading.Thread] = {}
         self._workers_lock = threading.Lock()
@@ -185,6 +259,18 @@ class ServeDaemon:
                 target=self._accept_loop, name="serve-accept", daemon=True
             )
             self._server_thread.start()
+        if self._ops_journal_path is not None:
+            self._ops_journal = Journal(
+                path=self._ops_journal_path,
+                meta={"role": "serve-ops", "pid": os.getpid()},
+            )
+        if self.metrics is not None:
+            if self.metrics_addr is not None:
+                self._start_metrics_http()
+            self._metrics_thread = threading.Thread(
+                target=self._metrics_loop, name="serve-metrics", daemon=True
+            )
+            self._metrics_thread.start()
         self._emit(
             {
                 "type": "serve-started",
@@ -215,6 +301,20 @@ class ServeDaemon:
                     except (KeyError, ValueError):
                         pass
         drained = self.queue.wait_drained(timeout=timeout)
+        if self.metrics is not None:
+            # one final sample so alerts that clear on drain (queue
+            # saturation, worker stall) resolve before the books close
+            self._sample_metrics()
+            self._stop_metrics.set()
+            if self._metrics_thread is not None:
+                self._metrics_thread.join(timeout=5.0)
+        if self._metrics_server is not None:
+            try:
+                self._metrics_server.shutdown()
+                self._metrics_server.server_close()
+            except OSError:
+                pass
+            self._metrics_server = None
         self._stop_workers.set()
         self._desired_workers = 0
         with self._workers_lock:
@@ -241,6 +341,8 @@ class ServeDaemon:
             "jobs": self.queue.describe()["states"],
         }
         self._emit({"type": "serve-stopped", **summary})
+        if self._ops_journal is not None:
+            self._ops_journal.close()
         self.stopped.set()
         return summary
 
@@ -262,14 +364,18 @@ class ServeDaemon:
             if len(self._events) > _EVENT_BACKLOG:
                 del self._events[: len(self._events) - _EVENT_BACKLOG]
             subscribers = list(self._subscribers)
+        dropped = 0
         for sink in subscribers:
-            sink.put(event)
+            if not sink.offer(event):
+                dropped += 1
+        if dropped:
+            self.telemetry.counter("serve.watch.dropped").inc(dropped)
 
-    def subscribe(self, since: int = 0):
-        """Register a live event sink; returns (queue, backlog)."""
-        import queue as queue_mod
-
-        sink: Any = queue_mod.Queue()
+    def subscribe(
+        self, since: int = 0, maxsize: Optional[int] = None
+    ) -> Tuple[EventSink, List[Dict[str, Any]]]:
+        """Register a live event sink; returns (sink, backlog)."""
+        sink = EventSink(maxsize=maxsize or self.watch_buffer)
         with self._event_lock:
             backlog = [e for e in self._events if e["seq"] > since]
             self._subscribers.append(sink)
@@ -648,6 +754,152 @@ class ServeDaemon:
             "jobs_telemetry": lifetime,
         }
 
+    # -- service metrics ----------------------------------------------------------
+
+    def metrics_view(self) -> Dict[str, Any]:
+        """One sample tick's raw inputs, all from snapshot paths.
+
+        Queue description, job lifecycle timestamps, pool stats, the
+        ``serve.*`` registry and the lifetime job-telemetry merge --
+        never a running machine, so sampling cannot perturb
+        virtual-cycle scores.
+        """
+        jobs = [
+            {
+                "id": j.id,
+                "tenant": j.tenant,
+                "state": j.state,
+                "submitted_at": j.submitted_at,
+                "started_at": j.started_at,
+                "finished_at": j.finished_at,
+            }
+            for j in self.queue.jobs()
+        ]
+        with self._lifetime_lock:
+            jobs_counters = dict(self._lifetime["counters"])
+            jobs_labelled = {
+                name: dict(values)
+                for name, values in self._lifetime["labelled_counters"].items()
+            }
+        return {
+            "now": time.time(),
+            "queue": self.queue.describe(),
+            "jobs": jobs,
+            "pool": self.pool.stats(),
+            "workers": {
+                "alive": self.worker_count(),
+                "desired": self._desired_workers,
+            },
+            # dict() snapshots are atomic under the GIL; iterating the
+            # live registry dicts would race with lazy counter creation
+            "serve_counters": {
+                name: counter.value
+                for name, counter in dict(self.telemetry.counters).items()
+            },
+            "serve_labelled": {
+                name: {str(k): v for k, v in dict(counter.values).items()}
+                for name, counter in dict(self.telemetry.labelled).items()
+            },
+            "jobs_counters": jobs_counters,
+            "jobs_labelled": jobs_labelled,
+        }
+
+    def _sample_metrics(self) -> List[Any]:
+        """Take one sample tick and fan out any alert transitions."""
+        if self.metrics is None:
+            return []
+        with self._metrics_lock:
+            transitions = self.metrics.sample(self.metrics_view())
+        for transition in transitions:
+            self.telemetry.labelled_counter("serve.alerts").inc(
+                f"{transition.rule}:{transition.state}"
+            )
+            self._emit({"type": "alert", **transition.to_dict()})
+            if self._ops_journal is not None:
+                self._ops_journal.append("alert", **transition.to_dict())
+                self._ops_journal.flush()
+        return transitions
+
+    def _metrics_loop(self) -> None:
+        self._sample_metrics()
+        while not self._stop_metrics.wait(timeout=self.metrics.interval):
+            self._sample_metrics()
+
+    def metrics_describe(self) -> Dict[str, Any]:
+        """The compact JSON the ``metrics`` op and ``ctl top`` consume."""
+        if self.metrics is None:
+            raise ServeError("metrics recorder is disabled")
+        data = self.metrics.describe()
+        data["pid"] = os.getpid()
+        data["uptime_seconds"] = (
+            time.time() - self.started_at if self.started_at else 0.0
+        )
+        return data
+
+    def metrics_text(self) -> str:
+        """The Prometheus scrape body (socket op and HTTP listener)."""
+        if self.metrics is None:
+            raise ServeError("metrics recorder is disabled")
+        import copy
+
+        with self._lifetime_lock:
+            jobs_snapshot = {
+                "counters": dict(self._lifetime["counters"]),
+                "labelled_counters": {
+                    name: dict(values)
+                    for name, values in self._lifetime[
+                        "labelled_counters"
+                    ].items()
+                },
+                "histograms": copy.deepcopy(self._lifetime["histograms"]),
+            }
+        return self.metrics.to_prometheus(
+            serve_snapshot=telemetry_snapshot(self.telemetry, events=False),
+            jobs_snapshot=jobs_snapshot,
+        )
+
+    def _start_metrics_http(self) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        daemon = self
+
+        class MetricsHandler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib interface
+                if self.path in ("/", "/metrics"):
+                    body = daemon.metrics_text().encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path == "/metrics.json":
+                    body = json.dumps(
+                        daemon.metrics_describe(), sort_keys=True
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are periodic; don't spam the daemon log
+
+        host, _, port = self.metrics_addr.rpartition(":")
+        if not host:
+            raise ServeError(
+                f"metrics address {self.metrics_addr!r} must be host:port"
+            )
+        server = ThreadingHTTPServer((host, int(port)), MetricsHandler)
+        server.daemon_threads = True
+        self._metrics_server = server
+        self.metrics_port = server.server_address[1]
+        threading.Thread(
+            target=server.serve_forever,
+            name="serve-metrics-http",
+            daemon=True,
+        ).start()
+
     # -- control socket ------------------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -703,6 +955,8 @@ class ServeDaemon:
                 self._handle_cancel(conn, request)
             elif op == "stats":
                 protocol.send_message(conn, {"ok": True, "stats": self.stats()})
+            elif op == "metrics":
+                self._handle_metrics(conn, request)
             elif op == "watch":
                 self._handle_watch(conn, request)
             elif op == "shutdown":
@@ -864,9 +1118,43 @@ class ServeDaemon:
             )
         protocol.send_message(conn, {"ok": True, "action": action})
 
-    def _handle_watch(self, conn, request: Dict[str, Any]) -> None:
-        import queue as queue_mod
+    def _handle_metrics(self, conn, request: Dict[str, Any]) -> None:
+        if self.metrics is None:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": False,
+                    "reason": "no-metrics",
+                    "error": "the daemon was started with metrics disabled "
+                    "(metrics_interval=None)",
+                },
+            )
+            return
+        fmt = str(request.get("format", "json"))
+        if fmt == "prom":
+            protocol.send_message(
+                conn, {"ok": True, "format": "prom", "text": self.metrics_text()}
+            )
+        elif fmt == "series":
+            protocol.send_message(
+                conn,
+                {
+                    "ok": True,
+                    "format": "series",
+                    "metrics": self.metrics.export_series(),
+                },
+            )
+        else:
+            protocol.send_message(
+                conn,
+                {
+                    "ok": True,
+                    "format": "json",
+                    "metrics": self.metrics_describe(),
+                },
+            )
 
+    def _handle_watch(self, conn, request: Dict[str, Any]) -> None:
         since = int(request.get("since", 0))
         sink, backlog = self.subscribe(since=since)
         try:
@@ -874,6 +1162,13 @@ class ServeDaemon:
             for event in backlog:
                 protocol.send_message(conn, event)
             while not self.stopped.is_set():
+                dropped = sink.take_dropped()
+                if dropped:
+                    # the consumer fell behind its bounded buffer; tell
+                    # it exactly how many events it lost
+                    protocol.send_message(
+                        conn, {"type": "watch-dropped", "dropped": dropped}
+                    )
                 try:
                     event = sink.get(timeout=0.2)
                 except queue_mod.Empty:

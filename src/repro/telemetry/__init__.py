@@ -15,7 +15,9 @@ from repro.telemetry.core import (
 )
 from repro.telemetry.export import (
     format_counters,
+    format_prometheus,
     format_timeline,
+    prometheus_name,
     snapshot,
     to_json,
 )
@@ -49,11 +51,13 @@ __all__ = [
     "build_span_trees",
     "empty_merge",
     "format_counters",
+    "format_prometheus",
     "format_timeline",
     "load_journal",
     "merge_into",
     "merge_snapshots",
     "parse_journal",
+    "prometheus_name",
     "snapshot",
     "to_json",
 ]

@@ -1,10 +1,13 @@
-"""Telemetry exporters: JSON snapshots and human-readable text.
+"""Telemetry exporters: JSON snapshots, Prometheus text, terminal text.
 
-Two render targets:
+Three render targets:
 
 * :func:`snapshot` / :func:`to_json` -- a machine-readable dump of every
   counter, histogram and trace event (the ``repro.cli trace -o`` file
   format, also what ``BENCH_telemetry.json`` records);
+* :func:`format_prometheus` -- Prometheus text exposition over a
+  snapshot dict (shared by the serve daemon's scrape surface and
+  ``repro report --format prom``);
 * :func:`format_counters` / :func:`format_timeline` -- the terminal
   rendering used by the ``trace`` CLI verb and the evaluation report.
 """
@@ -12,9 +15,12 @@ Two render targets:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, Optional
+import re
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.telemetry.core import Telemetry, TraceEvent
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def snapshot(telemetry: Telemetry, events: bool = True) -> Dict[str, Any]:
@@ -64,6 +70,53 @@ def snapshot(telemetry: Telemetry, events: bool = True) -> Dict[str, Any]:
 
 def to_json(telemetry: Telemetry, events: bool = True, indent: int = 2) -> str:
     return json.dumps(snapshot(telemetry, events=events), indent=indent)
+
+
+def prometheus_name(name: str) -> str:
+    """A dotted instrument name as a legal Prometheus metric name."""
+    return _PROM_BAD_CHARS.sub("_", name)
+
+
+def _prometheus_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", " ")
+
+
+def format_prometheus(
+    snap: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition (v0.0.4) over a snapshot dict.
+
+    ``snap`` is the shape produced by :func:`snapshot` -- and by
+    :func:`repro.telemetry.merge.empty_merge`, which shares it, so the
+    daemon's lifetime job-telemetry merge exports through the same
+    path.  Counters become ``<prefix>_<name>_total``, labelled counters
+    add a ``label`` dimension, histograms emit cumulative ``le``
+    buckets plus ``_sum``/``_count``.
+    """
+    lines: List[str] = []
+    for name, value in sorted((snap.get("counters") or {}).items()):
+        metric = f"{prefix}_{prometheus_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, values in sorted((snap.get("labelled_counters") or {}).items()):
+        metric = f"{prefix}_{prometheus_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for label, count in sorted(values.items()):
+            lines.append(
+                f'{metric}{{label="{_prometheus_label(str(label))}"}} '
+                f"{count}"
+            )
+    for name, hist in sorted((snap.get("histograms") or {}).items()):
+        metric = f"{prefix}_{prometheus_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for upper, count in hist.get("buckets") or []:
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{upper}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.get("count", 0)}')
+        lines.append(f'{metric}_sum {hist.get("total", 0)}')
+        lines.append(f'{metric}_count {hist.get("count", 0)}')
+    return "\n".join(lines) + "\n"
 
 
 def format_counters(telemetry: Telemetry) -> str:

@@ -107,6 +107,55 @@ def test_ctl_status_and_cancel_flow(live_daemon, capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_ctl_stats_table_default_and_json(live_daemon, capsys):
+    assert main([
+        "ctl", "--socket", live_daemon,
+        "submit", "top", "--wait", "--timeout", "30",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["ctl", "--socket", live_daemon, "stats"]) == 0
+    out = capsys.readouterr().out
+    # the human table leads with daemon/queue/workers rows
+    assert out.startswith("daemon")
+    assert "queue      depth 0/64" in out
+    assert "workers    alive" in out
+    assert "done=1" in out
+    assert "default" in out  # tenant row
+    # --json keeps the raw dump (scripting interface unchanged)
+    assert main(["ctl", "--socket", live_daemon, "stats", "--json"]) == 0
+    parsed = __import__("json").loads(capsys.readouterr().out)
+    assert parsed["queue"]["max_depth"] == 64
+
+
+def test_ctl_metrics_json_prom_series(live_daemon, capsys):
+    import json as json_mod
+
+    assert main([
+        "ctl", "--socket", live_daemon,
+        "submit", "top", "--wait", "--timeout", "30",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["ctl", "--socket", live_daemon, "metrics"]) == 0
+    described = json_mod.loads(capsys.readouterr().out)
+    assert described["samples"] >= 0 and "queue" in described
+
+    assert main(["ctl", "--socket", live_daemon, "metrics", "--prom"]) == 0
+    prom = capsys.readouterr().out
+    assert "repro_serve_alert_state" in prom
+
+    assert main(["ctl", "--socket", live_daemon, "metrics", "--series"]) == 0
+    series = json_mod.loads(capsys.readouterr().out)
+    assert "series" in series
+
+
+def test_ctl_top_once_renders_frame(live_daemon, capsys):
+    assert main(["ctl", "--socket", live_daemon, "top", "--once"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro serve  pid")
+    assert "queue" in out and "alerts" in out
+    assert "\x1b[2J" not in out  # --once never clears the screen
+
+
 def test_ctl_shutdown_drains(tmp_path, capsys):
     def executor(qjob):
         time.sleep(0.01)

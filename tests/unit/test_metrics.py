@@ -1,0 +1,497 @@
+"""Time-series engine, quantiles, alert rules and the recorder.
+
+Everything here drives :mod:`repro.obs.metrics` with synthetic clocks
+and hand-built daemon views -- no sockets, no guests -- so the alert
+semantics (debounce, guards, warmup refusal, staleness) are pinned
+exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    AlertCondition,
+    AlertEngine,
+    AlertRule,
+    MetricsError,
+    MetricsRecorder,
+    MultiResolutionSeries,
+    QuantileWindow,
+    RingSeries,
+    SeriesBank,
+    default_rules,
+    load_rules,
+)
+
+# ---------------------------------------------------------------------------
+# ring series
+# ---------------------------------------------------------------------------
+
+
+def test_ring_series_append_latest_and_eviction():
+    ring = RingSeries(capacity=3)
+    for i in range(5):
+        ring.append(float(i), float(i * 10))
+    assert len(ring) == 3
+    assert ring.evicted == 2
+    assert ring.latest == 40.0
+    assert ring.latest_time == 4.0
+    assert ring.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+
+def test_ring_series_clamps_backwards_clock():
+    ring = RingSeries()
+    ring.append(10.0, 1.0)
+    ring.append(5.0, 2.0)  # NTP step backwards
+    assert ring.points() == [(10.0, 1.0), (10.0, 2.0)]
+
+
+def test_ring_series_delta_and_rate():
+    ring = RingSeries()
+    for t in range(11):
+        ring.append(float(t), float(t * 2))  # +2/s
+    assert ring.delta(5.0, now=10.0) == 10.0
+    assert ring.rate(5.0, now=10.0) == pytest.approx(2.0)
+
+
+def test_ring_series_refuses_partial_window():
+    """No extrapolation during warmup: rules built on delta/rate must
+    not fire before the ring spans their lookback."""
+    ring = RingSeries()
+    ring.append(100.0, 5.0)
+    ring.append(101.0, 7.0)
+    assert ring.delta(30.0, now=101.0) is None
+    assert ring.rate(30.0, now=101.0) is None
+    # once a point at/before now-30 exists, both evaluate (reference
+    # is the newest point at/before the cutoff: t=101, value 7)
+    ring.append(131.0, 9.0)
+    assert ring.delta(30.0, now=131.0) == 2.0
+
+
+def test_ring_series_window_and_capacity_validation():
+    with pytest.raises(ValueError):
+        RingSeries(capacity=1)
+    ring = RingSeries()
+    for t in range(10):
+        ring.append(float(t), 0.0)
+    assert len(ring.window(3.0, now=9.0)) == 4  # t in [6, 9]
+
+
+def test_multi_resolution_cadence():
+    series = MultiResolutionSeries(resolutions=(1.0, 10.0))
+    for t in range(25):
+        series.append(float(t), float(t))
+    assert len(series.ring(1.0)) == 25
+    # the 10s ring keeps one point per 10s bucket -- the bucket's last
+    # sample (standard last-value downsampling), so latest never lags
+    assert [t for t, _ in series.ring(10.0).points()] == [9.0, 19.0, 24.0]
+    assert series.ring(10.0).latest == 24.0
+    assert series.latest == 24.0
+
+
+def test_sub_resolution_samples_refresh_latest():
+    """Sampling faster than the finest ring must never freeze ``latest``
+    -- a 50ms recorder cadence still reflects the newest value, so
+    value-mode alerts can resolve immediately."""
+    series = MultiResolutionSeries(resolutions=(1.0,))
+    series.append(10.0, 1.0)
+    series.append(10.05, 0.0)  # within the 1s bucket: refresh in place
+    assert len(series.ring(1.0)) == 1
+    assert series.latest == 0.0
+    series.append(11.1, 7.0)  # next bucket: committed as a new point
+    assert len(series.ring(1.0)) == 2
+    assert series.latest == 7.0
+
+
+def test_series_bank_labels_export_and_prometheus():
+    bank = SeriesBank()
+    bank.observe("serve.queue.depth", 1.0, 3.0)
+    bank.observe(
+        "serve.tenant.in_flight", 1.0, 2.0, label="acme", label_key="tenant"
+    )
+    bank.observe(
+        "serve.tenant.in_flight", 1.0, 1.0, label="bob", label_key="tenant"
+    )
+    assert bank.names() == ["serve.queue.depth", "serve.tenant.in_flight"]
+    assert bank.latest("serve.queue.depth") == 3.0
+    assert bank.latest("serve.tenant.in_flight", "acme") == 2.0
+    exported = bank.export()
+    assert exported["serve.tenant.in_flight"]["label_key"] == "tenant"
+    assert set(exported["serve.tenant.in_flight"]["series"]) == {
+        "acme", "bob"
+    }
+    lines = bank.prometheus_lines(prefix="repro")
+    assert "repro_serve_queue_depth 3" in lines
+    assert 'repro_serve_tenant_in_flight{tenant="acme"} 2' in lines
+    assert "# TYPE repro_serve_queue_depth gauge" in lines
+
+
+def test_quantile_window_exact_and_bounded():
+    win = QuantileWindow(window=100)
+    for v in range(1, 101):
+        win.observe(float(v))
+    assert win.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+    assert win.quantile(0.99) == pytest.approx(99.0, abs=1.0)
+    described = win.describe()
+    assert described["count"] == 100
+    assert described["mean"] == pytest.approx(50.5)
+    assert described["p95"] == pytest.approx(95.0, abs=1.0)
+    # bounded: old observations age out of the quantiles, not the count
+    for _ in range(100):
+        win.observe(1000.0)
+    assert win.quantile(0.5) == 1000.0
+    assert win.count == 200
+    assert QuantileWindow().quantile(0.5) is None
+
+
+# ---------------------------------------------------------------------------
+# alert rules
+# ---------------------------------------------------------------------------
+
+
+def _bank_with(name, points, label=""):
+    bank = SeriesBank()
+    for t, v in points:
+        bank.observe(name, float(t), float(v), label=label)
+    return bank
+
+
+def test_alert_condition_validation():
+    with pytest.raises(MetricsError):
+        AlertCondition(metric="x", op="!=", threshold=1.0)
+    with pytest.raises(MetricsError):
+        AlertCondition(metric="x", op=">", threshold=1.0, mode="stddev")
+    with pytest.raises(MetricsError):
+        AlertRule(name="", condition=AlertCondition("x", ">", 1.0))
+    with pytest.raises(MetricsError):
+        AlertRule(
+            name="r", condition=AlertCondition("x", ">", 1.0), for_samples=0
+        )
+
+
+def test_value_condition_goes_stale():
+    cond = AlertCondition(
+        metric="serve.queue.depth", op=">", threshold=1.0, window=5.0
+    )
+    bank = _bank_with("serve.queue.depth", [(100.0, 9.0)])
+    assert cond.evaluate(bank, "", 101.0) == 9.0
+    # a dead sampler must not keep the alert pinned: stale -> None
+    assert cond.evaluate(bank, "", 200.0) is None
+    assert not cond.breached(None)
+
+
+def test_engine_debounce_fire_and_resolve():
+    rule = AlertRule(
+        name="sat",
+        condition=AlertCondition("u", ">=", 0.8),
+        for_samples=2,
+        description="queue saturated",
+    )
+    engine = AlertEngine(rules=[rule])
+    bank = SeriesBank()
+
+    bank.observe("u", 1.0, 0.9)
+    assert engine.evaluate(bank, 1.0) == []  # streak 1 < for_samples
+    bank.observe("u", 2.0, 0.95)
+    fired = engine.evaluate(bank, 2.0)
+    assert [t.state for t in fired] == ["firing"]
+    assert fired[0].rule == "sat" and fired[0].value == 0.95
+    assert engine.active()[0]["rule"] == "sat"
+    # still firing: no duplicate transition
+    bank.observe("u", 3.0, 0.99)
+    assert engine.evaluate(bank, 3.0) == []
+    bank.observe("u", 4.0, 0.1)
+    resolved = engine.evaluate(bank, 4.0)
+    assert [t.state for t in resolved] == ["resolved"]
+    assert engine.active() == []
+
+
+def test_engine_interrupted_streak_never_fires():
+    rule = AlertRule(
+        name="sat", condition=AlertCondition("u", ">=", 0.8), for_samples=3
+    )
+    engine = AlertEngine(rules=[rule])
+    bank = SeriesBank()
+    for t, v in [(1, 0.9), (2, 0.9), (3, 0.1), (4, 0.9), (5, 0.9)]:
+        bank.observe("u", float(t), v)
+        assert engine.evaluate(bank, float(t)) == []
+
+
+def test_guard_blocks_breach():
+    """worker-stall: finished flatlining only matters while jobs queue."""
+    rule = AlertRule(
+        name="stall",
+        condition=AlertCondition(
+            "done", "<=", 0.0, mode="delta", window=3.0
+        ),
+        guard=AlertCondition("depth", ">", 0.0),
+        for_samples=1,
+    )
+    engine = AlertEngine(rules=[rule])
+    bank = SeriesBank()
+    # finished flat but nothing queued: guard holds the rule back
+    for t in range(6):
+        bank.observe("done", float(t), 5.0)
+        bank.observe("depth", float(t), 0.0)
+        assert engine.evaluate(bank, float(t)) == []
+    # now jobs pile up while finished stays flat
+    bank.observe("done", 6.0, 5.0)
+    bank.observe("depth", 6.0, 3.0)
+    fired = engine.evaluate(bank, 6.0)
+    assert [t.state for t in fired] == ["firing"]
+
+
+def test_labelled_rule_tracks_each_label_independently():
+    rule = AlertRule(
+        name="budget",
+        condition=AlertCondition("remaining", "<", 0.1),
+        for_samples=1,
+    )
+    engine = AlertEngine(rules=[rule])
+    bank = SeriesBank()
+    bank.observe("remaining", 1.0, 0.05, label="acme", label_key="tenant")
+    bank.observe("remaining", 1.0, 0.9, label="bob", label_key="tenant")
+    fired = engine.evaluate(bank, 1.0)
+    assert [(t.rule, t.label, t.state) for t in fired] == [
+        ("budget", "acme", "firing")
+    ]
+
+
+def test_rule_roundtrip_and_load_rules(tmp_path):
+    rules = default_rules()
+    path = tmp_path / "rules.json"
+    path.write_text(json.dumps([r.to_dict() for r in rules]))
+    loaded = load_rules(str(path))
+    assert loaded == rules  # frozen dataclasses compare by value
+
+    path.write_text("{not json")
+    with pytest.raises(MetricsError, match="unreadable"):
+        load_rules(str(path))
+    path.write_text('{"name": "x"}')
+    with pytest.raises(MetricsError, match="JSON list"):
+        load_rules(str(path))
+    dupe = rules[0].to_dict()
+    path.write_text(json.dumps([dupe, dupe]))
+    with pytest.raises(MetricsError, match="duplicate"):
+        load_rules(str(path))
+    with pytest.raises(MetricsError, match="missing required field"):
+        AlertCondition.from_dict({"op": ">"})
+
+
+# ---------------------------------------------------------------------------
+# the recorder, over synthetic daemon views
+# ---------------------------------------------------------------------------
+
+
+def _view(
+    now,
+    depth=0,
+    running=0,
+    max_depth=4,
+    jobs=(),
+    tenants=None,
+    pool=None,
+    serve_counters=None,
+    serve_labelled=None,
+    jobs_labelled=None,
+):
+    return {
+        "now": now,
+        "queue": {
+            "depth": depth,
+            "running": running,
+            "max_depth": max_depth,
+            "accepting": True,
+            "states": {},
+            "tenants": tenants or {},
+        },
+        "jobs": list(jobs),
+        "pool": pool or {},
+        "workers": {"alive": 1, "desired": 1},
+        "serve_counters": serve_counters or {},
+        "serve_labelled": serve_labelled or {},
+        "jobs_counters": {},
+        "jobs_labelled": jobs_labelled or {},
+    }
+
+
+def test_recorder_queue_saturation_fires_and_resolves():
+    rec = MetricsRecorder(interval=1.0)
+    assert rec.sample(_view(1.0, depth=4, running=1)) == []
+    fired = rec.sample(_view(2.0, depth=4, running=1))
+    assert [(t.rule, t.state) for t in fired] == [
+        ("queue-saturation", "firing")
+    ]
+    resolved = rec.sample(_view(3.0, depth=0, running=1))
+    assert [(t.rule, t.state) for t in resolved] == [
+        ("queue-saturation", "resolved")
+    ]
+    assert [t.state for t in rec.alert_history] == ["firing", "resolved"]
+    assert rec.samples == 3
+
+
+def test_recorder_tenant_budget_imminent():
+    rec = MetricsRecorder(interval=1.0)
+    tenants = {
+        "acme": {
+            "in_flight": 1,
+            "charged_cycles": 950,
+            "cycle_budget": 1000,
+            "remaining_cycles": 50,
+            "rejections": {},
+        }
+    }
+    fired = rec.sample(_view(1.0, tenants=tenants))
+    assert [(t.rule, t.label, t.state) for t in fired] == [
+        ("tenant-budget-imminent", "acme", "firing")
+    ]
+    assert rec.bank.latest(
+        "serve.tenant.budget_remaining_ratio", "acme"
+    ) == pytest.approx(0.05)
+
+
+def test_recorder_worker_stall_needs_full_window_and_guard():
+    rec = MetricsRecorder(interval=1.0)
+    finished = {"serve.completed": {"default": 2}}
+    # jobs queued, finished flat -- but the 30s delta window is not
+    # covered yet, so the stall rule cannot fire during warmup
+    for t in range(1, 29):
+        assert rec.sample(
+            _view(float(t), depth=2, serve_labelled=finished)
+        ) == []
+    fired = []
+    for t in range(29, 40):
+        fired += rec.sample(
+            _view(float(t), depth=2, serve_labelled=finished)
+        )
+        if fired:
+            break
+    assert [(t.rule, t.state) for t in fired] == [("worker-stall", "firing")]
+    # a completion resolves it on the next tick
+    resolved = rec.sample(
+        _view(41.0, depth=2,
+              serve_labelled={"serve.completed": {"default": 3}})
+    )
+    assert ("worker-stall", "resolved") in [
+        (t.rule, t.state) for t in resolved
+    ]
+
+
+def test_recorder_drift_recurrence_from_job_telemetry():
+    rec = MetricsRecorder(interval=1.0)
+    verdicts = {"recovery.verdicts": {"benign": 5}}
+    rec.sample(_view(1.0, jobs_labelled=verdicts))
+    rec.sample(
+        _view(70.0, jobs_labelled={"recovery.verdicts": {"benign": 5}})
+    )
+    fired = rec.sample(
+        _view(
+            80.0,
+            jobs_labelled={
+                "recovery.verdicts": {"benign": 5, "anomalous": 2}
+            },
+        )
+    )
+    assert [(t.rule, t.label, t.state) for t in fired] == [
+        ("drift-recurrence", "anomalous", "firing")
+    ]
+
+
+def test_recorder_pool_hit_ratio_only_with_traffic():
+    rec = MetricsRecorder(interval=1.0)
+    pool = {"abc": {"label": "default", "warm": 2, "hits": 0, "misses": 0}}
+    for t in range(1, 15):
+        rec.sample(_view(float(t), pool=pool))
+    # idle pool: no hit_ratio series, so pool-hit-collapse cannot fire
+    assert rec.bank.latest("serve.pool.hit_ratio") is None
+    pool = {"abc": {"label": "default", "warm": 2, "hits": 1, "misses": 3}}
+    rec.sample(_view(15.0, pool=pool))
+    assert rec.bank.latest("serve.pool.hit_ratio") == pytest.approx(0.25)
+    assert rec.bank.latest("serve.pool.warm", "default") == 2.0
+
+
+def test_recorder_tenant_latency_quantiles_and_slo():
+    rec = MetricsRecorder(interval=1.0, slo_latency=2.0)
+    jobs = [
+        {
+            "id": f"job-{i}",
+            "tenant": "acme",
+            "state": "done",
+            "submitted_at": 0.0,
+            "started_at": 0.5,
+            "finished_at": float(i),  # latencies 1..4
+        }
+        for i in range(1, 5)
+    ]
+    rec.sample(_view(5.0, jobs=jobs))
+    # re-sampling the same finished jobs must not double-count
+    rec.sample(_view(6.0, jobs=jobs))
+    described = rec.describe()
+    acme = described["tenants"]["acme"]
+    assert acme["latency"]["count"] == 4
+    assert acme["queue_wait"]["count"] == 4
+    assert acme["queue_wait"]["p50"] == pytest.approx(0.5)
+    assert acme["slo"] == {
+        "target_seconds": 2.0,
+        "met": 2,  # latencies 1, 2
+        "missed": 2,  # latencies 3, 4
+        "compliance": 0.5,
+    }
+    assert rec.bank.latest("serve.tenant.latency_p95", "acme") is not None
+
+
+def test_recorder_failed_jobs_skip_latency_but_not_queue_wait():
+    rec = MetricsRecorder(interval=1.0)
+    jobs = [
+        {
+            "id": "job-1",
+            "tenant": "acme",
+            "state": "failed",
+            "submitted_at": 0.0,
+            "started_at": 1.0,
+            "finished_at": 2.0,
+        }
+    ]
+    rec.sample(_view(3.0, jobs=jobs))
+    acme = rec.describe()["tenants"]["acme"]
+    assert acme["latency"]["count"] == 0
+    assert acme["queue_wait"]["count"] == 1
+
+
+def test_recorder_describe_and_export_shapes():
+    rec = MetricsRecorder(interval=0.5)
+    rec.sample(_view(1.0, depth=1, running=1))
+    described = rec.describe()
+    assert described["samples"] == 1
+    assert described["interval"] == 0.5
+    assert described["queue"]["depth"] == 1.0
+    assert described["queue"]["utilization"] == 0.25
+    assert described["workers"]["utilization"] == 1.0
+    assert described["alerts"] == {"active": [], "transitions": 0}
+    exported = rec.export_series()
+    assert exported["samples"] == 1
+    assert "serve.queue.depth" in exported["series"]
+    depth = exported["series"]["serve.queue.depth"]["series"][""]
+    assert depth["1.0"]["points"] == [[1.0, 1.0]]
+
+
+def test_recorder_prometheus_includes_alert_states():
+    rec = MetricsRecorder(interval=1.0)
+    rec.sample(_view(1.0, depth=4))
+    rec.sample(_view(2.0, depth=4))
+    text = rec.to_prometheus()
+    assert text.endswith("\n")
+    assert "repro_serve_queue_depth 4" in text
+    assert 'repro_serve_alert_state{rule="queue-saturation"} 1' in text
+    assert 'repro_serve_alert_state{rule="pool-hit-collapse"' in text
+    rec.sample(_view(3.0, depth=0))
+    assert (
+        'repro_serve_alert_state{rule="queue-saturation"} 0'
+        in rec.to_prometheus()
+    )
+
+
+def test_recorder_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        MetricsRecorder(interval=0.0)

@@ -153,6 +153,65 @@ def test_rejected_event_creates_no_job_row():
     assert view.jobs == {}
 
 
+def test_rejected_tallies_surface_in_watch_footer():
+    view = LiveFleetView()
+    for _ in range(2):
+        view.update(
+            {"type": "rejected", "app": "top", "tenant": "acme",
+             "reason": "queue-full", "error": "queue is full"},
+            now=1.0,
+        )
+    view.update(
+        {"type": "rejected", "app": "top", "tenant": "acme",
+         "reason": "tenant-budget", "error": "budget exhausted"},
+        now=2.0,
+    )
+    assert view.rejections == {"queue-full": 2, "tenant-budget": 1}
+    rendered = view.render(now=3.0)
+    assert "rejected: queue-full=2, tenant-budget=1" in rendered
+
+
+def test_watch_dropped_events_accumulate_and_render():
+    view = LiveFleetView()
+    notices = view.update({"type": "watch-dropped", "dropped": 5}, now=1.0)
+    assert notices == [
+        "[serve] watch stream dropped 5 event(s) (consumer fell behind)"
+    ]
+    view.update({"type": "watch-dropped", "dropped": 2}, now=2.0)
+    assert view.watch_dropped == 7
+    assert "watch events dropped: 7" in view.render(now=3.0)
+
+
+def test_alert_events_fire_and_resolve_in_view():
+    view = LiveFleetView()
+    notices = view.update(
+        {"type": "alert", "rule": "queue-saturation", "label": "",
+         "state": "firing", "value": 1.0, "threshold": 0.8,
+         "description": "queue saturated"},
+        now=1.0,
+    )
+    assert notices == [
+        "[serve] ALERT firing: queue-saturation -- queue saturated"
+    ]
+    assert "alerts firing: queue-saturation" in view.render(now=2.0)
+    notices = view.update(
+        {"type": "alert", "rule": "queue-saturation", "label": "",
+         "state": "resolved", "value": 0.0, "threshold": 0.8},
+        now=3.0,
+    )
+    assert notices == ["[serve] alert resolved: queue-saturation"]
+    assert "alerts firing" not in view.render(now=4.0)
+
+
+def test_footer_absent_without_service_state():
+    view = LiveFleetView()
+    view.expect("a#0", app="top")
+    rendered = view.render(now=0.0)
+    assert "rejected:" not in rendered
+    assert "alerts firing" not in rendered
+    assert "watch events dropped" not in rendered
+
+
 def test_serve_lifecycle_events_are_notices_only():
     view = LiveFleetView()
     started = view.update(
@@ -164,3 +223,63 @@ def test_serve_lifecycle_events_are_notices_only():
     stopped = view.update({"type": "serve-stopped", "drained": True}, now=2.0)
     assert stopped == ["[serve] stopped"]
     assert view.jobs == {}
+
+
+# ---------------------------------------------------------------------------
+# the ctl top frame (pure formatter over the metrics op response)
+# ---------------------------------------------------------------------------
+
+
+def test_render_service_top_full_frame():
+    from repro.obs import render_service_top
+
+    frame = render_service_top({
+        "pid": 42,
+        "uptime_seconds": 12.7,
+        "samples": 13,
+        "interval": 1.0,
+        "queue": {"depth": 2.0, "running": 1.0, "utilization": 0.5},
+        "workers": {"alive": 2.0, "desired": 2.0, "utilization": 0.5},
+        "pool": {"hit_ratio": 0.75, "variants": {"default": {"warm": 2.0}}},
+        "throughput": {"finished_total": 9.0, "finished_per_min": 4.5},
+        "tenants": {
+            "acme": {
+                "in_flight": 1.0,
+                "charged_cycles": 123456.0,
+                "budget_remaining_ratio": 0.4,
+                "rejected": 2.0,
+                "queue_wait": {"count": 3, "p50": 0.1, "p95": 0.2,
+                               "p99": 0.2, "mean": 0.1},
+                "latency": {"count": 3, "p50": 1.0, "p95": 2.0, "p99": 2.5,
+                            "mean": 1.2},
+                "slo": {"target_seconds": 2.0, "met": 2, "missed": 1,
+                        "compliance": 2 / 3},
+            }
+        },
+        "alerts": {
+            "active": [
+                {"rule": "queue-saturation", "label": "", "since": 10.0,
+                 "value": 1.0}
+            ],
+            "transitions": 1,
+        },
+    })
+    assert "repro serve  pid 42  up 13s  samples 13 @ 1s" in frame
+    assert "queue   depth 2  running 1  utilization 50%" in frame
+    assert "default: 2 warm" in frame
+    assert "rate 4.5/min" in frame
+    acme = next(ln for ln in frame.splitlines() if ln.startswith("acme"))
+    assert "123456" in acme and "67%" in acme and "40%" in acme
+    assert "FIRING queue-saturation  value 1" in frame
+
+
+def test_render_service_top_empty_daemon():
+    from repro.obs import render_service_top
+
+    frame = render_service_top({
+        "pid": 1, "samples": 0, "interval": 1.0,
+        "queue": {}, "workers": {}, "pool": {}, "throughput": {},
+        "tenants": {}, "alerts": {"active": [], "transitions": 0},
+    })
+    assert "alerts: none firing" in frame
+    assert "depth -" in frame  # no samples yet: dashes, not crashes
