@@ -22,7 +22,7 @@ from repro.malware import ALL_ATTACKS
 #: Every section ``generate_report`` knows how to render.
 KNOWN_SECTIONS = {
     "table1", "table2", "fig6", "fig7", "caches", "trace",
-    "observability", "heat",
+    "observability", "heat", "capacity",
 }
 
 
@@ -225,6 +225,76 @@ def _section_heat(out: io.StringIO, configs, scale: int) -> None:
     out.write("\n```\n\n")
 
 
+def _fmt_num(value, pattern: str = "{:.3f}") -> str:
+    if value is None:
+        return "—"
+    return pattern.format(value)
+
+
+def _section_capacity(out: io.StringIO, obs_dir: str) -> None:
+    """Capacity planning from a serve daemon's persistent obs archive."""
+    from repro.obs.store import capacity_report
+
+    report = capacity_report(obs_dir)
+    info = report["archive"]
+    out.write("## Capacity — serve archive analysis\n\n")
+    out.write(
+        f"(archive `{obs_dir}`: {info['segments']} segment(s), "
+        f"{info['samples']} sample tick(s), trailing window "
+        f"{info['window_seconds']:.0f}s)\n\n"
+    )
+    queue = report["queue"]
+    out.write("### Queue\n\n")
+    out.write("| metric | value |\n|---|---|\n")
+    out.write(f"| depth (latest) | {_fmt_num(queue['depth_latest'], '{:.0f}')} |\n")
+    out.write(
+        f"| utilization (latest) | "
+        f"{_fmt_num(queue['utilization_latest'], '{:.1%}')} |\n"
+    )
+    out.write(
+        f"| utilization slope | "
+        f"{_fmt_num(queue['utilization_slope_per_s'], '{:+.5f}/s')} |\n"
+    )
+    eta = queue["projected_saturation_seconds"]
+    out.write(
+        "| projected saturation | "
+        + (f"~{eta:.0f}s at current trend |\n" if eta is not None
+           else "not on current trend |\n")
+    )
+    pool = report["pool"]
+    out.write(
+        f"\npool hit ratio: first {_fmt_num(pool['hit_ratio_first'], '{:.1%}')}"
+        f" → latest {_fmt_num(pool['hit_ratio_latest'], '{:.1%}')}"
+        f" (mean {_fmt_num(pool['hit_ratio_mean'], '{:.1%}')})\n\n"
+    )
+    if report["tenants"]:
+        out.write("### Tenants\n\n")
+        out.write(
+            "| tenant | charged cycles | demand (window) | budget left | "
+            "exhaustion ETA | wait-p95 trend |\n"
+        )
+        out.write("|---|---|---|---|---|---|\n")
+        for tenant, row in sorted(report["tenants"].items()):
+            eta = row["projected_budget_exhaustion_seconds"]
+            slope = row["queue_wait_p95_slope_per_s"]
+            out.write(
+                f"| {tenant} "
+                f"| {_fmt_num(row['charged_cycles_latest'], '{:.0f}')} "
+                f"| {_fmt_num(row['demand_cycles_window'], '{:.0f}')} "
+                f"| {_fmt_num(row['budget_remaining_ratio'], '{:.1%}')} "
+                f"| {f'~{eta:.0f}s' if eta is not None else '—'} "
+                f"| {_fmt_num(slope, '{:+.5f}/s')} |\n"
+            )
+        out.write("\n")
+    if report["alerts"]:
+        rendered = ", ".join(
+            f"{rule}×{count}" for rule, count in sorted(report["alerts"].items())
+        )
+        out.write(f"alert transitions: {rendered}\n\n")
+    else:
+        out.write("alert transitions: none archived\n\n")
+
+
 def _section_figure7(out: io.StringIO, configs, connections: int) -> None:
     out.write("## Figure 7 — Apache httperf throughput ratio\n\n")
     points = run_httperf_sweep(configs["apache"], connections=connections)
@@ -283,14 +353,18 @@ def generate_report(
     connections: int = 60,
     sections: Optional[Sequence[str]] = None,
     configs: Optional[Dict[str, KernelViewConfig]] = None,
+    obs_dir: Optional[str] = None,
 ) -> str:
     """Run the evaluation and return the markdown report.
 
     ``sections`` may also include ``"trace"`` for a telemetry timeline of
-    one enforced run, ``"observability"`` for recorder accounting, or
-    ``"heat"`` for sampled hotness vs. view coverage (none are part of
-    the default set: they narrate mechanism rather than reproducing a
-    paper figure).  Unknown section names raise :class:`ValueError`.
+    one enforced run, ``"observability"`` for recorder accounting,
+    ``"heat"`` for sampled hotness vs. view coverage, or ``"capacity"``
+    for post-hoc capacity planning over a serve daemon's ``--obs-dir``
+    archive (none are part of the default set: they narrate mechanism
+    rather than reproducing a paper figure).  Unknown section names
+    raise :class:`ValueError`; so does ``"capacity"`` without
+    ``obs_dir``.
     """
     if sections:
         unknown = sorted(set(sections) - KNOWN_SECTIONS)
@@ -304,10 +378,16 @@ def generate_report(
         if sections
         else {"table1", "table2", "fig6", "fig7", "caches"}
     )
+    if "capacity" in wanted and not obs_dir:
+        raise ValueError(
+            "the capacity section reads a serve observability archive; "
+            "pass --obs-dir (repro serve --obs-dir wrote it)"
+        )
     out = io.StringIO()
     out.write("# FACE-CHANGE reproduction — evaluation report\n\n")
     out.write(f"(workload scale {scale})\n\n")
-    if configs is None:
+    if configs is None and wanted != {"capacity"}:
+        # capacity is pure archive analysis: no profiling, no guest runs
         configs = profile_applications(scale=scale)
     if "table1" in wanted:
         _section_table1(out, configs)
@@ -325,4 +405,6 @@ def generate_report(
         _section_observability(out, configs, scale)
     if "heat" in wanted:
         _section_heat(out, configs, scale)
+    if "capacity" in wanted:
+        _section_capacity(out, obs_dir)
     return out.getvalue()

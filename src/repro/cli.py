@@ -643,6 +643,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_latency=args.slo_latency,
         alert_rules=alert_rules,
         ops_journal=args.ops_journal,
+        obs_dir=args.obs_dir,
+        obs_rotate_bytes=args.obs_rotate_bytes,
+        obs_rotate_seconds=args.obs_rotate_seconds,
+        obs_retain_seconds=args.obs_retain_seconds,
+        obs_compact_after=args.obs_compact_after,
+        alert_webhook=args.alert_webhook,
     )
     daemon.start(apps=args.apps, guests=args.guests)
     scrape = (
@@ -679,10 +685,17 @@ def _cmd_ctl(args: argparse.Namespace) -> int:
     """Control a running serve daemon; exit 2 on client-side failures
     (daemon unreachable, unknown job, rejected submission), 1 when the
     daemon reports a failed job."""
-    from repro.serve.client import ServeClientError
+    from repro.serve.client import MetricsDisabled, ServeClientError
 
     try:
         return _ctl_dispatch(args)
+    except MetricsDisabled:
+        return _fail(
+            "metrics recorder disabled: the daemon was started with "
+            "--metrics-interval 0, so there is nothing to scrape; "
+            "restart it with a positive interval to use "
+            f"'ctl {args.ctl_command}'"
+        )
     except ServeClientError as exc:
         return _fail(str(exc))
 
@@ -707,8 +720,13 @@ def _ctl_dispatch(args: argparse.Namespace) -> int:
             priority=args.priority,
             name=args.name or "",
             seed=args.seed,
+            trace_id=args.trace_id,
         )
-        print(f"submitted {response['id']} ({response['name']})")
+        trace = response.get("trace", "")
+        print(
+            f"submitted {response['id']} ({response['name']})"
+            + (f" trace {trace}" if trace else "")
+        )
         if not args.wait:
             return 0
         response = client.result(
@@ -965,6 +983,44 @@ def _cmd_guest_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Query the persistent observability archive a serve daemon wrote
+    with ``--obs-dir`` (works offline -- no daemon required)."""
+    from repro.obs.store import (
+        ObsStoreError,
+        query_series,
+        render_query_prom,
+        render_query_table,
+        render_trace,
+    )
+
+    try:
+        if args.obs_command == "query":
+            result = query_series(
+                args.obs_dir,
+                name=args.series,
+                label=args.label,
+                since=args.since,
+                until=args.until,
+                resolution=args.resolution,
+            )
+            if args.format == "json":
+                print(json.dumps(result, indent=2, sort_keys=True))
+            elif args.format == "prom":
+                print(render_query_prom(result), end="")
+            else:
+                print(render_query_table(result))
+            return 0
+        if args.obs_command == "trace":
+            print(
+                render_trace(args.obs_dir, args.trace_id, limit=args.limit)
+            )
+            return 0
+    except ObsStoreError as exc:
+        return _fail(str(exc))
+    return _fail(f"unknown obs command {args.obs_command!r}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_prometheus, generate_report
 
@@ -974,7 +1030,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 return _fail("--sections only applies to --format md")
             text = generate_prometheus(scale=args.scale, app=args.app)
         else:
-            text = generate_report(scale=args.scale, sections=args.sections)
+            text = generate_report(
+                scale=args.scale,
+                sections=args.sections,
+                obs_dir=args.obs_dir,
+            )
     except ValueError as exc:
         return _fail(str(exc))
     if args.output:
@@ -1275,6 +1335,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append alert transitions to this journal file "
         "(readable by repro forensics)",
     )
+    p.add_argument(
+        "--obs-dir",
+        help="persist metrics samples, alert transitions, lifecycle "
+        "events and per-request trace journals to this directory "
+        "(query later with repro obs)",
+    )
+    p.add_argument(
+        "--obs-rotate-bytes", type=int, default=1 << 20,
+        help="rotate archive segments past this size (default 1 MiB)",
+    )
+    p.add_argument(
+        "--obs-rotate-seconds", type=float, default=300.0,
+        help="rotate archive segments past this age (default 300)",
+    )
+    p.add_argument(
+        "--obs-retain-seconds", type=float, default=7 * 24 * 3600.0,
+        help="delete archive segments older than this (default 7 days)",
+    )
+    p.add_argument(
+        "--obs-compact-after", type=float, default=3600.0,
+        help="downsample closed segments older than this to 60s "
+        "resolution (default 3600)",
+    )
+    p.add_argument(
+        "--alert-webhook",
+        help="POST alert transitions as JSON to this URL (bounded "
+        "retry on a background thread; never blocks the daemon)",
+    )
     _add_jit_flag(p)
     p.set_defaults(fn=_cmd_serve)
 
@@ -1300,6 +1388,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     c.add_argument("--name", help="explicit job name (default auto)")
     c.add_argument("--seed", type=int, help="explicit job seed")
+    c.add_argument(
+        "--trace-id",
+        help="explicit request trace id (default: minted client-side); "
+        "follow it later with repro obs trace",
+    )
     c.add_argument(
         "--wait", action="store_true",
         help="block until the job finishes and print its result",
@@ -1399,6 +1492,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     g.set_defaults(fn=_cmd_guest_diff)
 
     p = sub.add_parser(
+        "obs",
+        help="query a serve daemon's persistent observability archive "
+        "(written with serve --obs-dir; works after the daemon stops)",
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    o = osub.add_parser(
+        "query", help="replay archived time series over a time range"
+    )
+    o.add_argument(
+        "--obs-dir", required=True, help="archive directory to read"
+    )
+    o.add_argument(
+        "--series", help="one series name (default: all archived series)"
+    )
+    o.add_argument("--label", help="narrow to one label (e.g. a tenant)")
+    o.add_argument(
+        "--since", type=float, help="unix-seconds lower bound (inclusive)"
+    )
+    o.add_argument(
+        "--until", type=float, help="unix-seconds upper bound (inclusive)"
+    )
+    o.add_argument(
+        "--resolution", type=float,
+        help="pick the ring closest to this resolution in seconds",
+    )
+    o.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="table (default), json (full export) or prom (text "
+        "exposition rebuilt from the archive)",
+    )
+    o.set_defaults(fn=_cmd_obs)
+    o = osub.add_parser(
+        "trace",
+        help="narrate one request end to end: lifecycle events, alerts "
+        "in flight, and the guest span forest",
+    )
+    o.add_argument("trace_id", help="the trace id echoed by ctl submit")
+    o.add_argument(
+        "--obs-dir", required=True, help="archive directory to read"
+    )
+    o.add_argument(
+        "--limit", type=int, default=25,
+        help="cap on span chains rendered (default 25)",
+    )
+    o.set_defaults(fn=_cmd_obs)
+
+    p = sub.add_parser(
         "report", help="run the full evaluation, emit a markdown report"
     )
     p.add_argument("-o", "--output", help="write the report to this file")
@@ -1407,6 +1549,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         help="subset of sections to run (see repro.analysis.report."
         "KNOWN_SECTIONS); unknown names fail with a non-zero exit",
+    )
+    p.add_argument(
+        "--obs-dir",
+        help="serve observability archive backing the capacity section "
+        "(required for --sections capacity)",
     )
     p.add_argument(
         "--format",

@@ -145,12 +145,19 @@ class Machine:
         """
         journal = Journal(path=path, capacity=capacity, keep=keep, meta=meta)
         self.telemetry.attach_journal(journal)
+        if meta and meta.get("trace"):
+            # bind the request trace id for the recording window: root
+            # spans get a ``trace`` attribute linking the guest span
+            # forest to the daemon-side submission (attrs only; cycle
+            # accounting is untouched)
+            self.telemetry.spans.trace_id = str(meta["trace"])
         self.telemetry.enable_tracing()
         return journal
 
     def stop_recording(self) -> Optional["Journal"]:
         """Detach and close the flight recorder; returns it (if any)."""
         journal = self.telemetry.detach_journal()
+        self.telemetry.spans.trace_id = None
         if journal is not None:
             journal.close()
         return journal

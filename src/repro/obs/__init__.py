@@ -11,8 +11,11 @@ Two consumers of the flight recorder (:mod:`repro.telemetry.journal`):
 Service-level observability for the serve daemon -- ring-buffer time
 series, per-tenant SLO quantiles, Prometheus exposition and the
 alert-rule engine -- lives in :mod:`repro.obs.metrics` (``repro ctl
-top``, ``repro serve --metrics-addr``).  Statistical observability
-(sampling profiler, probes, heat analysis) lives in the
+top``, ``repro serve --metrics-addr``).  The persistent on-disk
+archive of those metrics, plus per-request trace journals and the
+``repro obs`` query/trace commands, lives in :mod:`repro.obs.store`
+(``repro serve --obs-dir``).  Statistical observability (sampling
+profiler, probes, heat analysis) lives in the
 :mod:`repro.obs.profiling` subpackage.
 """
 
@@ -35,23 +38,47 @@ from repro.obs.metrics import (
     default_rules,
     load_rules,
 )
+from repro.obs.store import (
+    ArchiveData,
+    ObsStore,
+    ObsStoreError,
+    capacity_report,
+    query_series,
+    read_archive,
+    read_trace_journal,
+    rebuild_alerts,
+    rebuild_bank,
+    rebuild_export,
+    render_trace,
+)
 
 __all__ = [
     "AlertCondition",
     "AlertEngine",
     "AlertRule",
+    "ArchiveData",
     "JobStatus",
     "LiveFleetView",
     "MetricsRecorder",
+    "ObsStore",
+    "ObsStoreError",
     "QuantileWindow",
     "RingSeries",
     "SeriesBank",
     "attack_trees",
+    "capacity_report",
     "default_rules",
     "load_rules",
     "narrate_tree",
+    "query_series",
+    "read_archive",
+    "read_trace_journal",
+    "rebuild_alerts",
+    "rebuild_bank",
+    "rebuild_export",
     "render_forensics",
     "render_journal_narrative",
     "render_legacy_snapshot",
     "render_service_top",
+    "render_trace",
 ]

@@ -36,6 +36,7 @@ class JobStatus:
     journal_dropped: int = 0
     drifting: bool = False
     note: str = ""
+    trace: str = ""
 
     @property
     def non_attack_recoveries(self) -> int:
@@ -145,6 +146,8 @@ class LiveFleetView:
         status = self.expect(name, app=message.get("app", ""))
         notices: List[str] = []
         status.last_seen = now
+        if message.get("trace") and not status.trace:
+            status.trace = str(message["trace"])
         if kind == "queued":
             notices.append(f"[fleet] {name}: queued")
         elif kind == "cancelled":

@@ -262,6 +262,12 @@ class SeriesBank:
         self.capacity = capacity
         self._series: Dict[str, Dict[str, MultiResolutionSeries]] = {}
         self._label_keys: Dict[str, str] = {}
+        #: when set (a list), every observation is also appended as
+        #: ``(name, label, label_key, t, value)`` -- the persistence tap
+        #: the obs store archives, placed *before* ring coalescing so a
+        #: replay runs the exact code path and reproduces the rings
+        #: bit-equal (see :mod:`repro.obs.store`)
+        self._tap: Optional[list] = None
 
     def observe(
         self,
@@ -278,6 +284,8 @@ class SeriesBank:
             series = family[label] = MultiResolutionSeries(
                 resolutions=self.resolutions, capacity=self.capacity
             )
+        if self._tap is not None:
+            self._tap.append((name, label, label_key, t, float(value)))
         series.append(t, float(value))
 
     def family(self, name: str) -> Dict[str, MultiResolutionSeries]:
@@ -754,16 +762,28 @@ class MetricsRecorder:
 
     # -- sampling -------------------------------------------------------------
 
-    def sample(self, view: Dict[str, Any]) -> List[AlertTransition]:
-        """Fold one daemon view in; returns new alert transitions."""
+    def sample(
+        self, view: Dict[str, Any], tap: Optional[list] = None
+    ) -> List[AlertTransition]:
+        """Fold one daemon view in; returns new alert transitions.
+
+        With ``tap`` (a list), every observation this tick makes is
+        also appended to it as ``(name, label, label_key, t, value)``
+        -- the raw stream the obs store persists for bit-equal replay.
+        """
         with self._lock:
             now = float(view.get("now", time.time()))
             if self.first_sample_at is None:
                 self.first_sample_at = now
-            self._sample_queue(view, now)
-            self._sample_pool(view, now)
-            self._sample_counters(view, now)
-            self._sample_jobs(view, now)
+            if tap is not None:
+                self.bank._tap = tap
+            try:
+                self._sample_queue(view, now)
+                self._sample_pool(view, now)
+                self._sample_counters(view, now)
+                self._sample_jobs(view, now)
+            finally:
+                self.bank._tap = None
             transitions = self.engine.evaluate(self.bank, now)
             self.alert_history.extend(transitions)
             self.samples += 1

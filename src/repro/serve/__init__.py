@@ -22,6 +22,7 @@ subsystem.
 
 from repro.serve.client import (
     DaemonUnreachable,
+    MetricsDisabled,
     ServeClient,
     ServeClientError,
     SubmissionRejected,
@@ -29,21 +30,24 @@ from repro.serve.client import (
 )
 from repro.serve.daemon import EventSink, JobAborted, ServeDaemon, ServeError
 from repro.serve.pool import WarmPool
-from repro.serve.protocol import DEFAULT_SOCKET
+from repro.serve.protocol import DEFAULT_SOCKET, mint_trace_id
 from repro.serve.queue import (
     AdmissionError,
     JobQueue,
     QueuedJob,
     TenantPolicy,
 )
+from repro.serve.webhook import AlertWebhook
 
 __all__ = [
     "AdmissionError",
+    "AlertWebhook",
     "DEFAULT_SOCKET",
     "DaemonUnreachable",
     "EventSink",
     "JobAborted",
     "JobQueue",
+    "MetricsDisabled",
     "QueuedJob",
     "ServeClient",
     "ServeClientError",
@@ -53,4 +57,5 @@ __all__ = [
     "TenantPolicy",
     "UnknownJob",
     "WarmPool",
+    "mint_trace_id",
 ]

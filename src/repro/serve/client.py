@@ -39,6 +39,10 @@ class SubmissionRejected(ServeClientError):
     """Admission control rejected the submission (see ``reason``)."""
 
 
+class MetricsDisabled(ServeClientError):
+    """The daemon runs without a metrics recorder (interval 0)."""
+
+
 #: Daemon error reasons produced by admission control / validation.
 _REJECTION_REASONS = {
     "queue-full",
@@ -56,6 +60,8 @@ def _raise_for(response: Dict[str, Any]) -> None:
     message = response.get("error", "daemon refused the request")
     if reason == "unknown-job":
         raise UnknownJob(message, reason=reason)
+    if reason == "no-metrics":
+        raise MetricsDisabled(message, reason=reason)
     if reason in _REJECTION_REASONS:
         raise SubmissionRejected(message, reason=reason)
     raise ServeClientError(message, reason=reason)
@@ -136,7 +142,11 @@ class ServeClient:
         seed: Optional[int] = None,
         max_cycles: Optional[int] = None,
         job_timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        """Submit one job.  A ``trace_id`` is minted client-side when
+        not supplied, carried through the daemon's queue and the guest
+        journal, and echoed in the response's ``trace`` field."""
         job: Dict[str, Any] = {"app": app, "scale": scale}
         if attack is not None:
             job["attack"] = attack
@@ -151,7 +161,11 @@ class ServeClient:
         if job_timeout is not None:
             job["timeout"] = job_timeout
         return self.request(
-            "submit", job=job, tenant=tenant, priority=priority
+            "submit",
+            job=job,
+            tenant=tenant,
+            priority=priority,
+            trace=trace_id or protocol.mint_trace_id(),
         )
 
     def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:

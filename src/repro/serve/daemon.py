@@ -43,6 +43,13 @@ from repro.fleet.library import ProfileLibrary, ProfileRecord
 from repro.fleet.spec import DEFAULT_SEED, FleetJob
 from repro.guest.config import GuestConfigError, resolve_guest
 from repro.obs.metrics import AlertRule, MetricsRecorder
+from repro.obs.store import (
+    DEFAULT_COMPACT_AFTER_SECONDS,
+    DEFAULT_RETAIN_SECONDS,
+    DEFAULT_ROTATE_BYTES,
+    DEFAULT_ROTATE_SECONDS,
+    ObsStore,
+)
 from repro.serve import protocol
 from repro.serve.pool import WarmPool
 from repro.serve.queue import (
@@ -52,6 +59,7 @@ from repro.serve.queue import (
     QueuedJob,
     TenantPolicy,
 )
+from repro.serve.webhook import AlertWebhook
 from repro.telemetry import Journal, Telemetry
 from repro.telemetry.export import snapshot as telemetry_snapshot
 from repro.telemetry.merge import empty_merge, merge_into
@@ -151,6 +159,12 @@ class ServeDaemon:
         alert_rules: Optional[Iterable[AlertRule]] = None,
         ops_journal: Optional[str] = None,
         watch_buffer: int = _WATCH_BUFFER,
+        obs_dir: Optional[str] = None,
+        obs_rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        obs_rotate_seconds: float = DEFAULT_ROTATE_SECONDS,
+        obs_retain_seconds: float = DEFAULT_RETAIN_SECONDS,
+        obs_compact_after: float = DEFAULT_COMPACT_AFTER_SECONDS,
+        alert_webhook: Optional[str] = None,
     ) -> None:
         if min_workers < 1:
             raise ValueError(f"min_workers must be >= 1, got {min_workers}")
@@ -206,6 +220,17 @@ class ServeDaemon:
         self._metrics_lock = threading.Lock()
         self._ops_journal_path = ops_journal
         self._ops_journal: Optional[Journal] = None
+        # persistent observability archive + alert webhook (opened in
+        # start() so a constructed-but-never-started daemon touches
+        # neither disk nor network)
+        self.obs_dir = obs_dir
+        self.obs_rotate_bytes = obs_rotate_bytes
+        self.obs_rotate_seconds = obs_rotate_seconds
+        self.obs_retain_seconds = obs_retain_seconds
+        self.obs_compact_after = obs_compact_after
+        self._obs_store: Optional[ObsStore] = None
+        self.alert_webhook_url = alert_webhook
+        self._webhook: Optional[AlertWebhook] = None
         # worker pool
         self._workers: Dict[int, threading.Thread] = {}
         self._workers_lock = threading.Lock()
@@ -234,6 +259,32 @@ class ServeDaemon:
         buffers are booted before the first submission arrives.
         """
         self.started_at = time.time()
+        if self.obs_dir is not None:
+            from repro.obs.metrics import DEFAULT_CAPACITY, DEFAULT_RESOLUTIONS
+
+            self._obs_store = ObsStore(
+                self.obs_dir,
+                rotate_bytes=self.obs_rotate_bytes,
+                rotate_seconds=self.obs_rotate_seconds,
+                retain_seconds=self.obs_retain_seconds,
+                compact_after=self.obs_compact_after,
+                meta={
+                    "role": "serve-obs",
+                    "pid": os.getpid(),
+                    "interval": (
+                        self.metrics.interval
+                        if self.metrics is not None
+                        else None
+                    ),
+                    "resolutions": list(DEFAULT_RESOLUTIONS),
+                    "capacity": DEFAULT_CAPACITY,
+                },
+            )
+        if self.alert_webhook_url:
+            self._webhook = AlertWebhook(
+                self.alert_webhook_url, telemetry=self.telemetry
+            )
+            self._webhook.start()
         configs = [resolve_guest(ref) for ref in (guests or [None])]
         seen = set()
         for config in configs:
@@ -343,6 +394,12 @@ class ServeDaemon:
         self._emit({"type": "serve-stopped", **summary})
         if self._ops_journal is not None:
             self._ops_journal.close()
+        if self._webhook is not None:
+            self._webhook.stop()
+        if self._obs_store is not None:
+            # after the serve-stopped event and the final sample above,
+            # so the archive's last records cover the whole lifecycle
+            self._obs_store.close()
         self.stopped.set()
         return summary
 
@@ -364,6 +421,18 @@ class ServeDaemon:
             if len(self._events) > _EVENT_BACKLOG:
                 del self._events[: len(self._events) - _EVENT_BACKLOG]
             subscribers = list(self._subscribers)
+            if (
+                self._obs_store is not None
+                and message.get("type") != "journal"
+            ):
+                # archive lifecycle events in seq order (journal
+                # segments go to the per-trace files instead -- they
+                # can be megabytes); archive failure never breaks the
+                # event stream
+                try:
+                    self._obs_store.append_event(event)
+                except OSError:
+                    self.telemetry.counter("serve.obs.errors").inc()
         dropped = 0
         for sink in subscribers:
             if not sink.offer(event):
@@ -447,9 +516,16 @@ class ServeDaemon:
         params: Dict[str, Any],
         tenant: str = "default",
         priority: int = 0,
+        trace_id: str = "",
     ) -> QueuedJob:
-        """Admit one job (raises ValueError / AdmissionError)."""
+        """Admit one job (raises ValueError / AdmissionError).
+
+        ``trace_id`` is normally minted by the client; a submission
+        arriving without one gets an id minted here at admission, so
+        every job is traceable end-to-end either way.
+        """
         job = self._build_job(params)
+        trace_id = str(trace_id or protocol.mint_trace_id())
         build = job.guest_config().build_digest()
         try:
             if not self.auto_profile and not self._has_profile(job.app, build):
@@ -461,7 +537,9 @@ class ServeDaemon:
                     "or start the daemon with --auto-profile",
                 )
             self.queue.assign_name(job)
-            queued = self.queue.submit(job, tenant=tenant, priority=priority)
+            queued = self.queue.submit(
+                job, tenant=tenant, priority=priority, trace_id=trace_id
+            )
         except AdmissionError as exc:
             self._emit(
                 {
@@ -470,6 +548,7 @@ class ServeDaemon:
                     "tenant": tenant,
                     "reason": exc.reason,
                     "error": exc.message,
+                    "trace": trace_id,
                 }
             )
             raise
@@ -481,6 +560,7 @@ class ServeDaemon:
                 "app": job.app,
                 "tenant": tenant,
                 "priority": priority,
+                "trace": trace_id,
             }
         )
         return queued
@@ -578,11 +658,55 @@ class ServeDaemon:
         """Default executor: warm clone + the batch fleet's job path."""
         job = qjob.job
         record = self._record_for(job)
+        name = job.name or job.identity()
         clone = self.pool.acquire(job.guest_config())
-        journal = clone.start_recording(capacity=_JOB_JOURNAL_CAPACITY)
+        journal = clone.start_recording(
+            capacity=_JOB_JOURNAL_CAPACITY,
+            meta={
+                "trace": qjob.trace_id,
+                "job": qjob.id,
+                "name": name,
+                "tenant": qjob.tenant,
+                "app": job.app,
+            },
+        )
+        trace_writer = None
+        if self._obs_store is not None and qjob.trace_id:
+            try:
+                trace_writer = self._obs_store.job_journal(
+                    qjob.trace_id,
+                    meta={
+                        "trace": qjob.trace_id,
+                        "job": qjob.id,
+                        "name": name,
+                        "tenant": qjob.tenant,
+                        "app": job.app,
+                    },
+                )
+            except OSError:
+                self.telemetry.counter("serve.obs.errors").inc()
         start_cycles = clone.cycles
         last_beat = [time.monotonic()]
-        name = job.name or job.identity()
+
+        def ship_segment() -> None:
+            records_seg, dropped = journal.drain_segment()
+            if not (records_seg or dropped):
+                return
+            self._emit(
+                {
+                    "type": "journal",
+                    "id": qjob.id,
+                    "job": name,
+                    "records": records_seg,
+                    "dropped": dropped,
+                    "trace": qjob.trace_id,
+                }
+            )
+            if trace_writer is not None:
+                try:
+                    trace_writer.extend(records_seg, dropped)
+                except OSError:
+                    self.telemetry.counter("serve.obs.errors").inc()
 
         def beat(machine) -> None:
             tel = machine.telemetry
@@ -601,19 +725,10 @@ class ServeDaemon:
                         if verdicts
                         else {}
                     ),
+                    "trace": qjob.trace_id,
                 }
             )
-            records_seg, dropped = journal.drain_segment()
-            if records_seg or dropped:
-                self._emit(
-                    {
-                        "type": "journal",
-                        "id": qjob.id,
-                        "job": name,
-                        "records": records_seg,
-                        "dropped": dropped,
-                    }
-                )
+            ship_segment()
 
         def progress(machine, fc) -> None:
             consumed = machine.cycles - start_cycles
@@ -635,18 +750,13 @@ class ServeDaemon:
             )
         finally:
             # final journal segment, success or abort
-            records_seg, dropped = journal.drain_segment()
-            if records_seg or dropped:
-                self._emit(
-                    {
-                        "type": "journal",
-                        "id": qjob.id,
-                        "job": name,
-                        "records": records_seg,
-                        "dropped": dropped,
-                    }
-                )
+            ship_segment()
             clone.stop_recording()
+            if trace_writer is not None:
+                try:
+                    trace_writer.close()
+                except OSError:
+                    self.telemetry.counter("serve.obs.errors").inc()
         return result
 
     def _run_one(self, qjob: QueuedJob) -> None:
@@ -659,6 +769,7 @@ class ServeDaemon:
                 "job": name,
                 "app": job.app,
                 "tenant": qjob.tenant,
+                "trace": qjob.trace_id,
             }
         )
         try:
@@ -682,6 +793,7 @@ class ServeDaemon:
                     "tenant": qjob.tenant,
                     "ok": False,
                     "error": error,
+                    "trace": qjob.trace_id,
                 }
             )
             return
@@ -699,6 +811,7 @@ class ServeDaemon:
                     "tenant": qjob.tenant,
                     "ok": False,
                     "error": error.splitlines()[0],
+                    "trace": qjob.trace_id,
                 }
             )
             return
@@ -726,6 +839,7 @@ class ServeDaemon:
                 "error": result.error,
                 "cycles": result.cycles,
                 "detected": result.detected,
+                "trace": qjob.trace_id,
             }
         )
 
@@ -809,7 +923,14 @@ class ServeDaemon:
         if self.metrics is None:
             return []
         with self._metrics_lock:
-            transitions = self.metrics.sample(self.metrics_view())
+            view = self.metrics_view()
+            tap = [] if self._obs_store is not None else None
+            transitions = self.metrics.sample(view, tap=tap)
+            if self._obs_store is not None and tap:
+                try:
+                    self._obs_store.append_sample(view["now"], tap)
+                except OSError:
+                    self.telemetry.counter("serve.obs.errors").inc()
         for transition in transitions:
             self.telemetry.labelled_counter("serve.alerts").inc(
                 f"{transition.rule}:{transition.state}"
@@ -818,6 +939,15 @@ class ServeDaemon:
             if self._ops_journal is not None:
                 self._ops_journal.append("alert", **transition.to_dict())
                 self._ops_journal.flush()
+            if self._obs_store is not None:
+                try:
+                    self._obs_store.append_alert(transition)
+                except OSError:
+                    self.telemetry.counter("serve.obs.errors").inc()
+            if self._webhook is not None:
+                self._webhook.offer(
+                    {"type": "alert", **transition.to_dict()}
+                )
         return transitions
 
     def _metrics_loop(self) -> None:
@@ -980,9 +1110,13 @@ class ServeDaemon:
     def _handle_submit(self, conn, request: Dict[str, Any]) -> None:
         tenant = str(request.get("tenant", "default"))
         priority = int(request.get("priority", 0))
+        trace = str(request.get("trace") or "")
         try:
             queued = self.submit(
-                request.get("job") or {}, tenant=tenant, priority=priority
+                request.get("job") or {},
+                tenant=tenant,
+                priority=priority,
+                trace_id=trace,
             )
         except ValueError as exc:
             protocol.send_message(
@@ -1003,6 +1137,7 @@ class ServeDaemon:
                 "id": queued.id,
                 "name": queued.job.name,
                 "state": queued.state,
+                "trace": queued.trace_id,
             },
         )
 
@@ -1114,6 +1249,7 @@ class ServeDaemon:
                     "tenant": job.tenant if job else "",
                     "ok": False,
                     "error": "cancelled while queued",
+                    "trace": job.trace_id if job else "",
                 }
             )
         protocol.send_message(conn, {"ok": True, "action": action})

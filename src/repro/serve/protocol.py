@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import socket
+import uuid
 from typing import Any, Dict, Optional, Tuple
 
 #: Default daemon control socket, relative to the working directory.
@@ -28,6 +29,17 @@ MAX_LINE = 64 * 1024 * 1024
 
 class ProtocolError(Exception):
     """Malformed frame on the control socket."""
+
+
+def mint_trace_id() -> str:
+    """A fresh 32-hex request trace id.
+
+    Minted client-side by :meth:`ServeClient.submit` (or daemon-side at
+    admission when a submission arrives without one), so a single id
+    links the client call, the daemon's lifecycle events, and the guest
+    span forest in the obs archive.
+    """
+    return uuid.uuid4().hex
 
 
 def is_tcp_address(address: str) -> bool:

@@ -79,6 +79,10 @@ class QueuedJob:
     #: JobResult.to_dict() once terminal (telemetry kept daemon-side)
     result: Optional[Dict[str, Any]] = None
     error: str = ""
+    #: request trace id (client-minted or assigned at admission); one
+    #: id links the submission, every lifecycle event, and the guest
+    #: span forest in the obs archive
+    trace_id: str = ""
 
     @property
     def terminal(self) -> bool:
@@ -97,6 +101,7 @@ class QueuedJob:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "trace": self.trace_id,
         }
         if self.cancel_requested and not self.terminal:
             data["cancel_requested"] = True
@@ -221,6 +226,7 @@ class JobQueue:
         tenant: str = "default",
         priority: int = 0,
         job_id: Optional[str] = None,
+        trace_id: str = "",
     ) -> QueuedJob:
         """Admit ``job`` or raise :class:`AdmissionError` (with reason)."""
         with self._cond:
@@ -266,6 +272,7 @@ class JobQueue:
                 priority=priority,
                 job=job,
                 submitted_at=time.time(),
+                trace_id=trace_id,
             )
             self._jobs[job_id] = queued
             self._seq += 1

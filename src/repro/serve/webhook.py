@@ -1,0 +1,124 @@
+"""Alert webhook sink: POST alert transitions to an external receiver.
+
+``repro serve --alert-webhook URL`` turns every
+:class:`~repro.obs.metrics.AlertTransition` into one JSON POST --
+pager/chat-ops integration without taking a dependency: stdlib
+``urllib`` only.
+
+Delivery discipline (the part that matters for a daemon):
+
+* :meth:`AlertWebhook.offer` **never blocks** -- transitions land on a
+  bounded queue; a slow or dead receiver fills it and further offers
+  are dropped (and counted), keeping ``_emit`` and the sampler loop
+  unaffected;
+* a single background thread delivers with **bounded retry and
+  exponential backoff**; a transition that still fails after the last
+  attempt is abandoned and counted in ``serve.alerts.webhook_errors``;
+* :meth:`stop` drains what it can within its timeout and gives up --
+  shutdown is never hostage to a webhook receiver.
+
+Payload schema (one JSON object per POST, ``Content-Type:
+application/json``)::
+
+    {"type": "alert", "rule": "...", "label": "...",
+     "state": "firing" | "resolved", "value": 0.96, "threshold": 0.9,
+     "at": 1731000000.0, "description": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_mod
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class AlertWebhook:
+    """Non-blocking, bounded-retry alert delivery (see module docs)."""
+
+    def __init__(
+        self,
+        url: str,
+        telemetry: Optional[Any] = None,
+        retries: int = 3,
+        backoff: float = 0.25,
+        timeout: float = 5.0,
+        maxsize: int = 256,
+    ) -> None:
+        self.url = url
+        self.telemetry = telemetry
+        self.retries = max(1, retries)
+        self.backoff = backoff
+        self.timeout = timeout
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=maxsize)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.delivered = 0
+        self.errors = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-alert-webhook", daemon=True
+        )
+        self._thread.start()
+
+    def offer(self, payload: Dict[str, Any]) -> bool:
+        """Enqueue one alert payload; never blocks.  False on overflow
+        (the drop is counted as a webhook error)."""
+        try:
+            self._queue.put_nowait(dict(payload))
+            return True
+        except queue_mod.Full:
+            self._count_error()
+            return False
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the delivery thread after a bounded drain attempt."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # -- delivery --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                payload = self._queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            self._deliver(payload)
+
+    def _deliver(self, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        for attempt in range(self.retries):
+            try:
+                request = urllib.request.Request(
+                    self.url,
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    response.read()
+                self.delivered += 1
+                return
+            except (OSError, ValueError):
+                # URLError/HTTPError are OSError subclasses; ValueError
+                # covers malformed URLs
+                if attempt + 1 < self.retries and not self._stop.is_set():
+                    time.sleep(self.backoff * (2**attempt))
+        self._count_error()
+
+    def _count_error(self) -> None:
+        self.errors += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("serve.alerts.webhook_errors").inc()

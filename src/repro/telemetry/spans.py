@@ -73,6 +73,12 @@ class SpanRecorder:
         self._next_id = 1
         self._open: Dict[int, List[Span]] = {}
         self.journal = None  # bound by Telemetry.attach_journal
+        #: request trace id stamped onto root spans while set (the
+        #: serve daemon binds it for the duration of a traced job, so
+        #: every vmexit chain in the guest journal links back to the
+        #: submission that caused it).  An attribute only -- it never
+        #: touches cycle accounting, so scores stay bit-identical.
+        self.trace_id: Optional[str] = None
 
     def bind(self, journal) -> None:
         self.journal = journal
@@ -96,6 +102,8 @@ class SpanRecorder:
             parent_id = stack[-1].span_id if stack else None
         else:
             parent_id = parent.span_id if isinstance(parent, Span) else parent
+        if parent_id is None and self.trace_id is not None:
+            attrs.setdefault("trace", self.trace_id)
         span = Span(
             span_id=self._next_id,
             parent_id=parent_id,
